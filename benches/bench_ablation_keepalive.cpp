@@ -1,0 +1,51 @@
+// Ablation: how much of the serial strategy's cost is TCP connection
+// setup versus per-message processing? HTTP keep-alive removes the
+// per-message connect cost while keeping everything else, separating the
+// two savings that packing delivers together (§4.2's "the number of TCP
+// connection and SOAP Header is reduced from M to one").
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+double serial_ms(bool keep_alive, size_t m, size_t payload, size_t reps) {
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.client.keep_alive = keep_alive;
+  EchoFixture fixture(options);
+  auto calls = make_echo_calls(m, payload, /*seed=*/0xCAFE + m);
+  return run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+      .median_ms;
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench_reps(3);
+  const size_t max_m = bench_max_m(64);
+  const size_t payload = 10;
+
+  std::printf("=== Ablation: connection setup vs per-message cost ===\n");
+  std::printf(
+      "serial strategy, payload %zu B; keep-alive removes the connect cost "
+      "only\n\n",
+      payload);
+
+  Table table({"M", "new conn/msg (ms)", "keep-alive (ms)",
+               "connect share", "remaining/msg (ms)"});
+  for (size_t m = 2; m <= max_m; m *= 2) {
+    double fresh = serial_ms(false, m, payload, reps);
+    double reused = serial_ms(true, m, payload, reps);
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.0f%%",
+                  (1.0 - reused / fresh) * 100.0);
+    table.add_row({std::to_string(m), fmt_ms(fresh), fmt_ms(reused), share,
+                   fmt_ms(reused / static_cast<double>(m))});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation of the pack-cost calibration (DESIGN.md §2, core/pack_cost.hpp):
+// the figure benches charge the 2006 Java stack's packed-message handling
+// overhead; this bench turns it off to show the native C++ stack, where
+// the single-pass assembler/dispatcher keep packing profitable even at the
+// paper's 100 KB "huge payload" point — i.e. Figure 7's inversion is a
+// property of the original stack's pack overhead, not of the idea.
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+double packed_over_serial(size_t m, size_t payload, bool calibrated,
+                          size_t reps) {
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  if (calibrated) {
+    options.server.pack_cost = pack_cost_from_env();
+    options.client.pack_cost = pack_cost_from_env();
+  }
+  options.server.protocol_threads = 160;
+  EchoFixture fixture(options);
+  auto calls = make_echo_calls(m, payload, /*seed=*/0xAB1 + m);
+  double serial =
+      run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+          .median_ms;
+  double packed =
+      run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
+          .median_ms;
+  return serial / packed;
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench_reps(3);
+  const size_t payload = 100'000;  // Figure 7's regime
+
+  std::printf("=== Ablation: calibrated 2006 pack cost vs native C++ ===\n");
+  std::printf(
+      "speedup of Our Approach over No Optimization at N = %zu B; values < "
+      "1 mean packing loses (the paper's Figure 7 result)\n\n",
+      payload);
+
+  Table table({"M", "calibrated (Java-era)", "native C++"});
+  for (size_t m : {size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
+    double java = packed_over_serial(m, payload, true, reps);
+    double native = packed_over_serial(m, payload, false, reps);
+    table.add_row({std::to_string(m), fmt_ratio(java), fmt_ratio(native)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected: calibrated < 1.0x (packing loses, matching Figure 7); "
+      "native > 1.0x (modern stack keeps winning)\n");
+  return 0;
+}

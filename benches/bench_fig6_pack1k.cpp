@@ -1,0 +1,10 @@
+// Figure 6: packing 1 KB messages. Paper: Our Approach remains the least
+// time consuming across the M sweep (moderate payloads).
+#include "figure_common.hpp"
+
+int main() {
+  return spi::bench::run_figure_bench(
+      {"Figure 6", 1000,
+       "Our Approach fastest for M>1 (moderate payload); overhead still "
+       "dominated by per-message costs"});
+}

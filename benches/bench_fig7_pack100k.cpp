@@ -1,0 +1,11 @@
+// Figure 7: packing 100 KB messages. Paper: Our Approach becomes the MOST
+// time consuming — the payload dwarfs the per-message overhead saved, and
+// pack/unpack handling of the huge single message costs more than it wins.
+#include "figure_common.hpp"
+
+int main() {
+  return spi::bench::run_figure_bench(
+      {"Figure 7", 100'000,
+       "Our Approach slowest (pack/unpack overhead on huge bodies exceeds "
+       "the per-message savings); Multiple Threads fastest"});
+}

@@ -1,0 +1,44 @@
+// §4.2 (M=1): "the time consumption of Our Approach is more than that of
+// No Optimization" — the cost of Parallel_Method framing plus pack/unpack
+// when there is nothing to amortize it over. Measured across the paper's
+// three payload scales.
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+int main() {
+  const size_t reps = bench_reps(5);
+
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.server.pack_cost = pack_cost_from_env();
+  options.client.pack_cost = pack_cost_from_env();
+  EchoFixture fixture(options);
+
+  std::printf("=== M=1 packing overhead (paper §4.2) ===\n");
+  std::printf(
+      "paper shape: at M=1 Our Approach is slower than No Optimization at "
+      "every payload size\n\n");
+
+  Table table({"payload (B)", "No Optimization (ms)", "Our Approach (ms)",
+               "overhead (ms)", "overhead (%)"});
+  for (size_t payload : {size_t{10}, size_t{1000}, size_t{100'000}}) {
+    auto calls = make_echo_calls(1, payload, /*seed=*/0x3113 + payload);
+    double single =
+        run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+            .median_ms;
+    double packed =
+        run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
+            .median_ms;
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  (packed / single - 1.0) * 100.0);
+    table.add_row({std::to_string(payload), fmt_ms(single), fmt_ms(packed),
+                   fmt_ms(packed - single), pct});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Related-work baseline bench (§2.2): parameterized client-side message
+// caching (Devaram & Andresen) measured on this stack, using
+// google-benchmark. Shows (a) how much serialization work the cache
+// bypasses, and (b) why the paper calls it orthogonal to packing — it
+// cuts CPU per message, not the number of messages.
+#include <benchmark/benchmark.h>
+
+#include "benchsupport/workload.hpp"
+#include "core/request_cache.hpp"
+#include "core/wire.hpp"
+#include "soap/envelope.hpp"
+
+namespace {
+
+using namespace spi;
+
+std::vector<core::ServiceCall> workload(size_t payload) {
+  // 64 calls, same shape, different payloads — the cache's sweet spot.
+  return bench::make_echo_calls(64, payload, /*seed=*/0xCA);
+}
+
+void BM_SerializeFull(benchmark::State& state) {
+  auto calls = workload(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& call = calls[i++ % calls.size()];
+    std::string envelope =
+        soap::build_envelope(core::wire::serialize_single_request(call));
+    bytes += static_cast<std::int64_t>(envelope.size());
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SerializeFull)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_SerializeCached(benchmark::State& state) {
+  auto calls = workload(static_cast<size_t>(state.range(0)));
+  core::RequestTemplateCache cache;
+  size_t i = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& call = calls[i++ % calls.size()];
+    std::string envelope = cache.render(call);
+    bytes += static_cast<std::int64_t>(envelope.size());
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SerializeCached)->Arg(10)->Arg(1000)->Arg(100000);
+
+void BM_PackedSerialize64(benchmark::State& state) {
+  // For scale: packing the same 64 calls into one envelope — the paper's
+  // approach attacks message COUNT, the cache attacks per-message cost.
+  auto calls = workload(static_cast<size_t>(state.range(0)));
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string envelope =
+        soap::build_envelope(core::wire::serialize_packed_request(calls));
+    bytes += static_cast<std::int64_t>(envelope.size());
+    benchmark::DoNotOptimize(envelope);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_PackedSerialize64)->Arg(10)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

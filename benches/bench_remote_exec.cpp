@@ -1,0 +1,111 @@
+// Extension bench: the SPI remote-execution interface (core/remote_plan.hpp)
+// against client-driven sequential calls, on the dependent
+// reserve -> authorize -> confirm tail of the travel agent scenario
+// (§4.3 steps 4-7 are inherently sequential — packing cannot batch them,
+// remote execution can collapse them into one round trip).
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+#include "services/airline.hpp"
+#include "services/creditcard.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+struct Node {
+  net::SimTransport transport;
+  core::ServiceRegistry registry;
+  std::vector<std::unique_ptr<services::Airline>> airlines;
+  std::unique_ptr<services::CreditCardService> card;
+  std::unique_ptr<core::SpiServer> server;
+  std::unique_ptr<core::SpiClient> client;
+
+  explicit Node(std::uint64_t seed) : transport(link_params_from_env()) {
+    airlines = services::make_demo_airlines(seed);
+    for (auto& airline : airlines) airline->register_with(registry);
+    card = std::make_unique<services::CreditCardService>("CardGate", seed);
+    card->register_with(registry);
+    core::ServerOptions options;
+    options.pack_cost = pack_cost_from_env();
+    server = std::make_unique<core::SpiServer>(
+        transport, net::Endpoint{"node", 80}, registry, options);
+    if (!server->start().ok()) throw SpiError(ErrorCode::kInternal, "start");
+    core::ClientOptions client_options;
+    client_options.pack_cost = pack_cost_from_env();
+    client = std::make_unique<core::SpiClient>(transport, server->endpoint(),
+                                               client_options);
+  }
+};
+
+using soap::Value;
+
+double run_client_driven(std::uint64_t seed) {
+  Node node(seed);
+  Stopwatch watch;
+  auto reservation = node.client->call("AirChina", "Reserve",
+                                       {{"flight_id", Value("CA-101")}});
+  if (!reservation.ok()) throw SpiError(reservation.error());
+  auto authorization = node.client->call(
+      "CardGate", "Authorize",
+      {{"card_number", Value("4111111111111111")},
+       {"amount_cents", *reservation.value().field("price_cents")}});
+  if (!authorization.ok()) throw SpiError(authorization.error());
+  auto confirmation = node.client->call(
+      "AirChina", "ConfirmReservation",
+      {{"reservation_id", *reservation.value().field("reservation_id")},
+       {"authorization_id",
+        *authorization.value().field("authorization_id")}});
+  if (!confirmation.ok()) throw SpiError(confirmation.error());
+  return watch.elapsed_ms();
+}
+
+double run_remote_plan(std::uint64_t seed) {
+  Node node(seed);
+  core::RemotePlan plan;
+  plan.step("AirChina", "Reserve",
+            {core::PlanArg::value("flight_id", Value("CA-101"))})
+      .step("CardGate", "Authorize",
+            {core::PlanArg::value("card_number", Value("4111111111111111")),
+             core::PlanArg::ref("amount_cents", 0, "price_cents")})
+      .step("AirChina", "ConfirmReservation",
+            {core::PlanArg::ref("reservation_id", 0, "reservation_id"),
+             core::PlanArg::ref("authorization_id", 1, "authorization_id")});
+  Stopwatch watch;
+  auto outcomes = node.client->execute_plan(plan);
+  if (!outcomes.ok()) throw SpiError(outcomes.error());
+  for (const auto& outcome : outcomes.value()) {
+    if (!outcome.ok()) throw SpiError(outcome.error());
+  }
+  return watch.elapsed_ms();
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench_reps(10);
+
+  std::printf("=== Remote execution: dependent 3-step chain ===\n");
+  std::printf(
+      "reserve -> authorize -> confirm; sequential dependencies, so the "
+      "pack interface cannot help — remote execution runs the chain "
+      "server-side in one round trip\n\n");
+
+  std::vector<double> sequential, remote;
+  for (size_t i = 0; i < reps; ++i) {
+    sequential.push_back(run_client_driven(0x0C0DE + i));
+    remote.push_back(run_remote_plan(0x0C0DE + i));
+  }
+  auto s = summarize(std::move(sequential));
+  auto r = summarize(std::move(remote));
+
+  Table table({"variant", "messages", "median (ms)", "min (ms)", "max (ms)"});
+  table.add_row({"client-driven sequential", "3", fmt_ms(s.median_ms),
+                 fmt_ms(s.min_ms), fmt_ms(s.max_ms)});
+  table.add_row({"remote execution plan", "1", fmt_ms(r.median_ms),
+                 fmt_ms(r.min_ms), fmt_ms(r.max_ms)});
+  table.print();
+  std::printf("\nspeedup: %s\n", fmt_ratio(s.median_ms / r.median_ms).c_str());
+  return 0;
+}

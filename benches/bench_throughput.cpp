@@ -1,0 +1,106 @@
+// §3.2 design goal: "Improving throughput of client side ... which can
+// greatly improve the throughput of whole application". Closed-loop
+// throughput: C client threads issue batches of M calls continuously for a
+// fixed window; we report completed calls/second for the packed strategy
+// versus per-call messages, plus the server-side concurrency goal (staged
+// pool) under load.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/histogram.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+struct ThroughputResult {
+  double calls_per_sec = 0;
+  double p95_batch_ms = 0;
+};
+
+ThroughputResult run_window(EchoFixture& fixture, Strategy strategy,
+                            size_t clients, size_t batch, size_t payload,
+                            Duration window) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> stop{false};
+  LatencyHistogram histogram;
+
+  {
+    std::vector<std::jthread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        core::ClientOptions options;
+        options.pack_cost = pack_cost_from_env();
+        core::SpiClient client(fixture.transport(),
+                               fixture.server().endpoint(), options);
+        auto calls = make_echo_calls(batch, payload, /*seed=*/0x7009 + c);
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch watch;
+          std::vector<core::CallOutcome> outcomes;
+          if (strategy == Strategy::kPacked) {
+            outcomes = client.call_packed(calls);
+          } else {
+            outcomes = client.call_serial(calls);
+          }
+          if (count_echo_errors(calls, outcomes) != 0) {
+            throw SpiError(ErrorCode::kInternal, "throughput batch failed");
+          }
+          histogram.record_ms(watch.elapsed_ms());
+          completed.fetch_add(batch, std::memory_order_relaxed);
+        }
+      });
+    }
+    RealClock::instance().sleep_for(window);
+    stop.store(true);
+  }
+
+  ThroughputResult result;
+  double seconds = std::chrono::duration<double>(window).count();
+  result.calls_per_sec = static_cast<double>(completed.load()) / seconds;
+  result.p95_batch_ms = histogram.p95_us() / 1e3;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const size_t payload = 100;
+  const size_t batch = 16;
+  const auto window = std::chrono::milliseconds(
+      Config::from_env("SPI_BENCH_").get_int_or("window_ms", 1500));
+
+  std::printf("=== Throughput (design goal §3.2) ===\n");
+  std::printf(
+      "closed loop, batches of M=%zu echo calls (N=%zu B), %lld ms window; "
+      "expected: packed sustains several times the per-message call rate\n\n",
+      batch, payload,
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(window)
+              .count()));
+
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.server.protocol_threads = 64;
+  options.server.application_threads = 16;
+  options.server.pack_cost = pack_cost_from_env();
+  EchoFixture fixture(options);
+
+  Table table({"clients", "serial calls/s", "packed calls/s",
+               "packed gain", "packed p95 batch (ms)"});
+  for (size_t clients : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto serial = run_window(fixture, Strategy::kSerial, clients, batch,
+                             payload, window);
+    auto packed = run_window(fixture, Strategy::kPacked, clients, batch,
+                             payload, window);
+    table.add_row({std::to_string(clients),
+                   fmt_ms(serial.calls_per_sec),
+                   fmt_ms(packed.calls_per_sec),
+                   fmt_ratio(packed.calls_per_sec / serial.calls_per_sec),
+                   fmt_ms(packed.p95_batch_ms)});
+  }
+  table.print();
+  return 0;
+}

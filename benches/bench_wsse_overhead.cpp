@@ -1,0 +1,72 @@
+// §4.2 / §5 (future work): "considering the implementation of some web
+// service specifications which will add the overhead in SOAP Header, such
+// as WS-Security, our approach is more attractive in this case."
+//
+// Measures the packed-vs-serial speedup with and without WS-Security
+// UsernameToken headers: the serial strategy pays the header once per
+// call, the packed strategy once per batch, so the speedup must be
+// strictly larger with WS-Security on.
+//
+// Two per-message costs are involved: (a) the header bytes + token
+// generation/verification, which this stack performs for real; and (b)
+// the 2006 stack's header *processing* (XML canonicalization, signature
+// checks), which cost milliseconds per message on the testbed but
+// microseconds in our C++ implementation. (b) is modeled as additional
+// per-message endpoint overhead (+1.5 ms), following the same calibration
+// rationale as DESIGN.md §2.
+#include <cstdio>
+
+#include "benchsupport/harness.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+constexpr auto kWsseProcessingCost = std::chrono::microseconds(1500);
+
+double speedup_at(size_t m, size_t payload, bool with_wsse, size_t reps) {
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.server.pack_cost = pack_cost_from_env();
+  options.client.pack_cost = pack_cost_from_env();
+  if (with_wsse) {
+    options.server.wsse = soap::WsseCredentials{"grid-user", "s3cret"};
+    options.client.wsse = soap::WsseCredentials{"grid-user", "s3cret"};
+    options.link.per_message_overhead += kWsseProcessingCost;
+  }
+  EchoFixture fixture(options);
+  auto calls = make_echo_calls(m, payload, /*seed=*/0x55E + m);
+  double serial =
+      run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+          .median_ms;
+  double packed =
+      run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
+          .median_ms;
+  return serial / packed;
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench_reps(3);
+  const size_t max_m = bench_max_m(64);
+  const size_t payload = 1000;
+
+  std::printf("=== WS-Security header overhead (paper §5 future work) ===\n");
+  std::printf(
+      "paper claim: header-heavy specifications make the pack interface "
+      "more attractive\nexpected: speedup(WS-Security) > speedup(plain) at "
+      "every M > 1, payload N = %zu B\n\n",
+      payload);
+
+  Table table({"M", "speedup plain", "speedup WS-Security", "claim holds"});
+  for (size_t m = 2; m <= max_m; m *= 2) {
+    double plain = speedup_at(m, payload, false, reps);
+    double wsse = speedup_at(m, payload, true, reps);
+    table.add_row({std::to_string(m), fmt_ratio(plain), fmt_ratio(wsse),
+                   wsse > plain ? "yes" : "NO"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared runner for the paper's Figures 5/6/7: latency of M echo requests
+// (M = 1..128) under the three client strategies, at a fixed payload size.
+// Each figure binary calls run_figure_bench with its payload.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchsupport/harness.hpp"
+
+namespace spi::bench {
+
+struct FigureSpec {
+  std::string figure;        // "Figure 5"
+  size_t payload_bytes = 0;  // the paper's N
+  std::string paper_expectation;  // one-line description of the paper shape
+};
+
+inline int run_figure_bench(const FigureSpec& spec) {
+  const net::LinkParams link = link_params_from_env();
+  const core::PackCostModel pack_cost = pack_cost_from_env();
+  const size_t reps = bench_reps(3);
+  const size_t max_m = bench_max_m(128);
+
+  std::printf("=== %s: latency vs M, payload N = %zu bytes ===\n",
+              spec.figure.c_str(), spec.payload_bytes);
+  std::printf("paper shape: %s\n", spec.paper_expectation.c_str());
+  std::printf(
+      "link: connect=%lldus rtt=%lldus bw=%.1fMbit/s endpoint=%.0fns/B "
+      "msg=%lldus pack=%.0fns/B reps=%zu\n\n",
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              link.connect_cost)
+              .count()),
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::microseconds>(link.rtt)
+              .count()),
+      link.bandwidth_bytes_per_sec * 8.0 / 1e6, link.endpoint_ns_per_byte,
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              link.per_message_overhead)
+              .count()),
+      pack_cost.ns_per_byte, reps);
+
+  FixtureOptions options;
+  options.link = link;
+  // Tomcat-era server sizing: wide protocol stage (one thread per live
+  // connection), application stage sized for the dual-CPU testbed server.
+  options.server.protocol_threads = 160;
+  options.server.application_threads = 16;
+  options.server.pack_cost = pack_cost;
+  options.client.pack_cost = pack_cost;
+  EchoFixture fixture(options);
+
+  Table table({"M", "No Optimization (ms)", "Multiple Threads (ms)",
+               "Our Approach (ms)", "speedup vs serial", "fastest"});
+
+  for (size_t m = 1; m <= max_m; m *= 2) {
+    auto calls = make_echo_calls(m, spec.payload_bytes,
+                                 /*seed=*/0xF1900 + m);
+    double serial =
+        run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+            .median_ms;
+    double threaded =
+        run_repeated(fixture.client(), calls, Strategy::kMultithreaded, reps)
+            .median_ms;
+    double packed =
+        run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
+            .median_ms;
+
+    const char* fastest = "Our Approach";
+    if (serial <= threaded && serial <= packed) fastest = "No Optimization";
+    else if (threaded <= packed) fastest = "Multiple Threads";
+
+    table.add_row({std::to_string(m), fmt_ms(serial), fmt_ms(threaded),
+                   fmt_ms(packed), fmt_ratio(serial / packed), fastest});
+  }
+  table.print();
+
+  auto wire = fixture.transport().stats();
+  std::printf("\nwire totals: %llu connections, %.2f MB sent\n",
+              static_cast<unsigned long long>(wire.connections_opened),
+              static_cast<double>(wire.bytes_sent) / 1e6);
+  return 0;
+}
+
+}  // namespace spi::bench

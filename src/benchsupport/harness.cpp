@@ -1,0 +1,168 @@
+#include "benchsupport/harness.hpp"
+
+#include <cstdio>
+
+#include "common/clock.hpp"
+
+namespace spi::bench {
+
+std::string_view strategy_label(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSerial: return "No Optimization";
+    case Strategy::kMultithreaded: return "Multiple Threads";
+    case Strategy::kPacked: return "Our Approach";
+  }
+  return "?";
+}
+
+net::LinkParams link_params_from_env() {
+  Config env = Config::from_env("SPI_LINK_");
+  net::LinkParams params = net::LinkParams::ethernet_100mbit();
+  params.connect_cost = std::chrono::microseconds(env.get_int_or(
+      "connect_us",
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          params.connect_cost)
+          .count()));
+  params.rtt = std::chrono::microseconds(env.get_int_or(
+      "rtt_us", std::chrono::duration_cast<std::chrono::microseconds>(
+                    params.rtt)
+                    .count()));
+  params.bandwidth_bytes_per_sec =
+      env.get_double_or("bw_mbps",
+                        params.bandwidth_bytes_per_sec * 8.0 / 1e6) *
+      1e6 / 8.0;
+  params.endpoint_ns_per_byte =
+      env.get_double_or("ep_nspb", params.endpoint_ns_per_byte);
+  params.per_message_overhead = std::chrono::microseconds(env.get_int_or(
+      "msg_us", std::chrono::duration_cast<std::chrono::microseconds>(
+                    params.per_message_overhead)
+                    .count()));
+  return params;
+}
+
+core::PackCostModel pack_cost_from_env() {
+  Config env = Config::from_env("SPI_LINK_");
+  core::PackCostModel model;
+  model.ns_per_byte = env.get_double_or("pack_nspb", 100.0);
+  model.us_per_call = env.get_double_or("pack_uspc", 200.0);
+  return model;
+}
+
+size_t bench_reps(size_t fallback) {
+  Config env = Config::from_env("SPI_BENCH_");
+  auto reps = env.get_int_or("reps", static_cast<std::int64_t>(fallback));
+  return reps > 0 ? static_cast<size_t>(reps) : fallback;
+}
+
+size_t bench_max_m(size_t fallback) {
+  Config env = Config::from_env("SPI_BENCH_");
+  auto max_m = env.get_int_or("max_m", static_cast<std::int64_t>(fallback));
+  return max_m > 0 ? static_cast<size_t>(max_m) : fallback;
+}
+
+EchoFixture::EchoFixture(FixtureOptions options)
+    : transport_(options.link) {
+  services::register_echo_service(registry_);
+  server_ = std::make_unique<core::SpiServer>(
+      transport_, net::Endpoint{"server", 80}, registry_, options.server);
+  if (Status started = server_->start(); !started.ok()) {
+    throw SpiError(started.error());
+  }
+  client_ = std::make_unique<core::SpiClient>(
+      transport_, server_->endpoint(), options.client);
+}
+
+EchoFixture::~EchoFixture() {
+  if (server_) server_->stop();
+}
+
+double run_once_ms(core::SpiClient& client,
+                   const std::vector<core::ServiceCall>& calls,
+                   Strategy strategy) {
+  Stopwatch stopwatch;
+  std::vector<core::CallOutcome> outcomes;
+  switch (strategy) {
+    case Strategy::kSerial:
+      outcomes = client.call_serial(calls);
+      break;
+    case Strategy::kMultithreaded:
+      outcomes = client.call_multithreaded(calls);
+      break;
+    case Strategy::kPacked:
+      // kPacked even at M=1: the paper measures the packing overhead there.
+      outcomes = client.call_packed(calls, core::PackMode::kPacked);
+      break;
+  }
+  double elapsed = stopwatch.elapsed_ms();
+
+  if (size_t errors = count_echo_errors(calls, outcomes); errors != 0) {
+    std::string detail = "strategy " + std::string(strategy_label(strategy)) +
+                         ": " + std::to_string(errors) + "/" +
+                         std::to_string(calls.size()) + " calls failed";
+    for (const auto& outcome : outcomes) {
+      if (!outcome.ok()) {
+        detail += " [" + outcome.error().to_string() + "]";
+        break;
+      }
+    }
+    throw SpiError(ErrorCode::kInternal, detail);
+  }
+  return elapsed;
+}
+
+LatencySummary run_repeated(core::SpiClient& client,
+                            const std::vector<core::ServiceCall>& calls,
+                            Strategy strategy, size_t reps) {
+  (void)run_once_ms(client, calls, strategy);  // warm-up, unmeasured
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) {
+    samples.push_back(run_once_ms(client, calls, strategy));
+  }
+  return summarize(std::move(samples));
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "  " : "");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+std::string fmt_ratio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace spi::bench

@@ -1,0 +1,103 @@
+// Benchmark harness: an Echo deployment over the simulated testbed link,
+// strategy runners for the paper's three client strategies, environment
+// overrides, and a plain-text table printer matching the paper's figures.
+//
+// Environment overrides (all optional):
+//   SPI_BENCH_REPS         repetitions per cell (default 3)
+//   SPI_BENCH_MAX_M        clip the M sweep (smoke runs)
+//   SPI_LINK_CONNECT_US    SimLink connect cost, microseconds
+//   SPI_LINK_RTT_US        SimLink RTT, microseconds
+//   SPI_LINK_BW_MBPS       SimLink bandwidth, megabits/second
+//   SPI_LINK_EP_NSPB       endpoint processing, ns/byte
+//   SPI_LINK_MSG_US        fixed per-message overhead, microseconds
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchsupport/latency.hpp"
+#include "benchsupport/workload.hpp"
+#include "common/config.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "services/echo.hpp"
+
+namespace spi::bench {
+
+/// The three client strategies of §4.1.
+enum class Strategy { kSerial, kMultithreaded, kPacked };
+
+/// The paper's label for each strategy ("No Optimization", ...).
+std::string_view strategy_label(Strategy strategy);
+
+/// LinkParams: testbed defaults overridden from the environment.
+net::LinkParams link_params_from_env();
+
+/// Calibrated packed-handling overhead (SPI_LINK_PACK_NSPB, default
+/// 100 ns/byte — the testbed calibration; see core/pack_cost.hpp).
+core::PackCostModel pack_cost_from_env();
+
+/// Repetitions per measurement cell (SPI_BENCH_REPS, default 3).
+size_t bench_reps(size_t fallback = 3);
+
+/// Optional clip for the M sweep (SPI_BENCH_MAX_M).
+size_t bench_max_m(size_t fallback);
+
+struct FixtureOptions {
+  net::LinkParams link = net::LinkParams::ethernet_100mbit();
+  core::ServerOptions server;
+  core::ClientOptions client;
+};
+
+/// One-box deployment: EchoService behind a SpiServer on a SimTransport,
+/// plus a SpiClient wired to it.
+class EchoFixture {
+ public:
+  explicit EchoFixture(FixtureOptions options = FixtureOptions());
+  ~EchoFixture();
+
+  core::SpiClient& client() { return *client_; }
+  core::SpiServer& server() { return *server_; }
+  net::SimTransport& transport() { return transport_; }
+  core::ServiceRegistry& registry() { return registry_; }
+
+ private:
+  net::SimTransport transport_;
+  core::ServiceRegistry registry_;
+  std::unique_ptr<core::SpiServer> server_;
+  std::unique_ptr<core::SpiClient> client_;
+};
+
+/// Runs one batch with the given strategy and returns wall milliseconds.
+/// Throws SpiError if any call failed or echoed wrong data (a benchmark
+/// over broken transfers is meaningless).
+double run_once_ms(core::SpiClient& client,
+                   const std::vector<core::ServiceCall>& calls,
+                   Strategy strategy);
+
+/// Repeats run_once_ms (after one unmeasured warm-up) and summarizes.
+LatencySummary run_repeated(core::SpiClient& client,
+                            const std::vector<core::ServiceCall>& calls,
+                            Strategy strategy, size_t reps);
+
+/// Plain-text aligned table (the figures' data as rows).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out = std::cout) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.345" (3 decimals), for milliseconds columns.
+std::string fmt_ms(double ms);
+/// "4.2x", for speedup columns.
+std::string fmt_ratio(double ratio);
+
+}  // namespace spi::bench

@@ -1,0 +1,16 @@
+#include "benchsupport/histogram.hpp"
+
+#include <cstdio>
+
+namespace spi::bench {
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms",
+                static_cast<unsigned long long>(count()), mean_us() / 1e3,
+                p50_us() / 1e3, p95_us() / 1e3, p99_us() / 1e3);
+  return buf;
+}
+
+}  // namespace spi::bench

@@ -1,0 +1,41 @@
+// Latency sample aggregation for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace spi::bench {
+
+struct LatencySummary {
+  size_t samples = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double mean_ms = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double stddev_ms = 0;
+};
+
+inline LatencySummary summarize(std::vector<double> samples_ms) {
+  LatencySummary s;
+  s.samples = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  s.min_ms = samples_ms.front();
+  s.max_ms = samples_ms.back();
+  double sum = 0;
+  for (double v : samples_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(samples_ms.size());
+  s.median_ms = samples_ms[samples_ms.size() / 2];
+  s.p95_ms = samples_ms[static_cast<size_t>(
+      std::min(samples_ms.size() - 1,
+               static_cast<size_t>(std::ceil(0.95 * static_cast<double>(
+                                                 samples_ms.size())) )))];
+  double var = 0;
+  for (double v : samples_ms) var += (v - s.mean_ms) * (v - s.mean_ms);
+  s.stddev_ms = std::sqrt(var / static_cast<double>(samples_ms.size()));
+  return s;
+}
+
+}  // namespace spi::bench

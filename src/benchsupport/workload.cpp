@@ -1,0 +1,36 @@
+#include "benchsupport/workload.hpp"
+
+#include "core/params.hpp"
+
+namespace spi::bench {
+
+std::vector<core::ServiceCall> make_echo_calls(size_t count,
+                                               size_t payload_bytes,
+                                               std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<core::ServiceCall> calls;
+  calls.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    calls.push_back(core::make_call(
+        "EchoService", "Echo",
+        {{"data", soap::Value(rng.ascii_string(payload_bytes))}}));
+  }
+  return calls;
+}
+
+size_t count_echo_errors(const std::vector<core::ServiceCall>& calls,
+                         const std::vector<core::CallOutcome>& outcomes) {
+  if (calls.size() != outcomes.size()) return calls.size();
+  size_t errors = 0;
+  for (size_t i = 0; i < calls.size(); ++i) {
+    if (!outcomes[i].ok()) {
+      ++errors;
+      continue;
+    }
+    const soap::Value* sent = core::find_param(calls[i].params, "data");
+    if (!sent || !(outcomes[i].value() == *sent)) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace spi::bench

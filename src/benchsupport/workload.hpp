@@ -1,0 +1,26 @@
+// Workload generation for the paper's experiments: batches of Echo calls
+// with controlled payload size (the paper's N = 10 / 1000 / 100000 bytes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/call.hpp"
+
+namespace spi::bench {
+
+/// M Echo calls, each carrying an ASCII payload of `payload_bytes`.
+/// Payloads differ per call (deterministic from `seed`), so differential
+/// caching could never trivialize the workload.
+std::vector<core::ServiceCall> make_echo_calls(size_t count,
+                                               size_t payload_bytes,
+                                               std::uint64_t seed);
+
+/// Verifies echoed outcomes match the request payloads; returns the number
+/// of mismatches/faults (benchmarks assert this is zero — a benchmark that
+/// measures broken transfers measures nothing).
+size_t count_echo_errors(const std::vector<core::ServiceCall>& calls,
+                         const std::vector<core::CallOutcome>& outcomes);
+
+}  // namespace spi::bench

@@ -1,0 +1,38 @@
+#include "common/byte_buffer.hpp"
+
+#include <stdexcept>
+
+namespace spi {
+
+void ByteBuffer::append(std::string_view bytes) {
+  maybe_compact();
+  data_.append(bytes.data(), bytes.size());
+  total_appended_ += bytes.size();
+}
+
+void ByteBuffer::consume(size_t n) {
+  if (n > size()) throw std::out_of_range("ByteBuffer::consume past end");
+  read_pos_ += n;
+  if (read_pos_ == data_.size()) {
+    data_.clear();
+    read_pos_ = 0;
+  }
+}
+
+std::string ByteBuffer::read_string(size_t n) {
+  if (n > size()) throw std::out_of_range("ByteBuffer::read_string past end");
+  std::string out(data_.data() + read_pos_, n);
+  consume(n);
+  return out;
+}
+
+void ByteBuffer::maybe_compact() {
+  // Compact when the dead prefix dominates the live bytes; keeps appends
+  // amortized O(1) while bounding memory at ~2x live size.
+  if (read_pos_ > 4096 && read_pos_ > data_.size() / 2) {
+    data_.erase(0, read_pos_);
+    read_pos_ = 0;
+  }
+}
+
+}  // namespace spi

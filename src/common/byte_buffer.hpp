@@ -1,0 +1,63 @@
+// Growable byte buffer with an independent read cursor. Used by the HTTP
+// parser (incremental input accumulation) and transports (frame assembly).
+// Compacts lazily so repeated consume() calls stay O(1) amortized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spi {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::string_view initial) { append(initial); }
+
+  /// Bytes available to read (written - consumed).
+  size_t size() const { return data_.size() - read_pos_; }
+  bool empty() const { return size() == 0; }
+
+  /// Appends raw bytes at the write end.
+  void append(std::string_view bytes);
+  void append(const char* data, size_t len) {
+    append(std::string_view(data, len));
+  }
+  void push_back(char c) { data_.push_back(c); }
+
+  /// View of all unconsumed bytes. Invalidated by append/consume/clear.
+  std::string_view view() const {
+    return std::string_view(data_.data() + read_pos_, size());
+  }
+
+  /// Advances the read cursor by n bytes (n <= size()).
+  void consume(size_t n);
+
+  /// Copies and consumes the first n bytes.
+  std::string read_string(size_t n);
+
+  /// Position (relative to the read cursor) of the first occurrence of
+  /// `needle`, or npos.
+  size_t find(std::string_view needle) const { return view().find(needle); }
+
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  /// Total bytes ever appended; used by wire statistics.
+  std::uint64_t total_appended() const { return total_appended_; }
+
+  static constexpr size_t npos = std::string_view::npos;
+
+ private:
+  void maybe_compact();
+
+  std::string data_;
+  size_t read_pos_ = 0;
+  std::uint64_t total_appended_ = 0;
+};
+
+}  // namespace spi

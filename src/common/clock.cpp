@@ -1,0 +1,10 @@
+#include "common/clock.hpp"
+
+namespace spi {
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace spi

@@ -1,0 +1,70 @@
+// Clock abstraction. Production code uses RealClock (steady_clock);
+// unit tests inject ManualClock so delay logic is testable without sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace spi {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+  virtual void sleep_for(Duration d) = 0;
+};
+
+class RealClock final : public Clock {
+ public:
+  TimePoint now() const override { return std::chrono::steady_clock::now(); }
+  void sleep_for(Duration d) override {
+    if (d > Duration::zero()) std::this_thread::sleep_for(d);
+  }
+
+  /// Shared process-wide instance (stateless, thread-safe).
+  static RealClock& instance();
+};
+
+/// Test clock: time advances only via advance()/sleep_for(). sleep_for is
+/// modeled as an instantaneous jump, which makes delay-accounting tests
+/// deterministic and fast.
+class ManualClock final : public Clock {
+ public:
+  ManualClock() = default;
+
+  TimePoint now() const override {
+    return TimePoint(std::chrono::duration_cast<TimePoint::duration>(
+        Duration(now_ns_.load(std::memory_order_acquire))));
+  }
+  void sleep_for(Duration d) override { advance(d); }
+
+  void advance(Duration d) {
+    now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<long long> now_ns_{0};
+};
+
+/// Stopwatch for latency measurements in benches and tests.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock = RealClock::instance())
+      : clock_(&clock), start_(clock.now()) {}
+
+  void reset() { start_ = clock_->now(); }
+  Duration elapsed() const { return clock_->now() - start_; }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(elapsed()).count();
+  }
+
+ private:
+  const Clock* clock_;
+  TimePoint start_;
+};
+
+}  // namespace spi

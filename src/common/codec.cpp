@@ -1,0 +1,180 @@
+#include "common/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace spi {
+
+namespace {
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// 255 = invalid, 254 = padding.
+constexpr std::array<std::uint8_t, 256> make_decode_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (auto& entry : table) entry = 255;
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kBase64Alphabet[i])] =
+        static_cast<std::uint8_t>(i);
+  }
+  table[static_cast<unsigned char>('=')] = 254;
+  return table;
+}
+constexpr auto kDecodeTable = make_decode_table();
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    std::uint32_t word = (static_cast<unsigned char>(bytes[i]) << 16) |
+                         (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                         static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kBase64Alphabet[(word >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(word >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(word >> 6) & 63]);
+    out.push_back(kBase64Alphabet[word & 63]);
+    i += 3;
+  }
+  size_t remaining = bytes.size() - i;
+  if (remaining == 1) {
+    std::uint32_t word = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kBase64Alphabet[(word >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(word >> 12) & 63]);
+    out += "==";
+  } else if (remaining == 2) {
+    std::uint32_t word = (static_cast<unsigned char>(bytes[i]) << 16) |
+                         (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(word >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(word >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(word >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Error(ErrorCode::kParseError,
+                 "base64 length must be a multiple of 4");
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    std::uint8_t quad[4];
+    int padding = 0;
+    for (int k = 0; k < 4; ++k) {
+      std::uint8_t decoded =
+          kDecodeTable[static_cast<unsigned char>(text[i + k])];
+      if (decoded == 255) {
+        return Error(ErrorCode::kParseError, "invalid base64 character");
+      }
+      if (decoded == 254) {
+        // Padding may only appear in the last two positions of the final
+        // quantum, and everything after it must be padding too.
+        if (i + 4 != text.size() || k < 2) {
+          return Error(ErrorCode::kParseError, "misplaced base64 padding");
+        }
+        ++padding;
+        quad[k] = 0;
+      } else {
+        if (padding > 0) {
+          return Error(ErrorCode::kParseError, "data after base64 padding");
+        }
+        quad[k] = decoded;
+      }
+    }
+    std::uint32_t word = (quad[0] << 18) | (quad[1] << 12) | (quad[2] << 6) |
+                         quad[3];
+    out.push_back(static_cast<char>((word >> 16) & 0xff));
+    if (padding < 2) out.push_back(static_cast<char>((word >> 8) & 0xff));
+    if (padding < 1) out.push_back(static_cast<char>(word & 0xff));
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 20> sha1(std::string_view bytes) {
+  std::uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                        0xC3D2E1F0};
+
+  // Message plus 0x80, zero padding, and the 64-bit big-endian bit length.
+  const std::uint64_t bit_length = static_cast<std::uint64_t>(bytes.size()) * 8;
+  std::string padded(bytes);
+  padded.push_back(static_cast<char>(0x80));
+  while (padded.size() % 64 != 56) padded.push_back('\0');
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    padded.push_back(static_cast<char>((bit_length >> shift) & 0xff));
+  }
+
+  for (size_t block = 0; block < padded.size(); block += 64) {
+    std::uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+      const auto* p =
+          reinterpret_cast<const unsigned char*>(padded.data() + block + t * 4);
+      w[t] = (static_cast<std::uint32_t>(p[0]) << 24) |
+             (static_cast<std::uint32_t>(p[1]) << 16) |
+             (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+    }
+    for (int t = 16; t < 80; ++t) {
+      w[t] = std::rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      std::uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      std::uint32_t temp = std::rotl(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = std::rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+
+  std::array<std::uint8_t, 20> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(h[i]);
+  }
+  return digest;
+}
+
+std::string sha1_hex(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  auto digest = sha1(bytes);
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+std::string sha1_base64(std::string_view bytes) {
+  auto digest = sha1(bytes);
+  return base64_encode(std::string_view(
+      reinterpret_cast<const char*>(digest.data()), digest.size()));
+}
+
+}  // namespace spi

@@ -1,0 +1,32 @@
+// Binary codecs needed by WS-Security: Base64 (token transport) and SHA-1
+// (UsernameToken password digest). Self-contained implementations — the
+// reproduction has no external crypto dependency, and WS-Security here
+// serves the paper's header-overhead experiment, not production security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace spi {
+
+/// Standard Base64 with padding (RFC 4648 §4).
+std::string base64_encode(std::string_view bytes);
+
+/// Strict decode: rejects bad characters, bad padding, and non-canonical
+/// lengths.
+Result<std::string> base64_decode(std::string_view text);
+
+/// SHA-1 (FIPS 180-1). Returns the 20-byte digest.
+std::array<std::uint8_t, 20> sha1(std::string_view bytes);
+
+/// Digest as lowercase hex (tests against published vectors).
+std::string sha1_hex(std::string_view bytes);
+
+/// Digest as Base64 (the form WS-Security UsernameToken uses).
+std::string sha1_base64(std::string_view bytes);
+
+}  // namespace spi

@@ -1,0 +1,121 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+
+extern char** environ;
+
+namespace spi {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    if (size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error(ErrorCode::kParseError,
+                   "config line " + std::to_string(line_no) + ": missing '='");
+    }
+    std::string_view key = trim(line.substr(0, eq));
+    std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Error(ErrorCode::kParseError,
+                   "config line " + std::to_string(line_no) + ": empty key");
+    }
+    config.set(std::string(key), std::string(value));
+  }
+  return config;
+}
+
+Config Config::from_env(std::string_view prefix) {
+  Config config;
+  for (char** env = environ; env && *env; ++env) {
+    std::string_view entry(*env);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view key = entry.substr(0, eq);
+    if (!starts_with(key, prefix)) continue;
+    config.set(to_lower(key.substr(prefix.size())),
+               std::string(entry.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [key, value] : other.values()) {
+    values_[key] = value;
+  }
+}
+
+bool Config::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(std::string_view key,
+                           std::string_view fallback) const {
+  auto v = get(key);
+  return v ? *v : std::string(fallback);
+}
+
+std::optional<std::int64_t> Config::get_int(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  std::string_view s = trim(*v);
+  bool negative = !s.empty() && s[0] == '-';
+  if (negative) s.remove_prefix(1);
+  auto parsed = parse_u64(s);
+  if (!parsed) return std::nullopt;
+  auto value = static_cast<std::int64_t>(*parsed);
+  return negative ? -value : value;
+}
+
+std::int64_t Config::get_int_or(std::string_view key,
+                                std::int64_t fallback) const {
+  auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+std::optional<double> Config::get_double(std::string_view key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  const std::string& s = *v;
+  char* end = nullptr;
+  double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;           // consumed nothing
+  if (!trim(std::string_view(end)).empty()) return std::nullopt;  // garbage
+  return value;
+}
+
+double Config::get_double_or(std::string_view key, double fallback) const {
+  auto v = get_double(key);
+  return v ? *v : fallback;
+}
+
+bool Config::get_bool_or(std::string_view key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::string s = to_lower(trim(*v));
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+}  // namespace spi

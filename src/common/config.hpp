@@ -1,0 +1,50 @@
+// Flat key/value configuration used by benches and examples to override
+// link parameters and pool sizes without recompiling
+// (e.g. SPI_LINK_RTT_US=500 bench_fig5_pack10b).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace spi {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(std::string_view text);
+
+  /// Reads every environment variable with the given prefix, stripping the
+  /// prefix and lowercasing: SPI_LINK_RTT_US -> link_rtt_us.
+  static Config from_env(std::string_view prefix);
+
+  void set(std::string key, std::string value);
+  bool contains(std::string_view key) const;
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::string get_or(std::string_view key, std::string_view fallback) const;
+  std::optional<std::int64_t> get_int(std::string_view key) const;
+  std::int64_t get_int_or(std::string_view key, std::int64_t fallback) const;
+  std::optional<double> get_double(std::string_view key) const;
+  double get_double_or(std::string_view key, double fallback) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+
+  /// Overlays other's entries on top of this one (other wins).
+  void merge(const Config& other);
+
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, std::string, std::less<>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace spi

@@ -1,0 +1,40 @@
+#include "common/error.hpp"
+
+namespace spi {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kConnectionFailed: return "ConnectionFailed";
+    case ErrorCode::kConnectionClosed: return "ConnectionClosed";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kProtocolError: return "ProtocolError";
+    case ErrorCode::kFault: return "Fault";
+    case ErrorCode::kShutdown: return "Shutdown";
+    case ErrorCode::kCapacityExceeded: return "CapacityExceeded";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Error Error::wrap(std::string_view prefix) const {
+  std::string wrapped(prefix);
+  wrapped += ": ";
+  wrapped += message_;
+  return Error(code_, std::move(wrapped));
+}
+
+}  // namespace spi

@@ -1,0 +1,153 @@
+// Error handling primitives shared by every SPI subsystem.
+//
+// The library reports recoverable failures through Result<T> (a minimal
+// expected-like type) and reserves exceptions (SpiError) for programming
+// errors and constructor failures, per the C++ Core Guidelines (E.*).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace spi {
+
+/// Coarse error taxonomy. Each subsystem maps its failures onto one of
+/// these codes so callers can branch without string matching.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,        // malformed XML / HTTP / SOAP input
+  kNotFound,          // unknown service, operation, endpoint, config key
+  kAlreadyExists,
+  kConnectionFailed,  // transport-level connect/accept failure
+  kConnectionClosed,  // peer closed mid-message
+  kTimeout,
+  kProtocolError,     // well-formed bytes violating HTTP/SOAP rules
+  kFault,             // SOAP fault returned by the remote side
+  kShutdown,          // subsystem is stopping; request not attempted
+  kCapacityExceeded,  // queue full, message too large, etc.
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ParseError", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A failure: code + context message. Cheap to copy, streamable.
+class Error {
+ public:
+  Error() = default;
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ParseError: unexpected end of input at offset 12"
+  std::string to_string() const;
+
+  /// Returns a copy of this error with `prefix: ` prepended to the message,
+  /// used when propagating across layer boundaries.
+  Error wrap(std::string_view prefix) const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kInternal;
+  std::string message_;
+};
+
+/// Exception type for unrecoverable misuse (precondition violations,
+/// double-start of a server, etc.). Recoverable I/O failures use Result<T>.
+class SpiError : public std::runtime_error {
+ public:
+  explicit SpiError(const Error& error)
+      : std::runtime_error(error.to_string()), error_(error) {}
+  SpiError(ErrorCode code, const std::string& message)
+      : SpiError(Error(code, message)) {}
+
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+/// Minimal expected<T, Error>. Holds either a value or an Error.
+///
+///   Result<int> r = parse(...);
+///   if (!r.ok()) return r.error();
+///   use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(implicit)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(implicit)
+  Result(ErrorCode code, std::string message)
+      : storage_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Throws SpiError when called on an error result; this is
+  /// a programming error in the caller.
+  T& value() & {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    if (ok()) throw SpiError(ErrorCode::kInternal, "Result::error() on ok result");
+    return std::get<Error>(storage_);
+  }
+
+  /// Propagation helper: re-wrap the error with layer context.
+  Error wrap_error(std::string_view prefix) const { return error().wrap(prefix); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) throw SpiError(std::get<Error>(storage_));
+  }
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Error error) : error_(std::move(error)), ok_(false) {}  // NOLINT
+  Status(ErrorCode code, std::string message)
+      : error_(code, std::move(message)), ok_(false) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const Error& error() const {
+    if (ok_) throw SpiError(ErrorCode::kInternal, "Status::error() on ok status");
+    return error_;
+  }
+
+  std::string to_string() const { return ok_ ? "OK" : error_.to_string(); }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+}  // namespace spi

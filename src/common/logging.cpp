@@ -1,0 +1,51 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace spi {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::kWarn)) {}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += log_level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  std::lock_guard lock(mutex_);
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace spi

@@ -1,0 +1,71 @@
+// Small leveled logger. Thread-safe, writes to stderr by default; tests can
+// capture output by swapping the sink. Logging is off the hot path in
+// benchmarks (default level = kWarn).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace spi {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view log_level_name(LogLevel level);
+
+/// Process-wide logger singleton. Sink receives fully-formatted lines.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  /// Replaces the output sink (nullptr restores the stderr default).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  std::atomic<int> level_;
+  std::mutex mutex_;
+  Sink sink_;
+};
+
+namespace detail {
+/// Builds a log line from stream-style arguments, then submits it.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { Logger::instance().log(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace spi
+
+// Usage: SPI_LOG(kInfo, "http.server") << "listening on " << endpoint;
+#define SPI_LOG(level, component)                                       \
+  if (!::spi::Logger::instance().enabled(::spi::LogLevel::level)) {    \
+  } else                                                                \
+    ::spi::detail::LogMessage(::spi::LogLevel::level, (component))

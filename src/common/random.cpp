@@ -1,0 +1,37 @@
+#include "common/random.hpp"
+
+namespace spi {
+
+std::string SplitMix64::ascii_string(size_t size) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  std::string out;
+  out.reserve(size);
+  // Draw 8 characters per 64-bit word to keep generation cheap for the
+  // 100 KB benchmark payloads.
+  while (out.size() < size) {
+    std::uint64_t word = next();
+    for (int i = 0; i < 8 && out.size() < size; ++i) {
+      out.push_back(kAlphabet[(word & 0xff) % kAlphabetSize]);
+      word >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string SplitMix64::hex_string(size_t bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes * 2);
+  while (out.size() < bytes * 2) {
+    std::uint64_t word = next();
+    for (int i = 0; i < 16 && out.size() < bytes * 2; ++i) {
+      out.push_back(kHex[word & 0xf]);
+      word >>= 4;
+    }
+  }
+  return out;
+}
+
+}  // namespace spi

@@ -1,0 +1,41 @@
+// Deterministic pseudo-randomness for workload generation and nonce
+// creation. splitmix64 core: tiny, fast, and reproducible across platforms
+// (benchmark workloads must not depend on libstdc++'s distribution details).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spi {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Printable ASCII payload of `size` bytes (letters and digits only, so
+  /// payloads survive XML embedding without escaping inflation).
+  std::string ascii_string(size_t size);
+
+  /// Hex string of `bytes` random bytes (nonces, authorization ids).
+  std::string hex_string(size_t bytes);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace spi

@@ -1,0 +1,127 @@
+#include "common/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+namespace spi {
+
+namespace {
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), ascii_lower);
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && is_space(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && is_space(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_trimmed(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  for (std::string_view field : split(s, sep)) {
+    std::string_view t = trim(field);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, static_cast<size_t>(ptr - buf));
+  (void)ec;
+}
+
+void append_i64(std::string& out, std::int64_t value) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, static_cast<size_t>(ptr - buf));
+  (void)ec;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  std::string out(buf, static_cast<size_t>(std::max(n, 0)));
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, value);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == value) return std::string(shorter);
+  }
+  return out;
+}
+
+}  // namespace spi

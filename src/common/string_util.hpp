@@ -1,0 +1,50 @@
+// String helpers used across the HTTP/XML/SOAP layers. All functions are
+// pure and allocation-conscious (string_view in, owned string out only when
+// the result must own storage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spi {
+
+/// ASCII case-insensitive equality (HTTP header names, method tokens).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII characters; leaves bytes >= 0x80 untouched.
+std::string to_lower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace (space, \t, \r, \n).
+std::string_view trim(std::string_view s);
+
+/// Splits on a separator character. Empty fields are preserved:
+/// split("a,,b", ',') -> {"a", "", "b"}.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits, trims each field, and drops empties: for header lists.
+std::vector<std::string_view> split_trimmed(std::string_view s, char sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a non-negative decimal integer; rejects trailing garbage,
+/// signs, and overflow. Used by the HTTP parser (Content-Length).
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parses a hexadecimal unsigned integer (HTTP chunk sizes).
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s);
+
+/// Minimal printf-free number formatting used on hot serialization paths.
+void append_u64(std::string& out, std::uint64_t value);
+void append_i64(std::string& out, std::int64_t value);
+
+/// Formats a double with round-trip precision (%.17g trimmed).
+std::string format_double(double value);
+
+}  // namespace spi

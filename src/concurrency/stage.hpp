@@ -1,0 +1,120 @@
+// SEDA-style stage (Welsh et al., SOSP'01 — reference [5] of the paper):
+// a typed event queue drained by a dedicated thread pool running one
+// handler. The paper's server composes two stages — protocol processing and
+// application processing — connected by these queues, which is what lets a
+// single SOAP message fan out to many concurrently executing operations.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "concurrency/blocking_queue.hpp"
+
+namespace spi {
+
+/// Telemetry every stage exports; benches assert on these.
+struct StageStats {
+  std::uint64_t accepted = 0;   // events enqueued
+  std::uint64_t processed = 0;  // handler invocations completed
+  std::uint64_t rejected = 0;   // enqueue failures (closed / full)
+  std::uint64_t handler_errors = 0;
+};
+
+template <typename Event>
+class Stage {
+ public:
+  using Handler = std::function<void(Event)>;
+
+  /// `threads` workers drain the queue; `queue_capacity` 0 = unbounded.
+  Stage(std::string name, size_t threads, Handler handler,
+        size_t queue_capacity = 0)
+      : name_(std::move(name)),
+        queue_(queue_capacity),
+        handler_(std::move(handler)) {
+    if (threads == 0 || !handler_) {
+      throw SpiError(ErrorCode::kInvalidArgument,
+                     "Stage '" + name_ + "': needs threads and a handler");
+    }
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ~Stage() { shutdown(); }
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  /// Enqueues an event; blocks if the stage is at capacity (backpressure).
+  /// Returns false once the stage is shut down.
+  bool accept(Event event) {
+    if (queue_.push(std::move(event))) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Non-blocking variant used by admission-control tests.
+  bool try_accept(Event event) {
+    if (queue_.try_push(std::move(event))) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Stops intake, drains the backlog, joins workers. Idempotent.
+  void shutdown() {
+    queue_.close();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  StageStats stats() const {
+    StageStats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.processed = processed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.handler_errors = handler_errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  size_t backlog() const { return queue_.size(); }
+  size_t thread_count() const { return workers_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void run() {
+    while (auto event = queue_.pop()) {
+      try {
+        handler_(std::move(*event));
+      } catch (const std::exception& e) {
+        handler_errors_.fetch_add(1, std::memory_order_relaxed);
+        SPI_LOG(kError, "concurrency.stage")
+            << name_ << ": handler threw: " << e.what();
+      }
+      processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::string name_;
+  BlockingQueue<Event> queue_;
+  Handler handler_;
+  std::vector<std::jthread> workers_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> handler_errors_{0};
+};
+
+}  // namespace spi

@@ -1,0 +1,46 @@
+#include "concurrency/thread_pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace spi {
+
+ThreadPool::ThreadPool(size_t threads, std::string name, size_t queue_capacity)
+    : name_(std::move(name)), queue_(queue_capacity) {
+  if (threads == 0) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "ThreadPool '" + name_ + "': thread count must be > 0");
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  SPI_LOG(kDebug, "concurrency.pool")
+      << name_ << ": started " << threads << " workers";
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(Task task) { return queue_.push(std::move(task)); }
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      // A task must not take down its worker; log and keep serving. Tasks
+      // that need error propagation use submit_with_result().
+      SPI_LOG(kError, "concurrency.pool")
+          << name_ << ": task threw: " << e.what();
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace spi

@@ -1,0 +1,70 @@
+// Fixed-size worker pool over a BlockingQueue<Task>. Two instances of this
+// class — one for the protocol stage, one for the application stage — form
+// the paper's "staged independent thread pool" (§3.3).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/blocking_queue.hpp"
+
+namespace spi {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Starts `threads` workers immediately. queue_capacity == 0: unbounded.
+  explicit ThreadPool(size_t threads, std::string name = "pool",
+                      size_t queue_capacity = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false after shutdown() (task not run).
+  bool submit(Task task);
+
+  /// Enqueues a callable and exposes its result as a future. The future
+  /// carries any exception the callable throws. Throws SpiError(kShutdown)
+  /// if the pool has been shut down.
+  template <typename F>
+  auto submit_with_result(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!submit([task] { (*task)(); })) {
+      throw SpiError(ErrorCode::kShutdown,
+                     "ThreadPool '" + name_ + "' is shut down");
+    }
+    return future;
+  }
+
+  /// Stops accepting tasks; workers finish the backlog and exit.
+  /// Idempotent. Called automatically by the destructor.
+  void shutdown();
+
+  size_t thread_count() const { return workers_.size(); }
+  size_t queued_tasks() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Total tasks executed (telemetry for stage benches).
+  std::uint64_t completed_tasks() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  BlockingQueue<Task> queue_;
+  std::vector<std::jthread> workers_;
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace spi

@@ -1,0 +1,85 @@
+// Fan-in synchronization: the server-side Assembler waits on a WaitGroup
+// until all worker threads of a packed message have finished, and a
+// CountdownLatch coordinates benchmark thread starts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/clock.hpp"
+
+namespace spi {
+
+/// Go-style wait group: add() before spawning work, done() from workers,
+/// wait() blocks until the count returns to zero.
+class WaitGroup {
+ public:
+  void add(size_t n = 1) {
+    std::lock_guard lock(mutex_);
+    count_ += n;
+  }
+
+  void done() {
+    std::unique_lock lock(mutex_);
+    if (count_ == 0) throw std::logic_error("WaitGroup::done without add");
+    if (--count_ == 0) {
+      lock.unlock();
+      zero_.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    zero_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  /// Returns false on timeout.
+  bool wait_for(Duration timeout) {
+    std::unique_lock lock(mutex_);
+    return zero_.wait_for(lock, timeout, [&] { return count_ == 0; });
+  }
+
+  size_t count() const {
+    std::lock_guard lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable zero_;
+  size_t count_ = 0;
+};
+
+/// One-shot latch with a fixed initial count.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(size_t count) : count_(count) {}
+
+  void count_down() {
+    std::unique_lock lock(mutex_);
+    if (count_ == 0) return;
+    if (--count_ == 0) {
+      lock.unlock();
+      zero_.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    zero_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  bool wait_for(Duration timeout) {
+    std::unique_lock lock(mutex_);
+    return zero_.wait_for(lock, timeout, [&] { return count_ == 0; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable zero_;
+  size_t count_;
+};
+
+}  // namespace spi

@@ -1,0 +1,85 @@
+#include "core/assembler.hpp"
+
+namespace spi::core {
+
+std::string Assembler::finish_envelope(std::string body_inner) {
+  envelopes_.fetch_add(1, std::memory_order_relaxed);
+  if (wsse_) {
+    std::vector<std::string> headers;
+    headers.push_back(wsse_->make_header_block(soap::iso8601_now()));
+    return soap::build_envelope(body_inner, headers);
+  }
+  return soap::build_envelope(body_inner);
+}
+
+std::string Assembler::assemble_request(std::span<const ServiceCall> calls,
+                                        PackMode mode) {
+  if (calls.empty()) {
+    throw SpiError(ErrorCode::kInvalidArgument, "empty call batch");
+  }
+  bool packed = false;
+  switch (mode) {
+    case PackMode::kPacked: packed = true; break;
+    case PackMode::kSingle:
+      if (calls.size() > 1) {
+        throw SpiError(ErrorCode::kInvalidArgument,
+                       "PackMode::kSingle with a multi-call batch");
+      }
+      packed = false;
+      break;
+    case PackMode::kAuto: packed = calls.size() > 1; break;
+  }
+
+  calls_.fetch_add(calls.size(), std::memory_order_relaxed);
+  if (packed) {
+    packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+    std::string envelope =
+        finish_envelope(wire::serialize_packed_request(calls));
+    pack_cost_.charge(envelope.size(), calls.size());
+    return envelope;
+  }
+  return finish_envelope(wire::serialize_single_request(calls.front()));
+}
+
+std::string Assembler::assemble_plan(const RemotePlan& plan) {
+  if (Status valid = plan.validate(); !valid.ok()) {
+    throw SpiError(valid.error());
+  }
+  calls_.fetch_add(plan.steps.size(), std::memory_order_relaxed);
+  packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+  std::string envelope = finish_envelope(wire::serialize_plan_request(plan));
+  pack_cost_.charge(envelope.size(), plan.steps.size());
+  return envelope;
+}
+
+std::string Assembler::assemble_response(
+    std::span<const IndexedOutcome> outcomes, const ServiceCall& single_call,
+    bool packed) {
+  if (outcomes.empty()) {
+    throw SpiError(ErrorCode::kInvalidArgument, "empty outcome batch");
+  }
+  calls_.fetch_add(outcomes.size(), std::memory_order_relaxed);
+  if (packed) {
+    packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+    std::string envelope =
+        finish_envelope(wire::serialize_packed_response(outcomes));
+    pack_cost_.charge(envelope.size(), outcomes.size());
+    return envelope;
+  }
+  if (outcomes.size() != 1) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "traditional response with multiple outcomes");
+  }
+  return finish_envelope(
+      wire::serialize_single_response(single_call, outcomes.front().outcome));
+}
+
+Assembler::Stats Assembler::stats() const {
+  Stats s;
+  s.envelopes = envelopes_.load(std::memory_order_relaxed);
+  s.packed_envelopes = packed_envelopes_.load(std::memory_order_relaxed);
+  s.calls = calls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spi::core

@@ -1,0 +1,73 @@
+// Assembler (paper §3.4): packs several service request payloads — or
+// several response payloads — into ONE SOAP message. Exists on both sides:
+// the client assembler congregates M request bodies, the server assembler
+// congregates the M results the application stage produced. Also attaches
+// envelope header blocks (e.g. WS-Security), which is where packing's
+// "pay the header once" advantage comes from.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/pack_cost.hpp"
+#include "core/wire.hpp"
+#include "soap/wsse.hpp"
+
+namespace spi::core {
+
+/// How assemble_request frames a batch.
+enum class PackMode {
+  /// Always use Parallel_Method, even for one call (pays the packing
+  /// overhead the paper measures at M=1).
+  kPacked,
+  /// Always traditional one-call messages; batch of M is a caller error.
+  kSingle,
+  /// Parallel_Method for M > 1, traditional for M == 1.
+  kAuto,
+};
+
+class Assembler {
+ public:
+  struct Stats {
+    std::uint64_t envelopes = 0;         // messages assembled
+    std::uint64_t packed_envelopes = 0;  // of which Parallel_Method/Response
+    std::uint64_t calls = 0;             // call payloads carried
+  };
+
+  /// `wsse` (optional, unowned) adds a Security header to every envelope.
+  /// `pack_cost` models the testbed's packed-message handling overhead
+  /// (see pack_cost.hpp); it is charged once per packed envelope built.
+  explicit Assembler(soap::WsseTokenFactory* wsse = nullptr,
+                     PackCostModel pack_cost = {})
+      : wsse_(wsse), pack_cost_(pack_cost) {}
+
+  /// Client side: M calls -> one envelope document.
+  /// Throws SpiError(kInvalidArgument) on empty batches or on a multi-call
+  /// batch with PackMode::kSingle.
+  std::string assemble_request(std::span<const ServiceCall> calls,
+                               PackMode mode = PackMode::kAuto);
+
+  /// Client side: a remote-execution plan -> one envelope document.
+  /// Throws SpiError(kInvalidArgument) on an invalid plan.
+  std::string assemble_plan(const RemotePlan& plan);
+
+  /// Server side: outcomes -> one envelope document. `packed` must match
+  /// the request framing so traditional clients get traditional responses.
+  std::string assemble_response(std::span<const IndexedOutcome> outcomes,
+                                const ServiceCall& single_call, bool packed);
+
+  Stats stats() const;
+
+ private:
+  std::string finish_envelope(std::string body_inner);
+
+  soap::WsseTokenFactory* wsse_;
+  PackCostModel pack_cost_;
+  std::atomic<std::uint64_t> envelopes_{0};
+  std::atomic<std::uint64_t> packed_envelopes_{0};
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+}  // namespace spi::core

@@ -1,0 +1,50 @@
+// The SPI call model: a service invocation as data. Everything the pack
+// interface moves around — client-side batches, wire messages, server-side
+// dispatch units — is expressed in these types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "soap/value.hpp"
+
+namespace spi::core {
+
+/// One service operation invocation: WeatherService.GetWeather(city=...).
+struct ServiceCall {
+  std::string service;
+  std::string operation;
+  /// Named parameters, in call order (SOAP RPC accessors are ordered).
+  soap::Struct params;
+
+  friend bool operator==(const ServiceCall&, const ServiceCall&) = default;
+};
+
+/// Result of one call: a return value or a fault. Wraps Result so packed
+/// siblings can fail independently (per-call faults, DESIGN.md §5).
+using CallOutcome = Result<soap::Value>;
+
+/// A call paired with its position in a packed message. Ids are assigned
+/// densely by the client Assembler and echoed back by the server so the
+/// client Dispatcher can route each response to the right caller even if
+/// the server reorders completion.
+struct IndexedCall {
+  std::uint32_t id = 0;
+  ServiceCall call;
+};
+
+struct IndexedOutcome {
+  std::uint32_t id = 0;
+  CallOutcome outcome;
+};
+
+/// Convenience builders.
+inline ServiceCall make_call(std::string service, std::string operation,
+                             soap::Struct params = {}) {
+  return ServiceCall{std::move(service), std::move(operation),
+                     std::move(params)};
+}
+
+}  // namespace spi::core

@@ -1,0 +1,210 @@
+#include "core/client.hpp"
+
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace spi::core {
+
+namespace {
+
+http::ClientOptions make_http_options(const ClientOptions& options) {
+  http::ClientOptions http_options;
+  http_options.keep_alive = options.keep_alive;
+  http_options.limits = options.http_limits;
+  http_options.receive_timeout = options.receive_timeout;
+  return http_options;
+}
+
+std::vector<CallOutcome> replicate_error(const Error& error, size_t n) {
+  std::vector<CallOutcome> outcomes;
+  outcomes.reserve(n);
+  for (size_t i = 0; i < n; ++i) outcomes.emplace_back(error);
+  return outcomes;
+}
+
+}  // namespace
+
+SpiClient::SpiClient(net::Transport& transport, net::Endpoint server,
+                     ClientOptions options)
+    : transport_(transport),
+      server_(std::move(server)),
+      options_(std::move(options)),
+      wsse_factory_(options_.wsse
+                        ? std::make_unique<soap::WsseTokenFactory>(
+                              *options_.wsse, options_.wsse_nonce_seed)
+                        : nullptr),
+      assembler_(wsse_factory_.get(), options_.pack_cost),
+      dispatcher_(nullptr, options_.pack_cost),
+      http_(transport_, server_, make_http_options(options_)) {}
+
+SpiClient::~SpiClient() = default;
+
+Result<std::vector<CallOutcome>> SpiClient::exchange(
+    std::span<const ServiceCall> calls, PackMode mode,
+    http::HttpClient& http) {
+  std::string envelope = assembler_.assemble_request(calls, mode);
+
+  http::Headers headers;
+  headers.set("SOAPAction", "\"\"");
+  auto response =
+      http.post(options_.target, std::move(envelope), "text/xml", &headers);
+  if (!response.ok()) {
+    return response.wrap_error("spi exchange");
+  }
+
+  // Parse the envelope regardless of HTTP status: SOAP faults ride on 500
+  // (HTTP binding) and packed per-call faults on 200.
+  auto parsed = dispatcher_.parse_response(response.value().body);
+  if (!parsed.ok()) {
+    if (response.value().status != 200) {
+      return Error(ErrorCode::kProtocolError,
+                   "HTTP " + std::to_string(response.value().status) + ": " +
+                       parsed.error().message());
+    }
+    return parsed.error();
+  }
+  return dispatcher_.route(std::move(parsed).value(), calls.size());
+}
+
+CallOutcome SpiClient::call(const ServiceCall& service_call) {
+  std::lock_guard lock(http_mutex_);
+  auto outcomes = exchange(std::span(&service_call, 1), PackMode::kSingle,
+                           http_);
+  if (!outcomes.ok()) return outcomes.error();
+  return std::move(outcomes.value().front());
+}
+
+CallOutcome SpiClient::call(std::string service, std::string operation,
+                            soap::Struct params) {
+  return call(make_call(std::move(service), std::move(operation),
+                        std::move(params)));
+}
+
+std::vector<CallOutcome> SpiClient::call_serial(
+    std::span<const ServiceCall> calls) {
+  std::vector<CallOutcome> outcomes;
+  outcomes.reserve(calls.size());
+  std::lock_guard lock(http_mutex_);
+  for (const ServiceCall& service_call : calls) {
+    auto result = exchange(std::span(&service_call, 1), PackMode::kSingle,
+                           http_);
+    if (result.ok()) {
+      outcomes.push_back(std::move(result.value().front()));
+    } else {
+      outcomes.emplace_back(result.error());
+    }
+  }
+  return outcomes;
+}
+
+std::vector<CallOutcome> SpiClient::call_multithreaded(
+    std::span<const ServiceCall> calls) {
+  const size_t n = calls.size();
+  std::vector<std::optional<CallOutcome>> slots(n);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, &calls, &slots, i] {
+        // Each thread gets its own connection, like the paper's M client
+        // threads each opening a socket to the service.
+        http::HttpClient http(transport_, server_,
+                              make_http_options(options_));
+        auto result = exchange(std::span(&calls[i], 1), PackMode::kSingle,
+                               http);
+        if (result.ok()) {
+          slots[i] = std::move(result.value().front());
+        } else {
+          slots[i] = CallOutcome(result.error());
+        }
+      });
+    }
+  }  // jthreads join here
+  std::vector<CallOutcome> outcomes;
+  outcomes.reserve(n);
+  for (auto& slot : slots) {
+    outcomes.push_back(std::move(slot).value_or(
+        CallOutcome(Error(ErrorCode::kInternal, "worker produced no result"))));
+  }
+  return outcomes;
+}
+
+Result<std::vector<CallOutcome>> SpiClient::execute_packed(
+    std::span<const ServiceCall> calls, PackMode mode) {
+  if (calls.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty call batch");
+  }
+  // A packed transfer is one message on one fresh connection.
+  http::HttpClient http(transport_, server_, make_http_options(options_));
+  return exchange(calls, mode, http);
+}
+
+Result<std::vector<CallOutcome>> SpiClient::execute_plan(
+    const RemotePlan& plan) {
+  if (Status valid = plan.validate(); !valid.ok()) {
+    return valid.error();
+  }
+  std::string envelope = assembler_.assemble_plan(plan);
+
+  http::HttpClient http(transport_, server_, make_http_options(options_));
+  http::Headers headers;
+  headers.set("SOAPAction", "\"\"");
+  auto response =
+      http.post(options_.target, std::move(envelope), "text/xml", &headers);
+  if (!response.ok()) return response.wrap_error("spi plan");
+
+  auto parsed = dispatcher_.parse_response(response.value().body);
+  if (!parsed.ok()) return parsed.error();
+  return dispatcher_.route(std::move(parsed).value(), plan.steps.size());
+}
+
+std::vector<CallOutcome> SpiClient::call_packed(
+    std::span<const ServiceCall> calls, PackMode mode) {
+  auto result = execute_packed(calls, mode);
+  if (!result.ok()) {
+    return replicate_error(result.error(), calls.size());
+  }
+  return std::move(result).value();
+}
+
+std::future<CallOutcome> SpiClient::Batch::add(ServiceCall call) {
+  if (executed_) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "Batch::add after execute()");
+  }
+  calls_.push_back(std::move(call));
+  promises_.emplace_back();
+  return promises_.back().get_future();
+}
+
+std::future<CallOutcome> SpiClient::Batch::add(std::string service,
+                                               std::string operation,
+                                               soap::Struct params) {
+  return add(make_call(std::move(service), std::move(operation),
+                       std::move(params)));
+}
+
+void SpiClient::Batch::execute() {
+  if (executed_) {
+    throw SpiError(ErrorCode::kInvalidArgument, "Batch already executed");
+  }
+  executed_ = true;
+  if (calls_.empty()) return;
+
+  std::vector<CallOutcome> outcomes = client_.call_packed(calls_);
+  // The client-side dispatcher has already routed outcomes into request
+  // order; hand each to its caller's future.
+  for (size_t i = 0; i < promises_.size(); ++i) {
+    promises_[i].set_value(std::move(outcomes[i]));
+  }
+}
+
+SpiClient::Stats SpiClient::stats() const {
+  Stats s;
+  s.assembler = assembler_.stats();
+  s.dispatcher = dispatcher_.stats();
+  return s;
+}
+
+}  // namespace spi::core

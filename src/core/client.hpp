@@ -1,0 +1,160 @@
+// SpiClient — the client side of the SOAP Passing Interface, implementing
+// the three request strategies the paper's §4.1 latency study compares:
+//
+//   call_serial        "No Optimization"  — M messages, one after another
+//   call_multithreaded "Multiple Threads" — M messages on M client threads
+//   call_packed        "Our Approach"     — ONE message carrying M calls
+//
+// plus the future-based Batch interface, which is the programmer-facing
+// form of the pack interface: add() returns a future per call, execute()
+// sends one packed message, and the client-side Dispatcher completes each
+// future from the matching CallResponse.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "core/assembler.hpp"
+#include "core/dispatcher.hpp"
+#include "http/client.hpp"
+
+namespace spi::core {
+
+struct ClientOptions {
+  /// Reuse one TCP connection for sequential messages. The paper's
+  /// baselines opened a connection per message (Axis 1.3 default), so
+  /// false is the faithful default; the keep-alive ablation flips it.
+  bool keep_alive = false;
+
+  /// Attach WS-Security UsernameToken headers to every request.
+  std::optional<soap::WsseCredentials> wsse;
+  std::uint64_t wsse_nonce_seed = 0x5eed;
+
+  /// HTTP request target of the SPI endpoint.
+  std::string target = "/spi";
+
+  /// Calibrated packed-message handling overhead (see core/pack_cost.hpp).
+  /// Disabled by default; the figure benchmarks set the testbed value.
+  PackCostModel pack_cost;
+
+  /// Bound on each response read (zero = forever); surfaces as kTimeout.
+  Duration receive_timeout{0};
+
+  http::ParserLimits http_limits;
+};
+
+class SpiClient {
+ public:
+  struct Stats {
+    Assembler::Stats assembler;
+    Dispatcher::Stats dispatcher;
+  };
+
+  SpiClient(net::Transport& transport, net::Endpoint server,
+            ClientOptions options = {});
+  ~SpiClient();
+
+  SpiClient(const SpiClient&) = delete;
+  SpiClient& operator=(const SpiClient&) = delete;
+
+  // --- single call ----------------------------------------------------------
+
+  /// One call in one traditional SOAP message (blocking).
+  CallOutcome call(const ServiceCall& call);
+  CallOutcome call(std::string service, std::string operation,
+                   soap::Struct params = {});
+
+  // --- the three strategies (§4.1) -----------------------------------------
+
+  /// "No Optimization": M traditional messages issued sequentially from
+  /// the calling thread. Outcomes in request order.
+  std::vector<CallOutcome> call_serial(std::span<const ServiceCall> calls);
+
+  /// "Multiple Threads": M traditional messages issued concurrently, one
+  /// client thread and one connection per call.
+  std::vector<CallOutcome> call_multithreaded(
+      std::span<const ServiceCall> calls);
+
+  /// "Our Approach": one packed message. A message-level failure (connect
+  /// error, malformed response) is replicated into every outcome so all
+  /// three strategies share a signature; per-call faults arrive
+  /// individually. `mode` kPacked forces Parallel_Method even at M=1
+  /// (the paper's M=1 overhead measurement).
+  std::vector<CallOutcome> call_packed(std::span<const ServiceCall> calls,
+                                       PackMode mode = PackMode::kPacked);
+
+  /// Lower-level packed transfer that surfaces message-level failure as a
+  /// single error (used by tests and Batch).
+  Result<std::vector<CallOutcome>> execute_packed(
+      std::span<const ServiceCall> calls, PackMode mode = PackMode::kPacked);
+
+  // --- remote execution (the SPI suite's second interface) -----------------
+
+  /// Ships a dependent-call plan in ONE message; the server executes the
+  /// chain (later steps consuming earlier results) and returns one outcome
+  /// per step. See core/remote_plan.hpp.
+  Result<std::vector<CallOutcome>> execute_plan(const RemotePlan& plan);
+
+  // --- batch/future interface ----------------------------------------------
+
+  /// Accumulates calls, then ships them as one packed message. Futures are
+  /// completed by the client-side Dispatcher when the response arrives.
+  ///
+  ///   auto batch = client.create_batch();
+  ///   auto beijing = batch.add("WeatherService", "GetWeather", {{"city", "Beijing"}});
+  ///   auto shanghai = batch.add("WeatherService", "GetWeather", {{"city", "Shanghai"}});
+  ///   batch.execute();
+  ///   use(beijing.get(), shanghai.get());
+  class Batch {
+   public:
+    /// Enqueues a call; returns the future for its outcome. Must not be
+    /// called after execute().
+    std::future<CallOutcome> add(ServiceCall call);
+    std::future<CallOutcome> add(std::string service, std::string operation,
+                                 soap::Struct params = {});
+
+    /// Sends the packed message and completes every future (with a value,
+    /// a per-call fault, or the replicated message-level error). May be
+    /// called once; an empty batch is a no-op. Blocking.
+    void execute();
+
+    size_t size() const { return calls_.size(); }
+    bool executed() const { return executed_; }
+
+   private:
+    friend class SpiClient;
+    explicit Batch(SpiClient& client) : client_(client) {}
+
+    SpiClient& client_;
+    std::vector<ServiceCall> calls_;
+    std::vector<std::promise<CallOutcome>> promises_;
+    bool executed_ = false;
+  };
+
+  Batch create_batch() { return Batch(*this); }
+
+  const net::Endpoint& server() const { return server_; }
+  Stats stats() const;
+
+ private:
+  /// One HTTP exchange: assembled envelope out, parsed outcomes back.
+  Result<std::vector<CallOutcome>> exchange(
+      std::span<const ServiceCall> calls, PackMode mode,
+      http::HttpClient& http);
+
+  net::Transport& transport_;
+  net::Endpoint server_;
+  ClientOptions options_;
+  std::unique_ptr<soap::WsseTokenFactory> wsse_factory_;
+  Assembler assembler_;
+  Dispatcher dispatcher_;
+
+  /// Connection used by call()/call_serial (guarded: SpiClient may be
+  /// shared across threads; call_multithreaded uses per-thread clients).
+  std::mutex http_mutex_;
+  http::HttpClient http_;
+};
+
+}  // namespace spi::core

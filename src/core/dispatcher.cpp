@@ -1,0 +1,211 @@
+#include "core/dispatcher.hpp"
+
+#include "concurrency/wait_group.hpp"
+
+namespace spi::core {
+
+Result<wire::ParsedRequest> Dispatcher::parse_request(
+    std::string_view envelope_xml) {
+  if (streaming_ && !verifier_) {
+    auto streamed = wire::parse_request_streaming(envelope_xml);
+    if (streamed.ok()) {
+      envelopes_.fetch_add(1, std::memory_order_relaxed);
+      if (streamed.value().packed) {
+        packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+        pack_cost_.charge(envelope_xml.size(),
+                          streamed.value().calls.size());
+      }
+      return streamed;
+    }
+    if (streamed.error().code() != ErrorCode::kInvalidArgument) {
+      return streamed.error();
+    }
+    // kInvalidArgument: unsupported shape (Remote_Execution) — DOM path.
+  }
+
+  auto envelope = soap::Envelope::parse(envelope_xml);
+  if (!envelope.ok()) return envelope.error();
+
+  if (verifier_) {
+    const xml::Element* security = nullptr;
+    for (const xml::Element& block : envelope.value().header_blocks) {
+      if (block.local_name() == "Security") {
+        security = &block;
+        break;
+      }
+    }
+    if (!security) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "wsse: request has no Security header");
+    }
+    if (Status verified = verifier_->verify(*security, soap::iso8601_now());
+        !verified.ok()) {
+      return verified.error();
+    }
+  }
+
+  auto parsed = wire::parse_request(envelope.value());
+  if (parsed.ok()) {
+    envelopes_.fetch_add(1, std::memory_order_relaxed);
+    if (parsed.value().packed) {
+      packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+      pack_cost_.charge(envelope_xml.size(), parsed.value().calls.size());
+    }
+  }
+  return parsed;
+}
+
+std::vector<IndexedOutcome> Dispatcher::execute(
+    const wire::ParsedRequest& request, const ServiceRegistry& registry,
+    ThreadPool* pool) {
+  if (request.kind == wire::ParsedRequest::Kind::kPlan) {
+    return execute_plan_request(request, registry, pool);
+  }
+  const size_t n = request.calls.size();
+  calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
+
+  std::vector<std::optional<CallOutcome>> slots(n);
+
+  if (pool == nullptr) {
+    // Coupled mode (Figure 1): everything runs on the protocol thread.
+    for (size_t i = 0; i < n; ++i) {
+      slots[i] = registry.invoke(request.calls[i].call);
+    }
+  } else {
+    // Staged mode (Figure 2): one application-stage worker per call; the
+    // protocol thread sleeps on the WaitGroup until the last one lands.
+    WaitGroup pending;
+    pending.add(n);
+    for (size_t i = 0; i < n; ++i) {
+      const ServiceCall& call = request.calls[i].call;
+      bool accepted = pool->submit([&registry, &call, &slots, &pending, i] {
+        slots[i] = registry.invoke(call);
+        pending.done();
+      });
+      if (!accepted) {
+        slots[i] = CallOutcome(
+            Error(ErrorCode::kShutdown, "application stage is shut down"));
+        pending.done();
+      }
+    }
+    pending.wait();
+  }
+
+  std::vector<IndexedOutcome> outcomes;
+  outcomes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CallOutcome outcome = std::move(slots[i]).value_or(
+        CallOutcome(Error(ErrorCode::kInternal, "call produced no outcome")));
+    if (!outcome.ok()) {
+      faults_produced_.fetch_add(1, std::memory_order_relaxed);
+    }
+    outcomes.push_back(IndexedOutcome{request.calls[i].id, std::move(outcome)});
+  }
+  return outcomes;
+}
+
+std::vector<IndexedOutcome> Dispatcher::execute_plan_request(
+    const wire::ParsedRequest& request, const ServiceRegistry& registry,
+    ThreadPool* pool) {
+  const size_t n = request.plan.steps.size();
+  calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
+
+  std::vector<IndexedOutcome> outcomes;
+  if (pool == nullptr) {
+    // Coupled mode: the chain runs on the protocol thread.
+    outcomes = execute_plan(request.plan, registry);
+  } else {
+    // Staged mode: a plan is inherently sequential, so it occupies ONE
+    // application-stage worker; the protocol thread sleeps meanwhile.
+    WaitGroup pending;
+    pending.add(1);
+    bool accepted = pool->submit([&] {
+      outcomes = execute_plan(request.plan, registry);
+      pending.done();
+    });
+    if (!accepted) {
+      for (size_t i = 0; i < n; ++i) {
+        outcomes.push_back(IndexedOutcome{
+            static_cast<std::uint32_t>(i),
+            CallOutcome(
+                Error(ErrorCode::kShutdown, "application stage is shut down"))});
+      }
+      pending.done();
+    }
+    pending.wait();
+  }
+
+  for (const IndexedOutcome& outcome : outcomes) {
+    if (!outcome.outcome.ok()) {
+      faults_produced_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return outcomes;
+}
+
+Result<wire::ParsedResponse> Dispatcher::parse_response(
+    std::string_view envelope_xml) {
+  auto envelope = soap::Envelope::parse(envelope_xml);
+  if (!envelope.ok()) return envelope.error();
+  auto parsed = wire::parse_response(envelope.value());
+  if (parsed.ok()) {
+    envelopes_.fetch_add(1, std::memory_order_relaxed);
+    if (parsed.value().packed) {
+      packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
+      pack_cost_.charge(envelope_xml.size(), parsed.value().outcomes.size());
+    }
+  }
+  return parsed;
+}
+
+Result<std::vector<CallOutcome>> Dispatcher::route(
+    wire::ParsedResponse response, size_t expected_calls) {
+  // A message-level Fault (traditional single-Fault body answering a
+  // packed request — e.g. a handler-chain veto or admission rejection)
+  // applies to every call in the batch.
+  if (!response.packed && response.outcomes.size() == 1 &&
+      !response.outcomes.front().outcome.ok() && expected_calls != 1) {
+    std::vector<CallOutcome> replicated;
+    replicated.reserve(expected_calls);
+    for (size_t i = 0; i < expected_calls; ++i) {
+      replicated.push_back(response.outcomes.front().outcome);
+    }
+    return replicated;
+  }
+  if (response.outcomes.size() != expected_calls) {
+    return Error(ErrorCode::kProtocolError,
+                 "expected " + std::to_string(expected_calls) +
+                     " responses, got " +
+                     std::to_string(response.outcomes.size()));
+  }
+  std::vector<std::optional<CallOutcome>> slots(expected_calls);
+  for (IndexedOutcome& indexed : response.outcomes) {
+    if (indexed.id >= expected_calls) {
+      return Error(ErrorCode::kProtocolError,
+                   "response id " + std::to_string(indexed.id) +
+                       " out of range");
+    }
+    if (slots[indexed.id].has_value()) {
+      return Error(ErrorCode::kProtocolError,
+                   "duplicate response id " + std::to_string(indexed.id));
+    }
+    slots[indexed.id] = std::move(indexed.outcome);
+  }
+  std::vector<CallOutcome> ordered;
+  ordered.reserve(expected_calls);
+  for (auto& slot : slots) {
+    ordered.push_back(std::move(*slot));  // all present: counts matched
+  }
+  return ordered;
+}
+
+Dispatcher::Stats Dispatcher::stats() const {
+  Stats s;
+  s.envelopes = envelopes_.load(std::memory_order_relaxed);
+  s.packed_envelopes = packed_envelopes_.load(std::memory_order_relaxed);
+  s.calls_dispatched = calls_dispatched_.load(std::memory_order_relaxed);
+  s.faults_produced = faults_produced_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spi::core

@@ -1,0 +1,76 @@
+// Dispatcher (paper §3.5): the inverse of the Assembler. On the server it
+// extracts the M request payloads from one SOAP message and triggers M
+// worker threads from the application stage pool; on the client it
+// extracts the M response payloads and routes each back to the caller that
+// issued it (by call id, tolerant of server-side reordering).
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "concurrency/thread_pool.hpp"
+#include "core/pack_cost.hpp"
+#include "core/registry.hpp"
+#include "core/wire.hpp"
+#include "soap/wsse.hpp"
+
+namespace spi::core {
+
+class Dispatcher {
+ public:
+  struct Stats {
+    std::uint64_t envelopes = 0;
+    std::uint64_t packed_envelopes = 0;
+    std::uint64_t calls_dispatched = 0;
+    std::uint64_t faults_produced = 0;
+  };
+
+  /// `verifier` (optional, unowned): when set, every inbound request
+  /// envelope must carry a valid wsse:Security header. `pack_cost` models
+  /// the testbed's packed-envelope parse overhead (pack_cost.hpp).
+  /// `streaming` selects the single-pass request parser
+  /// (wire::parse_request_streaming) where applicable: no WS-Security and
+  /// not a Remote_Execution body; those fall back to the DOM path.
+  explicit Dispatcher(soap::WsseVerifier* verifier = nullptr,
+                      PackCostModel pack_cost = {}, bool streaming = false)
+      : verifier_(verifier), pack_cost_(pack_cost), streaming_(streaming) {}
+
+  /// Server side, step 1: parse + validate a request envelope document.
+  Result<wire::ParsedRequest> parse_request(std::string_view envelope_xml);
+
+  /// Server side, step 2: fan the calls out to `pool` worker threads, wait
+  /// for all of them (WaitGroup fan-in), and return outcomes in request
+  /// order. When `pool` is null the calls run inline on the calling
+  /// (protocol) thread — the paper's Figure 1 coupled architecture, kept
+  /// for the staged-pool ablation bench.
+  std::vector<IndexedOutcome> execute(const wire::ParsedRequest& request,
+                                      const ServiceRegistry& registry,
+                                      ThreadPool* pool);
+
+  /// Client side, step 1: parse a response envelope document.
+  Result<wire::ParsedResponse> parse_response(std::string_view envelope_xml);
+
+  /// Client side, step 2: route outcomes back into request order.
+  /// Validates that ids form exactly {0..expected_calls-1}; a missing or
+  /// duplicated id is a protocol error (a caller must never wait forever
+  /// on a response the server dropped).
+  Result<std::vector<CallOutcome>> route(wire::ParsedResponse response,
+                                         size_t expected_calls);
+
+  Stats stats() const;
+
+ private:
+  std::vector<IndexedOutcome> execute_plan_request(
+      const wire::ParsedRequest& request, const ServiceRegistry& registry,
+      ThreadPool* pool);
+
+  soap::WsseVerifier* verifier_;
+  PackCostModel pack_cost_;
+  bool streaming_;
+  std::atomic<std::uint64_t> envelopes_{0};
+  std::atomic<std::uint64_t> packed_envelopes_{0};
+  std::atomic<std::uint64_t> calls_dispatched_{0};
+  std::atomic<std::uint64_t> faults_produced_{0};
+};
+
+}  // namespace spi::core

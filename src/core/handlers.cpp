@@ -1,0 +1,89 @@
+#include "core/handlers.hpp"
+
+namespace spi::core {
+
+void HandlerChain::add(std::shared_ptr<Handler> handler) {
+  if (!handler) {
+    throw SpiError(ErrorCode::kInvalidArgument, "null handler");
+  }
+  handlers_.push_back(std::move(handler));
+}
+
+Status HandlerChain::run_request(const HandlerContext& context) const {
+  for (const auto& handler : handlers_) {
+    if (Status status = handler->on_request(context); !status.ok()) {
+      return status.error().wrap("handler '" + std::string(handler->name()) +
+                                 "'");
+    }
+  }
+  return Status();
+}
+
+void HandlerChain::run_response(const HandlerContext& context) const {
+  for (auto it = handlers_.rbegin(); it != handlers_.rend(); ++it) {
+    (*it)->on_response(context);
+  }
+}
+
+namespace {
+
+class CallQuotaHandler final : public Handler {
+ public:
+  explicit CallQuotaHandler(size_t max_calls) : max_calls_(max_calls) {}
+  std::string_view name() const override { return "call-quota"; }
+
+  Status on_request(const HandlerContext& context) override {
+    size_t calls = context.request->call_count();
+    if (calls > max_calls_) {
+      return Error(ErrorCode::kCapacityExceeded,
+                   "message carries " + std::to_string(calls) +
+                       " calls; limit is " + std::to_string(max_calls_));
+    }
+    return Status();
+  }
+
+ private:
+  size_t max_calls_;
+};
+
+class AuditHandler final : public Handler {
+ public:
+  explicit AuditHandler(std::shared_ptr<AuditStats> stats)
+      : stats_(std::move(stats)) {}
+  std::string_view name() const override { return "audit"; }
+
+  Status on_request(const HandlerContext& context) override {
+    stats_->messages.fetch_add(1, std::memory_order_relaxed);
+    stats_->calls.fetch_add(context.request->call_count(),
+                            std::memory_order_relaxed);
+    return Status();
+  }
+
+  void on_response(const HandlerContext& context) override {
+    if (!context.outcomes) return;
+    for (const IndexedOutcome& outcome : *context.outcomes) {
+      if (!outcome.outcome.ok()) {
+        stats_->faults.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  std::shared_ptr<AuditStats> stats_;
+};
+
+}  // namespace
+
+std::shared_ptr<Handler> make_call_quota_handler(size_t max_calls) {
+  return std::make_shared<CallQuotaHandler>(max_calls);
+}
+
+std::shared_ptr<Handler> make_audit_handler(
+    std::shared_ptr<AuditStats> stats) {
+  if (!stats) {
+    throw SpiError(ErrorCode::kInvalidArgument, "null audit stats");
+  }
+  return std::make_shared<AuditHandler>(std::move(stats));
+}
+
+}  // namespace spi::core

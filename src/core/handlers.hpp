@@ -1,0 +1,71 @@
+// Handler chain — the integration style the paper used: "Due to the
+// handler chains model, which is the Axis's architecture, we implemented
+// our technique as server handlers" (§3.6). SpiServer runs registered
+// request handlers after parsing and response handlers after execution,
+// so cross-cutting concerns (auditing, quotas, metrics) compose without
+// touching services — the same slot SPI itself occupies in Axis.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wire.hpp"
+
+namespace spi::core {
+
+/// Context visible to handlers for one message.
+struct HandlerContext {
+  /// The parsed request (calls or plan).
+  const wire::ParsedRequest* request = nullptr;
+  /// Outcomes; null during the request phase, set for response handlers.
+  const std::vector<IndexedOutcome>* outcomes = nullptr;
+  /// Client-visible request target (e.g. "/spi").
+  std::string target;
+};
+
+/// A chain link. on_request may veto the message (its error becomes a SOAP
+/// fault for the whole message); on_response observes outcomes.
+class Handler {
+ public:
+  virtual ~Handler() = default;
+  virtual std::string_view name() const = 0;
+  virtual Status on_request(const HandlerContext& context) {
+    (void)context;
+    return Status();
+  }
+  virtual void on_response(const HandlerContext& context) { (void)context; }
+};
+
+/// Ordered chain. Request handlers run in registration order; response
+/// handlers in reverse (nesting semantics, like Axis flows).
+class HandlerChain {
+ public:
+  void add(std::shared_ptr<Handler> handler);
+
+  /// First veto wins; its error is reported with the handler's name.
+  Status run_request(const HandlerContext& context) const;
+  void run_response(const HandlerContext& context) const;
+
+  size_t size() const { return handlers_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Handler>> handlers_;
+};
+
+/// Stock handler: rejects messages carrying more than `max_calls`
+/// operations (quota / abuse control for the pack interface).
+std::shared_ptr<Handler> make_call_quota_handler(size_t max_calls);
+
+/// Stock handler: counts messages/calls/faults per service into the
+/// returned shared stats object.
+struct AuditStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> faults{0};
+};
+std::shared_ptr<Handler> make_audit_handler(std::shared_ptr<AuditStats> stats);
+
+}  // namespace spi::core

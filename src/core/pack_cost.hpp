@@ -1,0 +1,59 @@
+// PackCostModel — calibrated model of the PACKED-message handling overhead
+// of the paper's Java stack (Axis 1.3 handler chain).
+//
+// The paper's §4.2 explains Figure 7 (100 KB payloads) by the overhead
+// "brought in for packing and unpacking multiple requests to and from one
+// SOAP message": in the 2006 Java implementation the assembler/dispatcher
+// performed extra full-body string copies and DOM materialization (plus the
+// GC traffic of multi-megabyte Strings), costs roughly linear in the packed
+// body size and paid in ONE thread. Our C++ assembler splices
+// pre-serialized fragments in a single pass and is orders of magnitude
+// cheaper — faithful to this library, but not to the testbed whose
+// crossover we are reproducing.
+//
+// The model charges ns_per_byte on each packed envelope at each of the four
+// handling points (client pack, server unpack, server pack, client unpack).
+// Zero (the default everywhere except the calibrated benchmarks) disables
+// it; bench_ablation_packcost measures the native C++ behaviour against the
+// calibrated one. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace spi::core {
+
+struct PackCostModel {
+  /// Extra per-byte handling cost for packed envelopes. 0 = disabled.
+  /// The calibrated testbed value used by the figure benches is 100 ns/B
+  /// (~10 MB/s per pass), matching 2006-era Axis multi-request handling.
+  /// This term produces the Figure 7 inversion (packing loses at 100 KB).
+  double ns_per_byte = 0.0;
+
+  /// Extra per-call handling cost inside a packed envelope: the Java
+  /// stack's per-request share of SOAP processing (reflective dispatch,
+  /// per-call object churn) that remains serial even when requests travel
+  /// together. Calibrated value: 200 us per call per pass, which puts the
+  /// M=128 small-payload speedup near the paper's ~10x instead of the
+  /// ~30x our native C++ per-call handling would show.
+  double us_per_call = 0.0;
+
+  /// Clock used to charge the cost (injectable for tests).
+  Clock* clock = &RealClock::instance();
+
+  bool enabled() const { return ns_per_byte > 0.0 || us_per_call > 0.0; }
+
+  /// Charges one pass over a packed body of `bytes` carrying `calls`
+  /// requests or responses.
+  void charge(std::uint64_t bytes, std::uint64_t calls) const {
+    if (!enabled()) return;
+    double ns = ns_per_byte * static_cast<double>(bytes) +
+                us_per_call * 1e3 * static_cast<double>(calls);
+    if (ns <= 0) return;
+    clock->sleep_for(Duration(static_cast<Duration::rep>(std::llround(ns))));
+  }
+};
+
+}  // namespace spi::core

@@ -1,0 +1,61 @@
+// Service registry: the application layer's operation table. Handlers are
+// plain functions over typed values — they know nothing about SOAP,
+// threads, or packing, which is the paper's "no change to services code"
+// requirement (§3.2): the same handler serves traditional and packed
+// messages.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/call.hpp"
+
+namespace spi::core {
+
+/// An operation implementation. Returning an Error produces a per-call
+/// SOAP Fault; throwing SpiError is equivalent (caught by the invoker).
+using OperationHandler =
+    std::function<Result<soap::Value>(const soap::Struct& params)>;
+
+class ServiceRegistry {
+ public:
+  /// Registers service.operation. Fails on duplicates.
+  Status register_operation(std::string service, std::string operation,
+                            OperationHandler handler);
+
+  /// Looks up a handler; kNotFound if either name is unknown.
+  Result<OperationHandler> find(const std::string& service,
+                                const std::string& operation) const;
+
+  /// Executes a call through the registry (lookup + invoke + error
+  /// normalization). This is what application-stage worker threads run.
+  CallOutcome invoke(const ServiceCall& call) const;
+
+  std::vector<std::string> service_names() const;
+  std::vector<std::string> operation_names(const std::string& service) const;
+  size_t operation_count() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::map<std::string, OperationHandler>> services_;
+};
+
+/// Builder-style helper for registering a whole service fluently:
+///   ServiceBinder(registry, "EchoService").bind("Echo", handler).bind(...);
+class ServiceBinder {
+ public:
+  ServiceBinder(ServiceRegistry& registry, std::string service)
+      : registry_(registry), service_(std::move(service)) {}
+
+  /// Throws SpiError on duplicate registration (configuration error).
+  ServiceBinder& bind(std::string operation, OperationHandler handler);
+
+ private:
+  ServiceRegistry& registry_;
+  std::string service_;
+};
+
+}  // namespace spi::core

@@ -1,0 +1,126 @@
+#include "core/request_cache.hpp"
+
+#include "common/string_util.hpp"
+#include "core/wire.hpp"
+#include "soap/envelope.hpp"
+#include "xml/text.hpp"
+
+namespace spi::core {
+
+namespace {
+
+/// Sentinel spliced in as parameter value during template construction.
+/// Letters/digits/underscore only, so XML escaping cannot mangle it, and
+/// improbable enough to never collide with real payloads (checked anyway).
+std::string slot_sentinel(size_t index) {
+  std::string s = "__SPI_TMPL_SLOT_";
+  append_u64(s, index);
+  s += "__";
+  return s;
+}
+
+std::string serialize_full(const ServiceCall& call) {
+  return soap::build_envelope(wire::serialize_single_request(call));
+}
+
+}  // namespace
+
+RequestTemplateCache::RequestTemplateCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestTemplateCache::cacheable(const ServiceCall& call) {
+  if (call.params.empty()) return false;  // nothing variable to patch
+  for (const auto& [name, value] : call.params) {
+    if (!value.is_string()) return false;
+    // A payload that happens to contain a sentinel would corrupt the
+    // template build; send such calls through the slow path.
+    if (value.as_string().find("__SPI_TMPL_SLOT_") != std::string::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RequestTemplateCache::shape_key(const ServiceCall& call) {
+  std::string key;
+  key.reserve(call.service.size() + call.operation.size() + 32);
+  key += call.service;
+  key += '\x1f';
+  key += call.operation;
+  for (const auto& [name, value] : call.params) {
+    key += '\x1f';
+    key += name;
+  }
+  return key;
+}
+
+RequestTemplateCache::Template RequestTemplateCache::build_template(
+    const ServiceCall& call) {
+  ServiceCall probe = call;
+  for (size_t i = 0; i < probe.params.size(); ++i) {
+    probe.params[i].second = soap::Value(slot_sentinel(i));
+  }
+  std::string skeleton = serialize_full(probe);
+
+  Template entry;
+  size_t cursor = 0;
+  for (size_t i = 0; i < probe.params.size(); ++i) {
+    std::string sentinel = slot_sentinel(i);
+    size_t at = skeleton.find(sentinel, cursor);
+    // The sentinel appears exactly once, as the i-th accessor's text.
+    entry.segments.push_back(skeleton.substr(cursor, at - cursor));
+    cursor = at + sentinel.size();
+  }
+  entry.segments.push_back(skeleton.substr(cursor));
+  return entry;
+}
+
+void RequestTemplateCache::touch(const std::string& key, Template& entry) {
+  lru_.erase(entry.lru_position);
+  lru_.push_front(key);
+  entry.lru_position = lru_.begin();
+}
+
+std::string RequestTemplateCache::render(const ServiceCall& call) {
+  if (!cacheable(call)) {
+    ++stats_.fallbacks;
+    return serialize_full(call);
+  }
+
+  std::string key = shape_key(call);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    Template built = build_template(call);
+    lru_.push_front(key);
+    built.lru_position = lru_.begin();
+    it = entries_.emplace(std::move(key), std::move(built)).first;
+    if (entries_.size() > capacity_) {
+      const std::string& victim = lru_.back();
+      entries_.erase(victim);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  } else {
+    ++stats_.hits;
+    touch(it->first, it->second);
+  }
+
+  // Patch: fixed segments with freshly escaped parameter values between.
+  const Template& entry = it->second;
+  size_t total = 0;
+  for (const std::string& segment : entry.segments) total += segment.size();
+  for (const auto& [name, value] : call.params) {
+    total += value.as_string().size() + 16;
+  }
+  std::string out;
+  out.reserve(total);
+  for (size_t i = 0; i < call.params.size(); ++i) {
+    out += entry.segments[i];
+    xml::append_escaped_text(out, call.params[i].second.as_string());
+  }
+  out += entry.segments.back();
+  return out;
+}
+
+}  // namespace spi::core

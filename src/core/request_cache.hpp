@@ -1,0 +1,72 @@
+// RequestTemplateCache — the related-work optimization the paper compares
+// against (§2.2): parameterized client-side caching of serialized messages
+// (Devaram & Andresen, PDCS'03; they report up to 8x) in the same spirit
+// as differential serialization (Abu-Ghazaleh et al., HPDC'04). Both
+// exploit that successive requests to the same operation differ only in a
+// few parameter values, so the serialized form can be reused with the
+// parameter bytes patched.
+//
+// The paper positions these techniques as ORTHOGONAL to the pack
+// interface: they make each message cheaper to produce; packing reduces
+// how many messages there are. This module provides the baseline so
+// bench_ablation_msgcache can measure both claims on one stack.
+//
+// Cacheable shape: calls whose parameters are all strings (the benchmark
+// and weather workloads). Other calls fall back to full serialization —
+// correctness first, the cache is transparent.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/call.hpp"
+
+namespace spi::core {
+
+class RequestTemplateCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        // rendered by patching a template
+    std::uint64_t misses = 0;      // template built (first sighting)
+    std::uint64_t fallbacks = 0;   // shape not cacheable
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity`: templates kept (LRU eviction).
+  explicit RequestTemplateCache(size_t capacity = 128);
+
+  /// Serialized traditional request envelope for `call` — byte-identical
+  /// to Assembler output for the same call, but produced by patching a
+  /// cached template when one exists.
+  std::string render(const ServiceCall& call);
+
+  Stats stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Template {
+    /// Fixed byte runs; between segments[i] and segments[i+1] the escaped
+    /// value of parameter i is spliced.
+    std::vector<std::string> segments;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  /// Shape key: service, operation, parameter names — value-independent.
+  static std::string shape_key(const ServiceCall& call);
+  static bool cacheable(const ServiceCall& call);
+
+  /// Builds the segment list by serializing with sentinel values.
+  static Template build_template(const ServiceCall& call);
+
+  void touch(const std::string& key, Template& entry);
+
+  size_t capacity_;
+  std::unordered_map<std::string, Template> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace spi::core

@@ -1,0 +1,164 @@
+#include "core/server.hpp"
+
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+#include "soap/wsdl.hpp"
+
+namespace spi::core {
+
+SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
+                     const ServiceRegistry& registry, ServerOptions options)
+    : registry_(registry),
+      options_(options),
+      verifier_(options_.wsse ? std::make_unique<soap::WsseVerifier>(
+                                    *options_.wsse)
+                              : nullptr),
+      dispatcher_(verifier_.get(), options_.pack_cost,
+                  options_.streaming_parse),
+      assembler_(nullptr, options_.pack_cost) {
+  if (options_.staged) {
+    application_pool_ = std::make_unique<ThreadPool>(
+        options_.application_threads, "spi-application");
+  }
+  http::ServerOptions http_options;
+  http_options.protocol_threads = options_.protocol_threads;
+  http_options.limits = options_.http_limits;
+  http_server_ = std::make_unique<http::HttpServer>(
+      transport, std::move(at),
+      [this](const http::Request& request) { return handle(request); },
+      http_options);
+}
+
+SpiServer::~SpiServer() { stop(); }
+
+Status SpiServer::start() { return http_server_->start(); }
+
+void SpiServer::stop() {
+  http_server_->stop();
+  // The application pool drains after the protocol stage stops feeding it.
+  application_pool_.reset();
+}
+
+net::Endpoint SpiServer::endpoint() const { return http_server_->endpoint(); }
+
+http::Response SpiServer::handle(const http::Request& request) {
+  // Service descriptions: GET /{service}?wsdl, like 2006 containers.
+  if (request.method == "GET" && ends_with(request.target, "?wsdl")) {
+    return handle_wsdl(request);
+  }
+  if (request.method != "POST") {
+    return http::Response::make(405, "Method Not Allowed",
+                                "SOAP endpoint accepts POST only");
+  }
+
+  auto respond_fault = [&](const Error& error, int status) {
+    // A message-level failure becomes a traditional Fault envelope with an
+    // HTTP 500/400, per the SOAP 1.1 HTTP binding.
+    std::string body =
+        soap::build_envelope(soap::Fault::from_error(error).to_xml());
+    return http::Response::make(status, http::default_reason(status),
+                                std::move(body), "text/xml");
+  };
+
+  auto parsed = dispatcher_.parse_request(request.body);
+  if (!parsed.ok()) {
+    SPI_LOG(kDebug, "spi.server")
+        << "rejecting request: " << parsed.error().to_string();
+    return respond_fault(parsed.error(), 400);
+  }
+
+  // Admission control: bound concurrently-executing messages (SEDA
+  // well-conditioning) rather than queueing without limit.
+  if (options_.max_concurrent_messages > 0) {
+    size_t current = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (current >= options_.max_concurrent_messages) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return respond_fault(Error(ErrorCode::kCapacityExceeded,
+                                 "server is at its concurrency limit"),
+                           503);
+    }
+  }
+  struct InFlightGuard {
+    SpiServer* server;
+    ~InFlightGuard() {
+      if (server->options_.max_concurrent_messages > 0) {
+        server->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+  } in_flight_guard{this};
+
+  // Handler chain, request phase: a veto faults the whole message.
+  HandlerContext context;
+  context.request = &parsed.value();
+  context.target = request.target;
+  if (Status vetoed = handler_chain_.run_request(context); !vetoed.ok()) {
+    int status =
+        vetoed.error().code() == ErrorCode::kCapacityExceeded ? 503 : 400;
+    return respond_fault(vetoed.error(), status);
+  }
+
+  std::vector<IndexedOutcome> outcomes =
+      dispatcher_.execute(parsed.value(), registry_, application_pool_.get());
+
+  // Handler chain, response phase (reverse order).
+  context.outcomes = &outcomes;
+  handler_chain_.run_response(context);
+
+  // Packed requests (Parallel_Method / Remote_Execution) get packed
+  // responses; the single call is only consulted for traditional framing.
+  static const ServiceCall kNoCall{};
+  const ServiceCall& single_call = parsed.value().calls.empty()
+                                       ? kNoCall
+                                       : parsed.value().calls.front().call;
+  std::string body = assembler_.assemble_response(outcomes, single_call,
+                                                  parsed.value().packed);
+
+  // Per-call faults ride inside a 200 for packed messages; a traditional
+  // single-call fault surfaces as HTTP 500 like classic SOAP stacks.
+  int status = 200;
+  if (!parsed.value().packed && !outcomes.front().outcome.ok()) {
+    status = 500;
+  }
+  return http::Response::make(status, http::default_reason(status),
+                              std::move(body), "text/xml");
+}
+
+http::Response SpiServer::handle_wsdl(const http::Request& request) {
+  // Target shape: "/{service}?wsdl".
+  std::string_view target = request.target;
+  target.remove_suffix(5);  // "?wsdl"
+  if (size_t slash = target.rfind('/'); slash != std::string_view::npos) {
+    target = target.substr(slash + 1);
+  }
+  std::string service(target);
+  auto operations = registry_.operation_names(service);
+  if (operations.empty()) {
+    return http::Response::make(
+        404, "Not Found", "no service '" + service + "' in this container");
+  }
+  auto description = soap::describe_service(
+      service, operations,
+      "http://" + endpoint().to_string() + "/" + service);
+  if (!description.ok()) {
+    return http::Response::make(500, "Internal Server Error",
+                                description.error().to_string());
+  }
+  return http::Response::make(200, "OK",
+                              soap::generate_wsdl(description.value()),
+                              "text/xml");
+}
+
+SpiServer::Stats SpiServer::stats() const {
+  Stats s;
+  s.dispatcher = dispatcher_.stats();
+  s.assembler = assembler_.stats();
+  s.http_requests = http_server_ ? http_server_->requests_served() : 0;
+  s.application_tasks =
+      application_pool_ ? application_pool_->completed_tasks() : 0;
+  s.admission_rejections =
+      admission_rejections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spi::core

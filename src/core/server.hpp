@@ -1,0 +1,100 @@
+// SpiServer — the paper's Figure 2 server: an HTTP/SOAP protocol stage and
+// an independent application stage joined by the Dispatcher/Assembler
+// pair.
+//
+// Lifecycle of one packed message:
+//   protocol thread: read HTTP -> parse envelope -> Dispatcher.parse
+//   dispatcher: fan out M calls to the application pool, protocol thread
+//               sleeps on the fan-in WaitGroup
+//   application threads: run the M registered handlers concurrently
+//   protocol thread (woken): Assembler packs M outcomes -> HTTP response
+//
+// The staged/coupled switch reproduces the ablation between Figure 2 and
+// Figure 1 (application work on the protocol thread itself).
+#pragma once
+
+#include <memory>
+
+#include "core/assembler.hpp"
+#include "core/handlers.hpp"
+#include "core/dispatcher.hpp"
+#include "core/registry.hpp"
+#include "http/server.hpp"
+
+namespace spi::core {
+
+struct ServerOptions {
+  /// Protocol stage width (HTTP connections served concurrently).
+  size_t protocol_threads = 8;
+
+  /// Application stage width (concurrent operation executions).
+  size_t application_threads = 8;
+
+  /// false = Figure 1 coupled architecture (handlers run on the protocol
+  /// thread); true = Figure 2 staged architecture.
+  bool staged = true;
+
+  /// Require and verify wsse:Security headers on every request.
+  std::optional<soap::WsseCredentials> wsse;
+
+  /// Calibrated packed-message handling overhead (see core/pack_cost.hpp).
+  PackCostModel pack_cost;
+
+  /// Use the single-pass streaming request parser where applicable
+  /// (no WSSE, not a plan). Functionally identical; skips the DOM.
+  bool streaming_parse = false;
+
+  /// Admission control (SEDA well-conditioning): messages being executed
+  /// concurrently beyond this bound are rejected with HTTP 503 + a Server
+  /// fault instead of queuing unboundedly. 0 = unlimited.
+  size_t max_concurrent_messages = 0;
+
+  http::ParserLimits http_limits;
+};
+
+class SpiServer {
+ public:
+  struct Stats {
+    Dispatcher::Stats dispatcher;
+    Assembler::Stats assembler;
+    std::uint64_t http_requests = 0;
+    std::uint64_t application_tasks = 0;
+    std::uint64_t admission_rejections = 0;
+  };
+
+  /// The registry is borrowed and must outlive the server; registering
+  /// more operations while serving is allowed (shared_mutex inside).
+  SpiServer(net::Transport& transport, net::Endpoint at,
+            const ServiceRegistry& registry, ServerOptions options = {});
+  ~SpiServer();
+
+  SpiServer(const SpiServer&) = delete;
+  SpiServer& operator=(const SpiServer&) = delete;
+
+  Status start();
+  void stop();
+
+  /// Axis-style handler chain (core/handlers.hpp); add handlers before
+  /// start(). Request handlers may veto a message (SOAP fault).
+  HandlerChain& handlers() { return handler_chain_; }
+
+  net::Endpoint endpoint() const;
+  Stats stats() const;
+
+ private:
+  http::Response handle(const http::Request& request);
+  http::Response handle_wsdl(const http::Request& request);
+
+  const ServiceRegistry& registry_;
+  ServerOptions options_;
+  std::unique_ptr<soap::WsseVerifier> verifier_;
+  Dispatcher dispatcher_;
+  Assembler assembler_;
+  HandlerChain handler_chain_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admission_rejections_{0};
+  std::unique_ptr<ThreadPool> application_pool_;
+  std::unique_ptr<http::HttpServer> http_server_;
+};
+
+}  // namespace spi::core

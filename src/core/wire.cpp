@@ -1,0 +1,430 @@
+#include "core/wire.hpp"
+
+#include "common/string_util.hpp"
+#include "soap/serializer.hpp"
+#include "soap/streaming.hpp"
+#include "xml/writer.hpp"
+
+namespace spi::core::wire {
+
+namespace {
+
+void write_params(xml::Writer& writer, const soap::Struct& params) {
+  for (const auto& [name, value] : params) {
+    soap::write_value(writer, name, value);
+  }
+}
+
+Result<soap::Struct> read_params(const xml::Element& element) {
+  soap::Struct params;
+  params.reserve(element.children.size());
+  for (const xml::Element& child : element.children) {
+    auto value = soap::read_value(child);
+    if (!value.ok()) {
+      return value.wrap_error("parameter '" + child.name + "'");
+    }
+    params.emplace_back(std::string(child.local_name()),
+                        std::move(value).value());
+  }
+  return params;
+}
+
+void write_call(xml::Writer& writer, const IndexedCall& indexed) {
+  writer.start_element("spi:Call");
+  std::string id;
+  append_u64(id, indexed.id);
+  writer.attribute("id", id);
+  writer.attribute("service", indexed.call.service);
+  writer.attribute("operation", indexed.call.operation);
+  write_params(writer, indexed.call.params);
+  writer.end_element();
+}
+
+Result<IndexedCall> read_call(const xml::Element& element) {
+  IndexedCall indexed;
+  auto id = element.attribute("id");
+  if (!id) {
+    return Error(ErrorCode::kProtocolError, "spi:Call missing id attribute");
+  }
+  auto parsed_id = parse_u64(*id);
+  if (!parsed_id || *parsed_id > 0xffffffffULL) {
+    return Error(ErrorCode::kProtocolError,
+                 "spi:Call has invalid id '" + std::string(*id) + "'");
+  }
+  indexed.id = static_cast<std::uint32_t>(*parsed_id);
+
+  auto service = element.attribute("service");
+  auto operation = element.attribute("operation");
+  if (!service || service->empty() || !operation || operation->empty()) {
+    return Error(ErrorCode::kProtocolError,
+                 "spi:Call missing service/operation attribute");
+  }
+  indexed.call.service = std::string(*service);
+  indexed.call.operation = std::string(*operation);
+
+  auto params = read_params(element);
+  if (!params.ok()) return params.error();
+  indexed.call.params = std::move(params).value();
+  return indexed;
+}
+
+/// Writes the payload of one response: <return .../> or a nested Fault.
+void write_outcome(xml::Writer& writer, const CallOutcome& outcome) {
+  if (outcome.ok()) {
+    soap::write_value(writer, "return", outcome.value());
+  } else {
+    writer.raw(soap::Fault::from_error(outcome.error()).to_xml());
+  }
+}
+
+Result<CallOutcome> read_outcome(const xml::Element& container) {
+  // Either a <return> accessor or a nested <SOAP-ENV:Fault>.
+  if (const xml::Element* fault_el = container.first_child("Fault")) {
+    auto fault = soap::Fault::from_element(*fault_el);
+    if (!fault) {
+      return Error(ErrorCode::kProtocolError, "malformed nested Fault");
+    }
+    return CallOutcome(fault->to_error());
+  }
+  if (const xml::Element* return_el = container.first_child("return")) {
+    auto value = soap::read_value(*return_el);
+    if (!value.ok()) return value.wrap_error("return value");
+    return CallOutcome(std::move(value).value());
+  }
+  return Error(ErrorCode::kProtocolError,
+               "response entry has neither <return> nor <Fault>");
+}
+
+}  // namespace
+
+std::string serialize_single_request(const ServiceCall& call) {
+  xml::Writer writer;
+  writer.start_element("spi:" + call.operation);
+  writer.attribute("spi:service", call.service);
+  write_params(writer, call.params);
+  writer.end_element();
+  return writer.take();
+}
+
+std::string serialize_packed_request(std::span<const ServiceCall> calls) {
+  xml::Writer writer;
+  writer.start_element("spi:Parallel_Method");
+  for (size_t i = 0; i < calls.size(); ++i) {
+    write_call(writer, IndexedCall{static_cast<std::uint32_t>(i), calls[i]});
+  }
+  writer.end_element();
+  return writer.take();
+}
+
+Result<ParsedRequest> parse_request(const soap::Envelope& envelope) {
+  if (envelope.body_entries.empty()) {
+    return Error(ErrorCode::kProtocolError, "request body is empty");
+  }
+  if (envelope.body_entries.size() != 1) {
+    return Error(ErrorCode::kProtocolError,
+                 "request body must contain exactly one entry");
+  }
+  const xml::Element& entry = envelope.body_entries.front();
+
+  ParsedRequest parsed;
+  if (entry.local_name() == "Remote_Execution") {
+    auto plan = parse_plan(entry);
+    if (!plan.ok()) return plan.error();
+    parsed.kind = ParsedRequest::Kind::kPlan;
+    parsed.packed = true;  // plans answer with Parallel_Response framing
+    parsed.plan = std::move(plan).value();
+    return parsed;
+  }
+  if (entry.local_name() == "Parallel_Method") {
+    parsed.kind = ParsedRequest::Kind::kPacked;
+    parsed.packed = true;
+    parsed.calls.reserve(entry.children.size());
+    for (const xml::Element& call_el : entry.children) {
+      if (call_el.local_name() != "Call") {
+        return Error(ErrorCode::kProtocolError,
+                     "unexpected <" + call_el.name + "> in Parallel_Method");
+      }
+      auto call = read_call(call_el);
+      if (!call.ok()) return call.error();
+      parsed.calls.push_back(std::move(call).value());
+    }
+    if (parsed.calls.empty()) {
+      return Error(ErrorCode::kProtocolError, "Parallel_Method has no calls");
+    }
+    return parsed;
+  }
+
+  // Traditional form: the element name is the operation.
+  IndexedCall indexed;
+  indexed.id = 0;
+  indexed.call.operation = std::string(entry.local_name());
+  if (auto service = entry.attribute("spi:service")) {
+    indexed.call.service = std::string(*service);
+  }
+  if (indexed.call.service.empty()) {
+    return Error(ErrorCode::kProtocolError,
+                 "request is missing the spi:service attribute");
+  }
+  auto params = read_params(entry);
+  if (!params.ok()) return params.error();
+  indexed.call.params = std::move(params).value();
+  parsed.kind = ParsedRequest::Kind::kSingle;
+  parsed.packed = false;
+  parsed.calls.push_back(std::move(indexed));
+  return parsed;
+}
+
+std::string serialize_plan_request(const RemotePlan& plan) {
+  return serialize_plan(plan);
+}
+
+namespace {
+
+std::string_view token_local(const xml::Token& token) {
+  std::string_view name = token.name;
+  size_t colon = name.rfind(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+std::optional<std::string_view> token_attribute(const xml::Token& token,
+                                                std::string_view name) {
+  for (const xml::Attribute& attribute : token.attributes) {
+    if (attribute.name == name) return std::string_view(attribute.value);
+  }
+  return std::nullopt;
+}
+
+/// Reads the parameter accessors of a call element whose start token has
+/// been consumed, through its end element.
+Result<soap::Struct> stream_params(xml::PullParser& parser,
+                                   const xml::Token& call_start) {
+  soap::Struct params;
+  if (call_start.self_closing) {
+    auto end = parser.next();  // synthesized end
+    if (!end.ok()) return end.error();
+    return params;
+  }
+  soap::ValueStreamReader reader(parser);
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    if (token.value().type == xml::TokenType::kEndElement) break;
+    if (token.value().type == xml::TokenType::kStartElement) {
+      std::string name(token_local(token.value()));
+      auto value = reader.read_value(token.value());
+      if (!value.ok()) {
+        return value.wrap_error("parameter '" + name + "'");
+      }
+      params.emplace_back(std::move(name), std::move(value).value());
+    } else if (token.value().type == xml::TokenType::kEndOfDocument) {
+      return Error(ErrorCode::kParseError, "unexpected end of document");
+    }
+    // Whitespace text, comments: ignored between accessors.
+  }
+  return params;
+}
+
+}  // namespace
+
+Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml) {
+  xml::PullParser parser(envelope_xml);
+
+  // Walk to the Envelope start.
+  xml::Token envelope;
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    if (token.value().type == xml::TokenType::kStartElement) {
+      envelope = std::move(token).value();
+      break;
+    }
+    if (token.value().type == xml::TokenType::kEndOfDocument) {
+      return Error(ErrorCode::kProtocolError, "empty document");
+    }
+  }
+  if (token_local(envelope) != "Envelope") {
+    return Error(ErrorCode::kProtocolError,
+                 "root element is <" + envelope.name + ">, expected Envelope");
+  }
+
+  // Children of Envelope: skip Header subtree(s), find Body.
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    if (token.value().type == xml::TokenType::kEndElement ||
+        token.value().type == xml::TokenType::kEndOfDocument) {
+      return Error(ErrorCode::kProtocolError, "envelope has no Body");
+    }
+    if (token.value().type != xml::TokenType::kStartElement) continue;
+    if (token_local(token.value()) == "Body") break;
+    // Header or foreign block: skip wholesale.
+    if (!token.value().self_closing) {
+      if (Status skipped = soap::skip_subtree(parser, token.value());
+          !skipped.ok()) {
+        return skipped.error();
+      }
+    } else {
+      auto end = parser.next();
+      if (!end.ok()) return end.error();
+    }
+  }
+
+  // The single body entry.
+  xml::Token entry;
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    if (token.value().type == xml::TokenType::kEndElement) {
+      return Error(ErrorCode::kProtocolError, "request body is empty");
+    }
+    if (token.value().type == xml::TokenType::kStartElement) {
+      entry = std::move(token).value();
+      break;
+    }
+    if (token.value().type == xml::TokenType::kEndOfDocument) {
+      return Error(ErrorCode::kProtocolError, "truncated envelope");
+    }
+  }
+
+  ParsedRequest parsed;
+  if (token_local(entry) == "Remote_Execution") {
+    // Plans are rare and small; reuse the DOM reference path.
+    return Error(ErrorCode::kInvalidArgument,
+                 "streaming parser does not handle Remote_Execution");
+  }
+
+  if (token_local(entry) == "Parallel_Method") {
+    parsed.kind = ParsedRequest::Kind::kPacked;
+    parsed.packed = true;
+    if (!entry.self_closing) {
+      while (true) {
+        auto token = parser.next();
+        if (!token.ok()) return token.error();
+        if (token.value().type == xml::TokenType::kEndElement) break;
+        if (token.value().type != xml::TokenType::kStartElement) continue;
+        if (token_local(token.value()) != "Call") {
+          return Error(ErrorCode::kProtocolError,
+                       "unexpected <" + token.value().name +
+                           "> in Parallel_Method");
+        }
+        IndexedCall indexed;
+        auto id = token_attribute(token.value(), "id");
+        auto parsed_id = id ? parse_u64(*id) : std::nullopt;
+        if (!parsed_id || *parsed_id > 0xffffffffULL) {
+          return Error(ErrorCode::kProtocolError,
+                       "spi:Call missing/invalid id attribute");
+        }
+        indexed.id = static_cast<std::uint32_t>(*parsed_id);
+        auto service = token_attribute(token.value(), "service");
+        auto operation = token_attribute(token.value(), "operation");
+        if (!service || service->empty() || !operation ||
+            operation->empty()) {
+          return Error(ErrorCode::kProtocolError,
+                       "spi:Call missing service/operation attribute");
+        }
+        indexed.call.service = std::string(*service);
+        indexed.call.operation = std::string(*operation);
+        auto params = stream_params(parser, token.value());
+        if (!params.ok()) return params.error();
+        indexed.call.params = std::move(params).value();
+        parsed.calls.push_back(std::move(indexed));
+      }
+    }
+    if (parsed.calls.empty()) {
+      return Error(ErrorCode::kProtocolError, "Parallel_Method has no calls");
+    }
+    return parsed;
+  }
+
+  // Traditional single call.
+  IndexedCall indexed;
+  indexed.id = 0;
+  indexed.call.operation = std::string(token_local(entry));
+  if (auto service = token_attribute(entry, "spi:service")) {
+    indexed.call.service = std::string(*service);
+  }
+  if (indexed.call.service.empty()) {
+    return Error(ErrorCode::kProtocolError,
+                 "request is missing the spi:service attribute");
+  }
+  auto params = stream_params(parser, entry);
+  if (!params.ok()) return params.error();
+  indexed.call.params = std::move(params).value();
+  parsed.kind = ParsedRequest::Kind::kSingle;
+  parsed.packed = false;
+  parsed.calls.push_back(std::move(indexed));
+  return parsed;
+}
+
+std::string serialize_single_response(const ServiceCall& call,
+                                      const CallOutcome& outcome) {
+  if (!outcome.ok()) {
+    // Traditional SOAP: a failed call's body is a bare Fault entry.
+    return soap::Fault::from_error(outcome.error()).to_xml();
+  }
+  xml::Writer writer;
+  writer.start_element("spi:" + call.operation + "Response");
+  write_outcome(writer, outcome);
+  writer.end_element();
+  return writer.take();
+}
+
+std::string serialize_packed_response(
+    std::span<const IndexedOutcome> outcomes) {
+  xml::Writer writer;
+  writer.start_element("spi:Parallel_Response");
+  for (const IndexedOutcome& indexed : outcomes) {
+    writer.start_element("spi:CallResponse");
+    std::string id;
+    append_u64(id, indexed.id);
+    writer.attribute("id", id);
+    write_outcome(writer, indexed.outcome);
+    writer.end_element();
+  }
+  writer.end_element();
+  return writer.take();
+}
+
+Result<ParsedResponse> parse_response(const soap::Envelope& envelope) {
+  if (envelope.body_entries.size() != 1) {
+    return Error(ErrorCode::kProtocolError,
+                 "response body must contain exactly one entry");
+  }
+  const xml::Element& entry = envelope.body_entries.front();
+
+  ParsedResponse parsed;
+  if (entry.local_name() == "Parallel_Response") {
+    parsed.packed = true;
+    parsed.outcomes.reserve(entry.children.size());
+    for (const xml::Element& response_el : entry.children) {
+      if (response_el.local_name() != "CallResponse") {
+        return Error(ErrorCode::kProtocolError,
+                     "unexpected <" + response_el.name +
+                         "> in Parallel_Response");
+      }
+      auto id = response_el.attribute("id");
+      auto parsed_id = id ? parse_u64(*id) : std::nullopt;
+      if (!parsed_id || *parsed_id > 0xffffffffULL) {
+        return Error(ErrorCode::kProtocolError,
+                     "CallResponse has a missing/invalid id");
+      }
+      auto outcome = read_outcome(response_el);
+      if (!outcome.ok()) return outcome.error();
+      parsed.outcomes.push_back(IndexedOutcome{
+          static_cast<std::uint32_t>(*parsed_id), std::move(outcome).value()});
+    }
+    return parsed;
+  }
+
+  parsed.packed = false;
+  if (auto fault = soap::Fault::from_element(entry)) {
+    parsed.outcomes.push_back(IndexedOutcome{0, CallOutcome(fault->to_error())});
+    return parsed;
+  }
+  auto outcome = read_outcome(entry);
+  if (!outcome.ok()) return outcome.error();
+  parsed.outcomes.push_back(IndexedOutcome{0, std::move(outcome).value()});
+  return parsed;
+}
+
+}  // namespace spi::core::wire

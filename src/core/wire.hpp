@@ -1,0 +1,93 @@
+// SPI wire format (DESIGN.md §6): serialization and parsing of service
+// calls, both the traditional one-call-per-message form and the packed
+// Parallel_Method form from the paper's Figure 4. The Assembler
+// (assembler.hpp) and Dispatcher (dispatcher.hpp) are thin, stateful
+// layers over these pure functions, which keeps the format round-trip
+// property-testable in isolation.
+//
+// Packed request body:
+//   <spi:Parallel_Method>
+//     <spi:Call id="0" service="S" operation="O"> ...param accessors... </spi:Call>
+//     ...
+//   </spi:Parallel_Method>
+//
+// Packed response body:
+//   <spi:Parallel_Response>
+//     <spi:CallResponse id="0"> <return .../> | <SOAP-ENV:Fault>...</...> </spi:CallResponse>
+//     ...
+//   </spi:Parallel_Response>
+//
+// Traditional request body:  <spi:{Operation} spi:service="S"> ...params... </spi:{Operation}>
+// Traditional response body: <spi:{Operation}Response> <return .../> </spi:{Operation}Response>
+// (or a plain <SOAP-ENV:Fault> body entry on failure.)
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/call.hpp"
+#include "core/remote_plan.hpp"
+#include "soap/envelope.hpp"
+
+namespace spi::core::wire {
+
+// --- request side -----------------------------------------------------------
+
+/// Serializes one call as a traditional body entry.
+std::string serialize_single_request(const ServiceCall& call);
+
+/// Serializes calls[i] with id=i into one Parallel_Method body entry.
+std::string serialize_packed_request(std::span<const ServiceCall> calls);
+
+/// What a server found in a request envelope body.
+struct ParsedRequest {
+  enum class Kind {
+    kSingle,  // traditional one-operation message
+    kPacked,  // Parallel_Method (the pack interface)
+    kPlan,    // Remote_Execution (the remote-execution interface)
+  };
+  Kind kind = Kind::kSingle;
+  bool packed = false;  // kind != kSingle (responses use packed framing)
+  std::vector<IndexedCall> calls;  // kSingle: 1 entry; kPacked: M; kPlan: empty
+  RemotePlan plan;                 // kPlan only
+
+  /// Number of operations this request will execute.
+  size_t call_count() const {
+    return kind == Kind::kPlan ? plan.steps.size() : calls.size();
+  }
+};
+
+/// Parses a request body (auto-detects packed / plan / traditional — the
+/// "no change to services code" property: old-style clients keep working).
+Result<ParsedRequest> parse_request(const soap::Envelope& envelope);
+
+/// Single-pass streaming variant over the raw envelope document: no DOM is
+/// built (§2.2-style parsing optimization; soap/streaming.hpp). Header
+/// blocks are skipped, so it cannot serve WS-Security deployments —
+/// Dispatcher falls back to the DOM path there. Remote_Execution bodies
+/// also fall back (plans are small; the win is on packed batches).
+/// Property-tested equivalent to the DOM path on its supported shapes.
+Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml);
+
+/// Serializes a Remote_Execution body entry (see remote_plan.hpp).
+std::string serialize_plan_request(const RemotePlan& plan);
+
+// --- response side ----------------------------------------------------------
+
+/// Serializes a traditional (single) response body entry.
+std::string serialize_single_response(const ServiceCall& call,
+                                      const CallOutcome& outcome);
+
+/// Serializes outcomes into one Parallel_Response body entry. Outcomes
+/// must carry the ids of the requests they answer.
+std::string serialize_packed_response(std::span<const IndexedOutcome> outcomes);
+
+struct ParsedResponse {
+  bool packed = false;
+  std::vector<IndexedOutcome> outcomes;  // exactly 1 when !packed
+};
+
+/// Parses a response body (packed, traditional, or a bare Fault).
+Result<ParsedResponse> parse_response(const soap::Envelope& envelope);
+
+}  // namespace spi::core::wire

@@ -1,0 +1,96 @@
+#include "http/connection_pool.hpp"
+
+namespace spi::http {
+
+PooledConnection::~PooledConnection() { release(); }
+
+PooledConnection::PooledConnection(PooledConnection&& other) noexcept
+    : connection_(std::move(other.connection_)),
+      pool_(other.pool_),
+      endpoint_(std::move(other.endpoint_)),
+      poisoned_(other.poisoned_) {
+  other.pool_ = nullptr;
+}
+
+PooledConnection& PooledConnection::operator=(
+    PooledConnection&& other) noexcept {
+  if (this != &other) {
+    release();
+    connection_ = std::move(other.connection_);
+    pool_ = other.pool_;
+    endpoint_ = std::move(other.endpoint_);
+    poisoned_ = other.poisoned_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PooledConnection::release() {
+  if (pool_ && connection_) {
+    pool_->give_back(endpoint_, std::move(connection_), poisoned_);
+  }
+  pool_ = nullptr;
+}
+
+ConnectionPool::ConnectionPool(net::Transport& transport,
+                               size_t max_idle_per_endpoint)
+    : transport_(transport), max_idle_(max_idle_per_endpoint) {}
+
+Result<PooledConnection> ConnectionPool::acquire(
+    const net::Endpoint& endpoint) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = idle_.find(endpoint);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<net::Connection> connection =
+          std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.reused;
+      return PooledConnection(std::move(connection), this, endpoint);
+    }
+  }
+  auto connection = transport_.connect(endpoint);
+  if (!connection.ok()) {
+    return connection.wrap_error("pool connect");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.created;
+  }
+  return PooledConnection(std::move(connection).value(), this, endpoint);
+}
+
+void ConnectionPool::give_back(const net::Endpoint& endpoint,
+                               std::unique_ptr<net::Connection> connection,
+                               bool poisoned) {
+  std::lock_guard lock(mutex_);
+  if (poisoned) {
+    ++stats_.discarded;
+    return;  // connection destroyed on scope exit
+  }
+  auto& bucket = idle_[endpoint];
+  if (bucket.size() >= max_idle_) {
+    ++stats_.discarded;
+    return;
+  }
+  bucket.push_back(std::move(connection));
+  ++stats_.returned;
+}
+
+void ConnectionPool::clear() {
+  std::lock_guard lock(mutex_);
+  idle_.clear();
+}
+
+ConnectionPool::Stats ConnectionPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+size_t ConnectionPool::idle_count(const net::Endpoint& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = idle_.find(endpoint);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+}  // namespace spi::http

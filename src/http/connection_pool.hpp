@@ -1,0 +1,94 @@
+// Keep-alive connection pool shared across clients/threads. HttpClient's
+// built-in reuse is per-client-instance; deployments with many short-lived
+// clients (the multithreaded strategy, AutoBatcher bursts) share one pool
+// so sockets amortize across them. Bounded per endpoint; idle connections
+// beyond the bound are closed instead of cached.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace spi::http {
+
+class ConnectionPool;
+
+/// RAII lease on a pooled connection. Returns the connection to the pool
+/// on destruction unless poisoned (transport error seen by the borrower).
+class PooledConnection {
+ public:
+  PooledConnection() = default;
+  ~PooledConnection();
+  PooledConnection(PooledConnection&& other) noexcept;
+  PooledConnection& operator=(PooledConnection&& other) noexcept;
+  PooledConnection(const PooledConnection&) = delete;
+  PooledConnection& operator=(const PooledConnection&) = delete;
+
+  net::Connection* operator->() { return connection_.get(); }
+  net::Connection& operator*() { return *connection_; }
+  bool valid() const { return connection_ != nullptr; }
+
+  /// Marks the connection unfit for reuse (peer closed, framing broken);
+  /// it will be destroyed instead of returned.
+  void poison() { poisoned_ = true; }
+
+ private:
+  friend class ConnectionPool;
+  PooledConnection(std::unique_ptr<net::Connection> connection,
+                   ConnectionPool* pool, net::Endpoint endpoint)
+      : connection_(std::move(connection)),
+        pool_(pool),
+        endpoint_(std::move(endpoint)) {}
+
+  void release();
+
+  std::unique_ptr<net::Connection> connection_;
+  ConnectionPool* pool_ = nullptr;
+  net::Endpoint endpoint_;
+  bool poisoned_ = false;
+};
+
+class ConnectionPool {
+ public:
+  struct Stats {
+    std::uint64_t created = 0;    // new transport connections
+    std::uint64_t reused = 0;     // acquisitions served from the pool
+    std::uint64_t returned = 0;   // leases returned healthy
+    std::uint64_t discarded = 0;  // poisoned or over the idle bound
+  };
+
+  /// `max_idle_per_endpoint`: idle connections cached per endpoint.
+  explicit ConnectionPool(net::Transport& transport,
+                          size_t max_idle_per_endpoint = 8);
+  ~ConnectionPool() = default;
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  /// Leases a connection to `endpoint`: cached if available, freshly
+  /// connected otherwise.
+  Result<PooledConnection> acquire(const net::Endpoint& endpoint);
+
+  /// Drops all idle connections.
+  void clear();
+
+  Stats stats() const;
+  size_t idle_count(const net::Endpoint& endpoint) const;
+
+ private:
+  friend class PooledConnection;
+  void give_back(const net::Endpoint& endpoint,
+                 std::unique_ptr<net::Connection> connection, bool poisoned);
+
+  net::Transport& transport_;
+  size_t max_idle_;
+  mutable std::mutex mutex_;
+  std::map<net::Endpoint, std::vector<std::unique_ptr<net::Connection>>>
+      idle_;
+  Stats stats_;
+};
+
+}  // namespace spi::http

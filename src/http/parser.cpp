@@ -1,0 +1,275 @@
+#include "http/parser.hpp"
+
+#include "common/string_util.hpp"
+
+namespace spi::http {
+
+MessageParser::MessageParser(Mode mode, ParserLimits limits)
+    : mode_(mode), limits_(limits) {}
+
+void MessageParser::feed(std::string_view bytes) {
+  if (failed_) return;
+  buffer_.append(bytes);
+}
+
+void MessageParser::fail(std::string message) {
+  failed_ = true;
+  error_ = Error(ErrorCode::kProtocolError, std::move(message));
+}
+
+std::optional<std::string> MessageParser::take_line() {
+  size_t eol = buffer_.find("\r\n");
+  if (eol == ByteBuffer::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      fail("header line exceeds limit");
+    }
+    return std::nullopt;
+  }
+  std::string line = buffer_.read_string(eol);
+  buffer_.consume(2);
+  header_bytes_ += eol + 2;
+  if (header_bytes_ > limits_.max_header_bytes) {
+    fail("headers exceed size limit");
+    return std::nullopt;
+  }
+  return line;
+}
+
+bool MessageParser::parse_start_line(std::string_view line) {
+  if (mode_ == Mode::kRequest) {
+    // METHOD SP TARGET SP HTTP/1.x
+    auto parts = split(line, ' ');
+    if (parts.size() != 3) {
+      fail("malformed request line");
+      return false;
+    }
+    if (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0") {
+      fail("unsupported HTTP version '" + std::string(parts[2]) + "'");
+      return false;
+    }
+    if (parts[0].empty() || parts[1].empty()) {
+      fail("empty method or target");
+      return false;
+    }
+    request_ = Request{};
+    request_.method = std::string(parts[0]);
+    request_.target = std::string(parts[1]);
+    if (parts[2] == "HTTP/1.0") {
+      // 1.0 default is close; normalize so keep_alive() is uniform.
+      request_.headers.set("Connection", "close");
+    }
+  } else {
+    // HTTP/1.x SP STATUS SP REASON
+    if (!starts_with(line, "HTTP/1.")) {
+      fail("malformed status line");
+      return false;
+    }
+    size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos) {
+      fail("malformed status line");
+      return false;
+    }
+    size_t sp2 = line.find(' ', sp1 + 1);
+    std::string_view code = line.substr(
+        sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                               : sp2 - sp1 - 1);
+    auto status = parse_u64(code);
+    if (!status || *status < 100 || *status > 599) {
+      fail("invalid status code '" + std::string(code) + "'");
+      return false;
+    }
+    response_ = Response{};
+    response_.status = static_cast<int>(*status);
+    response_.reason = sp2 == std::string_view::npos
+                           ? std::string()
+                           : std::string(line.substr(sp2 + 1));
+  }
+  return true;
+}
+
+bool MessageParser::parse_header_line(std::string_view line) {
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail("malformed header line");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  // RFC 7230 tokens: no whitespace or control characters in field names.
+  for (char c : name) {
+    if (c <= ' ' || c == 0x7f) {
+      fail("invalid header field name");
+      return false;
+    }
+  }
+  if (name.empty()) {
+    fail("empty header field name");
+    return false;
+  }
+  std::string_view value = trim(line.substr(colon + 1));
+  Headers& headers =
+      mode_ == Mode::kRequest ? request_.headers : response_.headers;
+  headers.add(name, value);
+  return true;
+}
+
+bool MessageParser::on_headers_complete() {
+  const Headers& headers =
+      mode_ == Mode::kRequest ? request_.headers : response_.headers;
+
+  chunked_ = false;
+  if (auto te = headers.get("Transfer-Encoding")) {
+    if (iequals(trim(*te), "chunked")) {
+      chunked_ = true;
+    } else {
+      fail("unsupported Transfer-Encoding '" + std::string(*te) + "'");
+      return false;
+    }
+  }
+
+  if (chunked_) {
+    if (headers.contains("Content-Length")) {
+      fail("both Content-Length and Transfer-Encoding present");
+      return false;
+    }
+    state_ = State::kChunkSize;
+    return true;
+  }
+
+  auto length_header = headers.get("Content-Length");
+  if (!length_header) {
+    // No body. (Responses to POST always carry Content-Length in this
+    // stack; read-until-close is deliberately unsupported.)
+    body_remaining_ = 0;
+    state_ = State::kComplete;
+    return true;
+  }
+  auto length = parse_u64(trim(*length_header));
+  if (!length) {
+    fail("invalid Content-Length '" + std::string(*length_header) + "'");
+    return false;
+  }
+  if (*length > limits_.max_body_bytes) {
+    fail("body exceeds size limit");
+    return false;
+  }
+  body_remaining_ = static_cast<size_t>(*length);
+  state_ = body_remaining_ == 0 ? State::kComplete : State::kBody;
+  return true;
+}
+
+bool MessageParser::advance() {
+  switch (state_) {
+    case State::kStartLine: {
+      // Tolerate leading CRLF between pipelined messages (RFC 7230 §3.5).
+      while (buffer_.size() >= 2 && buffer_.view().substr(0, 2) == "\r\n") {
+        buffer_.consume(2);
+      }
+      auto line = take_line();
+      if (!line) return false;
+      if (!parse_start_line(*line)) return false;
+      state_ = State::kHeaders;
+      return true;
+    }
+    case State::kHeaders: {
+      auto line = take_line();
+      if (!line) return false;
+      if (line->empty()) return on_headers_complete();
+      return parse_header_line(*line);
+    }
+    case State::kBody: {
+      if (buffer_.empty()) return false;
+      std::string& body =
+          mode_ == Mode::kRequest ? request_.body : response_.body;
+      size_t take = std::min(body_remaining_, buffer_.size());
+      body += buffer_.read_string(take);
+      body_remaining_ -= take;
+      if (body_remaining_ == 0) state_ = State::kComplete;
+      return true;
+    }
+    case State::kChunkSize: {
+      auto line = take_line();
+      if (!line) return false;
+      // Ignore chunk extensions after ';'.
+      std::string_view size_field = trim(split(*line, ';')[0]);
+      auto size = parse_hex_u64(size_field);
+      if (!size) {
+        fail("invalid chunk size '" + *line + "'");
+        return false;
+      }
+      std::string& body =
+          mode_ == Mode::kRequest ? request_.body : response_.body;
+      if (body.size() + *size > limits_.max_body_bytes) {
+        fail("chunked body exceeds size limit");
+        return false;
+      }
+      chunk_remaining_ = static_cast<size_t>(*size);
+      state_ = chunk_remaining_ == 0 ? State::kChunkTrailer : State::kChunkData;
+      return true;
+    }
+    case State::kChunkData: {
+      if (buffer_.empty()) return false;
+      std::string& body =
+          mode_ == Mode::kRequest ? request_.body : response_.body;
+      if (chunk_remaining_ > 0) {
+        size_t take = std::min(chunk_remaining_, buffer_.size());
+        body += buffer_.read_string(take);
+        chunk_remaining_ -= take;
+      }
+      if (chunk_remaining_ == 0) {
+        if (buffer_.size() < 2) return false;
+        if (buffer_.view().substr(0, 2) != "\r\n") {
+          fail("chunk data not terminated by CRLF");
+          return false;
+        }
+        buffer_.consume(2);
+        state_ = State::kChunkSize;
+      }
+      return true;
+    }
+    case State::kChunkTrailer: {
+      auto line = take_line();
+      if (!line) return false;
+      if (line->empty()) state_ = State::kComplete;
+      // Non-empty trailer headers are parsed and discarded.
+      return true;
+    }
+    case State::kComplete:
+      message_ready_ = true;
+      return false;
+  }
+  return false;
+}
+
+std::optional<Request> MessageParser::poll_request() {
+  if (mode_ != Mode::kRequest) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "poll_request on a response parser");
+  }
+  while (!failed_ && state_ != State::kComplete && advance()) {
+  }
+  if (failed_ || state_ != State::kComplete) return std::nullopt;
+  Request out = std::move(request_);
+  request_ = Request{};
+  state_ = State::kStartLine;
+  header_bytes_ = 0;
+  message_ready_ = false;
+  return out;
+}
+
+std::optional<Response> MessageParser::poll_response() {
+  if (mode_ != Mode::kResponse) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "poll_response on a request parser");
+  }
+  while (!failed_ && state_ != State::kComplete && advance()) {
+  }
+  if (failed_ || state_ != State::kComplete) return std::nullopt;
+  Response out = std::move(response_);
+  response_ = Response{};
+  state_ = State::kStartLine;
+  header_bytes_ = 0;
+  message_ready_ = false;
+  return out;
+}
+
+}  // namespace spi::http

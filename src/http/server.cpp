@@ -1,0 +1,146 @@
+#include "http/server.hpp"
+
+#include "common/logging.hpp"
+
+namespace spi::http {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}
+
+HttpServer::HttpServer(net::Transport& transport, net::Endpoint at,
+                       Handler handler, ServerOptions options)
+    : transport_(transport),
+      requested_endpoint_(std::move(at)),
+      handler_(std::move(handler)),
+      options_(options) {
+  if (!handler_) {
+    throw SpiError(ErrorCode::kInvalidArgument, "HttpServer: null handler");
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+Status HttpServer::start() {
+  if (running_.exchange(true)) {
+    return Error(ErrorCode::kAlreadyExists, "server already started");
+  }
+  auto listener = transport_.listen(requested_endpoint_);
+  if (!listener.ok()) {
+    running_ = false;
+    return listener.wrap_error("http listen");
+  }
+  listener_ = std::move(listener).value();
+  endpoint_ = listener_->endpoint();
+  connection_pool_ = std::make_unique<ThreadPool>(
+      options_.protocol_threads, "http-protocol");
+  acceptor_ = std::jthread([this] { accept_loop(); });
+  SPI_LOG(kInfo, "http.server") << "serving on " << endpoint_.to_string();
+  return Status();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // Wake protocol threads parked in receive() on keep-alive connections;
+  // without this, pool shutdown would wait on them forever.
+  {
+    std::lock_guard lock(live_mutex_);
+    for (net::Connection* connection : live_connections_) {
+      connection->abort();
+    }
+  }
+  // Drain in-flight connections, then drop the pool and listener.
+  connection_pool_.reset();
+  listener_.reset();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto connection = listener_->accept();
+    if (!connection.ok()) {
+      if (connection.error().code() == ErrorCode::kShutdown) return;
+      SPI_LOG(kWarn, "http.server")
+          << "accept failed: " << connection.error().to_string();
+      continue;
+    }
+    // One pooled task serves the connection until it closes. shared_ptr
+    // because std::function requires copyable captures.
+    auto shared =
+        std::make_shared<std::unique_ptr<net::Connection>>(
+            std::move(connection).value());
+    bool accepted = connection_pool_->submit(
+        [this, shared] { serve_connection(std::move(*shared)); });
+    if (!accepted) return;  // shutting down
+  }
+}
+
+void HttpServer::serve_connection(
+    std::unique_ptr<net::Connection> connection) {
+  // Register for abort-on-stop; unregister before the connection dies.
+  {
+    std::lock_guard lock(live_mutex_);
+    live_connections_.insert(connection.get());
+  }
+  struct LiveGuard {
+    HttpServer* server;
+    net::Connection* connection;
+    ~LiveGuard() {
+      std::lock_guard lock(server->live_mutex_);
+      server->live_connections_.erase(connection);
+    }
+  } live_guard{this, connection.get()};
+
+  MessageParser parser(MessageParser::Mode::kRequest, options_.limits);
+  while (true) {
+    std::optional<Request> request = parser.poll_request();
+    if (!request) {
+      if (parser.failed()) {
+        SPI_LOG(kDebug, "http.server")
+            << "bad request: " << parser.error().to_string();
+        Response bad = Response::make(400, "Bad Request",
+                                      parser.error().to_string());
+        bad.headers.set("Connection", "close");
+        (void)connection->send(bad.serialize());
+        connection->close();
+        return;
+      }
+      auto bytes = connection->receive(kReadChunk);
+      if (!bytes.ok()) {
+        // Clean close between messages is normal; anything else is logged.
+        if (bytes.error().code() != ErrorCode::kConnectionClosed) {
+          SPI_LOG(kDebug, "http.server")
+              << "receive failed: " << bytes.error().to_string();
+        }
+        connection->close();
+        return;
+      }
+      parser.feed(bytes.value());
+      continue;
+    }
+
+    bool keep = request->keep_alive();
+    Response response;
+    try {
+      response = handler_(*request);
+    } catch (const std::exception& e) {
+      SPI_LOG(kError, "http.server") << "handler threw: " << e.what();
+      response = Response::make(500, "Internal Server Error", e.what());
+      keep = false;
+    }
+    if (!keep) response.headers.set("Connection", "close");
+
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (Status sent = connection->send(response.serialize()); !sent.ok()) {
+      connection->close();
+      return;
+    }
+    if (!keep) {
+      connection->close();
+      return;
+    }
+  }
+}
+
+}  // namespace spi::http

@@ -1,0 +1,80 @@
+// Threaded HTTP/1.1 server over a Transport: an acceptor thread plus a
+// protocol thread pool, one task per live connection. This *is* the
+// "common architecture" of the paper's Figure 1 — the protocol thread that
+// reads, parses, and (in the base architecture) also executes the service.
+// The SPI server (core/server.hpp) plugs a handler into this layer that
+// instead dispatches to an independent application stage (Figure 2).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "concurrency/thread_pool.hpp"
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/transport.hpp"
+
+namespace spi::http {
+
+struct ServerOptions {
+  /// Protocol-stage pool size: concurrent connections being served.
+  size_t protocol_threads = 8;
+  ParserLimits limits;
+};
+
+class HttpServer {
+ public:
+  /// The handler runs on a protocol thread and may block (the SPI server
+  /// blocks it on the application stage's completion, which is the paper's
+  /// "sleeping protocol thread" behaviour).
+  using Handler = std::function<Response(const Request&)>;
+
+  HttpServer(net::Transport& transport, net::Endpoint at, Handler handler,
+             ServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts accepting. Fails if the endpoint is taken.
+  Status start();
+
+  /// Stops accepting, closes the listener, and joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Actual bound endpoint (valid after start()).
+  net::Endpoint endpoint() const { return endpoint_; }
+
+  /// Number of HTTP requests served (across all connections).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::unique_ptr<net::Connection> connection);
+
+  net::Transport& transport_;
+  net::Endpoint requested_endpoint_;
+  net::Endpoint endpoint_;
+  Handler handler_;
+  ServerOptions options_;
+
+  std::unique_ptr<net::Listener> listener_;
+  std::unique_ptr<ThreadPool> connection_pool_;
+  std::jthread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  /// Connections currently being served; stop() aborts them so protocol
+  /// threads blocked in receive() on idle keep-alive connections wake up.
+  std::mutex live_mutex_;
+  std::set<net::Connection*> live_connections_;
+};
+
+}  // namespace spi::http

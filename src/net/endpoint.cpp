@@ -1,0 +1,31 @@
+#include "net/endpoint.hpp"
+
+#include "common/string_util.hpp"
+
+namespace spi::net {
+
+std::string Endpoint::to_string() const {
+  std::string out = host;
+  out += ':';
+  append_u64(out, port);
+  return out;
+}
+
+Result<Endpoint> Endpoint::parse(std::string_view text) {
+  size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "endpoint '" + std::string(text) + "': expected host:port");
+  }
+  auto port = parse_u64(text.substr(colon + 1));
+  if (!port || *port > 65535) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "endpoint '" + std::string(text) + "': invalid port");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(text.substr(0, colon));
+  endpoint.port = static_cast<std::uint16_t>(*port);
+  return endpoint;
+}
+
+}  // namespace spi::net

@@ -1,0 +1,25 @@
+// Network endpoint naming shared by the simulated and TCP transports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace spi::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+
+  /// Parses "host:port". Fails on missing/invalid port.
+  static Result<Endpoint> parse(std::string_view text);
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+}  // namespace spi::net

@@ -1,0 +1,238 @@
+#include "net/sim_transport.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+#include "concurrency/blocking_queue.hpp"
+
+namespace spi::net {
+
+namespace detail {
+
+/// One direction of a simulated connection: a queue of timestamped chunks.
+/// pop() honours each chunk's delivery time by sleeping on the injected
+/// clock, then charges the receiver's endpoint-processing cost.
+class SimPipe {
+ public:
+  struct Chunk {
+    std::string bytes;
+    TimePoint available_at;
+  };
+
+  /// Returns false if the pipe has been closed.
+  bool push(Chunk chunk) { return queue_.push(std::move(chunk)); }
+
+  void close() { queue_.close(); }
+
+  Result<std::string> pop(size_t max_bytes, Clock& clock, SimLink& link,
+                          LinkDirection direction, Duration timeout) {
+    std::lock_guard reader_lock(reader_mutex_);
+    if (pending_.empty()) {
+      std::optional<Chunk> chunk;
+      if (timeout > Duration::zero()) {
+        chunk = queue_.pop_for(timeout);
+        if (!chunk && !queue_.closed()) {
+          return Error(ErrorCode::kTimeout, "receive timed out");
+        }
+      } else {
+        chunk = queue_.pop();
+      }
+      if (!chunk) {
+        return Error(ErrorCode::kConnectionClosed, "peer closed connection");
+      }
+      TimePoint now = clock.now();
+      if (chunk->available_at > now) {
+        clock.sleep_for(chunk->available_at - now);
+      }
+      // Receiver-side endpoint processing (deserialization stack share),
+      // queued on the receiving host's CPU pool.
+      clock.sleep_for(
+          link.receive_wait(chunk->bytes.size(), clock.now(), direction));
+      pending_ = std::move(chunk->bytes);
+      pending_offset_ = 0;
+    }
+    size_t available = pending_.size() - pending_offset_;
+    size_t take = std::min(max_bytes, available);
+    std::string out = pending_.substr(pending_offset_, take);
+    pending_offset_ += take;
+    if (pending_offset_ == pending_.size()) {
+      pending_.clear();
+      pending_offset_ = 0;
+    }
+    return out;
+  }
+
+ private:
+  BlockingQueue<Chunk> queue_;
+  std::mutex reader_mutex_;
+  std::string pending_;  // partially-consumed chunk
+  size_t pending_offset_ = 0;
+};
+
+class SimConnection final : public Connection {
+ public:
+  SimConnection(std::shared_ptr<SimPipe> out, std::shared_ptr<SimPipe> in,
+                LinkDirection out_direction, SimLink* link, Clock* clock,
+                WireStatsCollector* stats)
+      : out_(std::move(out)),
+        in_(std::move(in)),
+        out_direction_(out_direction),
+        link_(link),
+        clock_(clock),
+        stats_(stats) {}
+
+  ~SimConnection() override { close(); }
+
+  Status send(std::string_view bytes) override {
+    if (bytes.empty()) return Status();
+    TimePoint now = clock_->now();
+    SimLink::SendPlan plan =
+        link_->plan_send(bytes.size(), now, out_direction_);
+    clock_->sleep_for(plan.sender_block);
+    if (!out_->push({std::string(bytes), now + plan.deliver_after})) {
+      return Error(ErrorCode::kConnectionClosed, "send on closed connection");
+    }
+    stats_->on_send(bytes.size());
+    return Status();
+  }
+
+  Result<std::string> receive(size_t max_bytes) override {
+    if (max_bytes == 0) {
+      return Error(ErrorCode::kInvalidArgument, "receive(0)");
+    }
+    auto data = in_->pop(max_bytes, *clock_, *link_,
+                         out_direction_ == LinkDirection::kClientToServer
+                             ? LinkDirection::kServerToClient
+                             : LinkDirection::kClientToServer,
+                         receive_timeout_);
+    if (data.ok()) stats_->on_receive(data.value().size());
+    return data;
+  }
+
+  void close() override {
+    // Half-close our outbound direction; the peer drains buffered chunks
+    // and then observes kConnectionClosed, like TCP FIN semantics.
+    out_->close();
+  }
+
+  void abort() override {
+    // Hard close: both directions die, waking a blocked receive().
+    out_->close();
+    in_->close();
+  }
+
+  Status set_receive_timeout(Duration timeout) override {
+    if (timeout < Duration::zero()) {
+      return Error(ErrorCode::kInvalidArgument, "negative timeout");
+    }
+    receive_timeout_ = timeout;
+    return Status();
+  }
+
+ private:
+  std::shared_ptr<SimPipe> out_;
+  std::shared_ptr<SimPipe> in_;
+  LinkDirection out_direction_;
+  SimLink* link_;
+  Clock* clock_;
+  WireStatsCollector* stats_;
+  Duration receive_timeout_{0};
+};
+
+struct SimListenerState {
+  explicit SimListenerState(Endpoint ep) : endpoint(std::move(ep)) {}
+  Endpoint endpoint;
+  BlockingQueue<std::unique_ptr<Connection>> backlog;
+};
+
+/// Listener handle returned to the server; closing it unregisters the
+/// endpoint so later connect() calls fail fast.
+class SimListener final : public Listener {
+ public:
+  SimListener(std::shared_ptr<SimListenerState> state, SimTransport* owner)
+      : state_(std::move(state)), owner_(owner) {}
+
+  ~SimListener() override { close(); }
+
+  Result<std::unique_ptr<Connection>> accept() override {
+    auto connection = state_->backlog.pop();
+    if (!connection) {
+      return Error(ErrorCode::kShutdown, "listener closed");
+    }
+    return std::move(*connection);
+  }
+
+  void close() override {
+    if (!closed_.exchange(true)) {
+      owner_->unregister(state_->endpoint);
+      state_->backlog.close();
+    }
+  }
+
+  Endpoint endpoint() const override { return state_->endpoint; }
+
+ private:
+  std::shared_ptr<SimListenerState> state_;
+  SimTransport* owner_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace detail
+
+SimTransport::SimTransport(LinkParams params, Clock& clock)
+    : link_(params), clock_(&clock) {}
+
+SimTransport::~SimTransport() = default;
+
+Result<std::unique_ptr<Listener>> SimTransport::listen(const Endpoint& at) {
+  std::lock_guard lock(registry_mutex_);
+  if (listeners_.contains(at)) {
+    return Error(ErrorCode::kAlreadyExists,
+                 "endpoint " + at.to_string() + " already bound");
+  }
+  auto state = std::make_shared<detail::SimListenerState>(at);
+  listeners_[at] = state;
+  SPI_LOG(kDebug, "net.sim") << "listening on " << at.to_string();
+  return std::unique_ptr<Listener>(
+      std::make_unique<detail::SimListener>(std::move(state), this));
+}
+
+Result<std::unique_ptr<Connection>> SimTransport::connect(const Endpoint& to) {
+  std::shared_ptr<detail::SimListenerState> state;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto it = listeners_.find(to);
+    if (it == listeners_.end()) {
+      return Error(ErrorCode::kConnectionFailed,
+                   "no listener at " + to.to_string());
+    }
+    state = it->second;
+  }
+
+  // TCP handshake + server accept dispatch.
+  clock_->sleep_for(link_.connect_delay());
+
+  auto client_to_server = std::make_shared<detail::SimPipe>();
+  auto server_to_client = std::make_shared<detail::SimPipe>();
+
+  auto server_end = std::make_unique<detail::SimConnection>(
+      server_to_client, client_to_server, LinkDirection::kServerToClient,
+      &link_, clock_, &stats_);
+  auto client_end = std::make_unique<detail::SimConnection>(
+      client_to_server, server_to_client, LinkDirection::kClientToServer,
+      &link_, clock_, &stats_);
+
+  if (!state->backlog.push(std::move(server_end))) {
+    return Error(ErrorCode::kConnectionFailed,
+                 "listener at " + to.to_string() + " is closing");
+  }
+  stats_.on_connect();
+  return std::unique_ptr<Connection>(std::move(client_end));
+}
+
+void SimTransport::unregister(const Endpoint& endpoint) {
+  std::lock_guard lock(registry_mutex_);
+  listeners_.erase(endpoint);
+}
+
+}  // namespace spi::net

@@ -1,0 +1,51 @@
+// In-process transport whose timing is governed by a SimLink (see
+// simlink.hpp). Byte-accurate: everything the HTTP layer writes crosses a
+// queue as real bytes, so parsers and assemblers do their real work — only
+// the *waiting* is synthetic. One SimTransport instance = one network
+// segment; all connections share its duplex link, like hosts on one
+// Ethernet.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "net/simlink.hpp"
+#include "net/transport.hpp"
+
+namespace spi::net {
+
+namespace detail {
+class SimPipe;
+class SimListener;
+struct SimListenerState;
+}  // namespace detail
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(LinkParams params = LinkParams::instant(),
+                        Clock& clock = RealClock::instance());
+  ~SimTransport() override;
+
+  Result<std::unique_ptr<Listener>> listen(const Endpoint& at) override;
+  Result<std::unique_ptr<Connection>> connect(const Endpoint& to) override;
+
+  WireStats stats() const override { return stats_.snapshot(); }
+  void reset_stats() override { stats_.reset(); }
+
+  SimLink& link() { return link_; }
+  Clock& clock() { return *clock_; }
+
+ private:
+  friend class detail::SimListener;
+  void unregister(const Endpoint& endpoint);
+
+  SimLink link_;
+  Clock* clock_;
+  WireStatsCollector stats_;
+  std::mutex registry_mutex_;
+  std::map<Endpoint, std::shared_ptr<detail::SimListenerState>> listeners_;
+};
+
+}  // namespace spi::net

@@ -1,0 +1,78 @@
+#include "net/simlink.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spi::net {
+
+LinkParams LinkParams::instant() {
+  LinkParams params;
+  params.connect_cost = Duration::zero();
+  params.rtt = Duration::zero();
+  params.bandwidth_bytes_per_sec = 1e12;
+  params.endpoint_ns_per_byte = 0.0;
+  params.per_message_overhead = Duration::zero();
+  // Wide pools: functional tests must never contend on modeled CPUs.
+  params.client_cores = 1024;
+  params.server_cores = 1024;
+  return params;
+}
+
+SimLink::SimLink(LinkParams params) : params_(params) {
+  cpu_busy_until_[0].resize(std::max(1u, params_.client_cores));
+  cpu_busy_until_[1].resize(std::max(1u, params_.server_cores));
+}
+
+Duration SimLink::transmission_time(std::uint64_t bytes) const {
+  double seconds =
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec;
+  return Duration(static_cast<Duration::rep>(std::llround(seconds * 1e9)));
+}
+
+Duration SimLink::endpoint_cost(std::uint64_t bytes) const {
+  double ns = params_.endpoint_ns_per_byte * static_cast<double>(bytes);
+  return Duration(static_cast<Duration::rep>(std::llround(ns)));
+}
+
+TimePoint SimLink::reserve_cpu_locked(LinkSide side, Duration cost,
+                                      TimePoint now) {
+  auto& cores = cpu_busy_until_[static_cast<int>(side)];
+  auto earliest = std::min_element(cores.begin(), cores.end());
+  TimePoint start = std::max(now, *earliest);
+  TimePoint end = start + cost;
+  *earliest = end;
+  return end;
+}
+
+SimLink::SendPlan SimLink::plan_send(std::uint64_t bytes, TimePoint now,
+                                     LinkDirection direction) {
+  const Duration wire = transmission_time(bytes);
+  const Duration cpu = endpoint_cost(bytes) + params_.per_message_overhead;
+  const auto d = static_cast<int>(direction);
+
+  TimePoint wire_end;
+  {
+    std::lock_guard lock(mutex_);
+    // Serialization on the sender's CPU pool first, then the wire.
+    TimePoint cpu_end = reserve_cpu_locked(sender_of(direction), cpu, now);
+    TimePoint wire_start = std::max(cpu_end, wire_busy_until_[d]);
+    wire_end = wire_start + wire;
+    wire_busy_until_[d] = wire_end;
+  }
+
+  SendPlan plan;
+  plan.sender_block = wire_end - now;
+  plan.deliver_after = (wire_end - now) + params_.rtt / 2;
+  return plan;
+}
+
+Duration SimLink::receive_wait(std::uint64_t bytes, TimePoint now,
+                               LinkDirection direction) {
+  const Duration cpu = endpoint_cost(bytes);
+  if (cpu <= Duration::zero()) return Duration::zero();
+  std::lock_guard lock(mutex_);
+  TimePoint end = reserve_cpu_locked(receiver_of(direction), cpu, now);
+  return end - now;
+}
+
+}  // namespace spi::net

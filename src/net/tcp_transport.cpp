@@ -1,0 +1,244 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace spi::net {
+
+namespace {
+
+std::string errno_message(std::string_view what) {
+  std::string out(what);
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+/// RAII socket fd.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+Result<sockaddr_in> make_addr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "not an IPv4 address: " + endpoint.host);
+  }
+  return addr;
+}
+
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(Fd fd, WireStatsCollector* stats)
+      : fd_(std::move(fd)), stats_(stats) {
+    // SOAP request/response exchanges are latency-bound; disable Nagle.
+    int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  Status send(std::string_view bytes) override {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_.get(), bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Error(ErrorCode::kConnectionClosed,
+                       errno_message("send"));
+        }
+        return Error(ErrorCode::kConnectionFailed, errno_message("send"));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    stats_->on_send(bytes.size());
+    return Status();
+  }
+
+  Result<std::string> receive(size_t max_bytes) override {
+    if (max_bytes == 0) {
+      return Error(ErrorCode::kInvalidArgument, "receive(0)");
+    }
+    std::string buffer(max_bytes, '\0');
+    while (true) {
+      ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+      if (n > 0) {
+        buffer.resize(static_cast<size_t>(n));
+        stats_->on_receive(buffer.size());
+        return buffer;
+      }
+      if (n == 0) {
+        return Error(ErrorCode::kConnectionClosed, "peer closed connection");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Error(ErrorCode::kTimeout, "receive timed out");
+      }
+      if (errno == ECONNRESET) {
+        return Error(ErrorCode::kConnectionClosed, errno_message("recv"));
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("recv"));
+    }
+  }
+
+  void close() override {
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+  }
+
+  void abort() override {
+    // Both directions: a blocked recv() returns 0 immediately.
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+
+  Status set_receive_timeout(Duration timeout) override {
+    if (timeout < Duration::zero()) {
+      return Error(ErrorCode::kInvalidArgument, "negative timeout");
+    }
+    timeval tv{};
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(timeout);
+    tv.tv_sec = static_cast<time_t>(us.count() / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(us.count() % 1'000'000);
+    if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+        0) {
+      return Error(ErrorCode::kInternal, errno_message("SO_RCVTIMEO"));
+    }
+    return Status();
+  }
+
+ private:
+  Fd fd_;
+  WireStatsCollector* stats_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(Fd fd, Endpoint endpoint, WireStatsCollector* stats)
+      : fd_(std::move(fd)), endpoint_(std::move(endpoint)), stats_(stats) {}
+
+  Result<std::unique_ptr<Connection>> accept() override {
+    while (true) {
+      int client = ::accept(fd_.get(), nullptr, nullptr);
+      if (client >= 0) {
+        return std::unique_ptr<Connection>(
+            std::make_unique<TcpConnection>(Fd(client), stats_));
+      }
+      if (errno == EINTR) continue;
+      if (errno == EBADF || errno == EINVAL) {
+        // close() shut the listening socket down under us.
+        return Error(ErrorCode::kShutdown, "listener closed");
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("accept"));
+    }
+  }
+
+  void close() override {
+    // Shutdown wakes a blocked accept(); reset closes the fd.
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.reset();
+  }
+
+  Endpoint endpoint() const override { return endpoint_; }
+
+ private:
+  Fd fd_;
+  Endpoint endpoint_;
+  WireStatsCollector* stats_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> TcpTransport::listen(const Endpoint& at) {
+  auto addr = make_addr(at);
+  if (!addr.ok()) return addr.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error(ErrorCode::kConnectionFailed, errno_message("socket"));
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return Error(ErrorCode::kConnectionFailed,
+                 errno_message("bind " + at.to_string()));
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return Error(ErrorCode::kConnectionFailed, errno_message("listen"));
+  }
+
+  // Resolve the actual port for port-0 binds.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  Endpoint actual = at;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    actual.port = ntohs(bound.sin_port);
+  }
+  SPI_LOG(kDebug, "net.tcp") << "listening on " << actual.to_string();
+  return std::unique_ptr<Listener>(
+      std::make_unique<TcpListener>(std::move(fd), actual, &stats_));
+}
+
+Result<std::unique_ptr<Connection>> TcpTransport::connect(const Endpoint& to) {
+  auto addr = make_addr(to);
+  if (!addr.ok()) return addr.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error(ErrorCode::kConnectionFailed, errno_message("socket"));
+  }
+  while (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                   sizeof(sockaddr_in)) != 0) {
+    if (errno == EINTR) continue;
+    return Error(ErrorCode::kConnectionFailed,
+                 errno_message("connect " + to.to_string()));
+  }
+  stats_.on_connect();
+  return std::unique_ptr<Connection>(
+      std::make_unique<TcpConnection>(std::move(fd), &stats_));
+}
+
+}  // namespace spi::net

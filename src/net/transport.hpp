@@ -1,0 +1,117 @@
+// Transport abstraction: blocking byte-stream connections + listeners.
+// Two implementations:
+//   * SimTransport (sim_transport.hpp) — in-process, delays injected by the
+//     SimLink model of the paper's 100 Mbit Ethernet testbed
+//   * TcpTransport (tcp_transport.hpp) — real POSIX sockets (loopback
+//     integration tests, examples)
+// The HTTP layer and everything above it are transport-agnostic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "net/endpoint.hpp"
+
+namespace spi::net {
+
+/// Wire counters. Benches read these to report message/byte reductions
+/// (the mechanism behind the paper's Figures 5-7).
+struct WireStats {
+  std::uint64_t connections_opened = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Shared, thread-safe stats accumulator owned by a Transport.
+class WireStatsCollector {
+ public:
+  void on_connect() { connections_.fetch_add(1, std::memory_order_relaxed); }
+  void on_send(std::uint64_t n) {
+    bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_receive(std::uint64_t n) {
+    bytes_received_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  WireStats snapshot() const {
+    WireStats s;
+    s.connections_opened = connections_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() {
+    connections_.store(0, std::memory_order_relaxed);
+    bytes_sent_.store(0, std::memory_order_relaxed);
+    bytes_received_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+/// Bidirectional blocking byte stream.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Sends all bytes, blocking until the transport has accepted them
+  /// (for SimTransport this includes the modeled transmission time).
+  virtual Status send(std::string_view bytes) = 0;
+
+  /// Receives at least 1 and at most max_bytes bytes, blocking until data
+  /// is available. Error kConnectionClosed once the peer closes and all
+  /// delivered data has been read; kTimeout if a receive timeout is set
+  /// and expires first.
+  virtual Result<std::string> receive(size_t max_bytes) = 0;
+
+  /// Bounds how long receive() may block (zero = forever, the default).
+  /// Guards callers against peers that accept a request and then hang.
+  virtual Status set_receive_timeout(Duration timeout) = 0;
+
+  /// Half-close: peer's receive() drains then reports kConnectionClosed.
+  /// Idempotent.
+  virtual void close() = 0;
+
+  /// Hard teardown: tears down BOTH directions so a thread blocked in
+  /// receive() on this connection wakes with kConnectionClosed. Servers
+  /// use this to reclaim protocol threads parked on idle keep-alive
+  /// connections at shutdown. Idempotent.
+  virtual void abort() { close(); }
+};
+
+/// Blocking accept() source bound to an Endpoint.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next inbound connection. Error kShutdown after close().
+  virtual Result<std::unique_ptr<Connection>> accept() = 0;
+
+  virtual void close() = 0;
+
+  /// The actual bound endpoint (with the resolved port for port 0).
+  virtual Endpoint endpoint() const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Listener>> listen(const Endpoint& at) = 0;
+  virtual Result<std::unique_ptr<Connection>> connect(const Endpoint& to) = 0;
+
+  /// Aggregate wire counters for connections made through this transport.
+  virtual WireStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace spi::net

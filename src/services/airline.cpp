@@ -1,0 +1,178 @@
+#include "services/airline.hpp"
+
+#include "core/params.hpp"
+
+namespace spi::services {
+
+using spi::Result;
+using soap::Value;
+
+Airline::Airline(std::string name, std::vector<FlightSpec> flights,
+                 std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed) {
+  for (FlightSpec& flight : flights) {
+    std::string id = flight.flight_id;
+    flights_.emplace(std::move(id), std::move(flight));
+  }
+}
+
+void Airline::register_with(core::ServiceRegistry& registry) {
+  core::ServiceBinder binder(registry, name_);
+  binder.bind("QueryFlights", [this](const soap::Struct& params) {
+    return query_flights(params);
+  });
+  binder.bind("Reserve", [this](const soap::Struct& params) {
+    return reserve(params);
+  });
+  binder.bind("ConfirmReservation", [this](const soap::Struct& params) {
+    return confirm_reservation(params);
+  });
+  binder.bind("CancelReservation", [this](const soap::Struct& params) {
+    return cancel_reservation(params);
+  });
+}
+
+Result<Value> Airline::query_flights(const soap::Struct& params) const {
+  auto origin = core::require_string(params, "origin");
+  if (!origin.ok()) return origin.error();
+  auto destination = core::require_string(params, "destination");
+  if (!destination.ok()) return destination.error();
+
+  std::lock_guard lock(mutex_);
+  soap::Array matches;
+  for (const auto& [id, flight] : flights_) {
+    if (flight.origin == origin.value() &&
+        flight.destination == destination.value() && flight.seats > 0) {
+      matches.emplace_back(soap::Struct{
+          {"flight_id", Value(flight.flight_id)},
+          {"airline", Value(name_)},
+          {"origin", Value(flight.origin)},
+          {"destination", Value(flight.destination)},
+          {"price_cents", Value(flight.price_cents)},
+          {"seats", Value(flight.seats)},
+      });
+    }
+  }
+  return Value(std::move(matches));
+}
+
+Result<Value> Airline::reserve(const soap::Struct& params) {
+  auto flight_id = core::require_string(params, "flight_id");
+  if (!flight_id.ok()) return flight_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = flights_.find(flight_id.value());
+  if (it == flights_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown flight '" + flight_id.value() + "'");
+  }
+  if (it->second.seats <= 0) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "flight '" + flight_id.value() + "' is sold out");
+  }
+  it->second.seats -= 1;
+
+  std::string reservation_id = name_ + "-R" + rng_.hex_string(6);
+  reservations_.emplace(reservation_id,
+                        Reservation{flight_id.value(), false, {}});
+  return Value(soap::Struct{
+      {"reservation_id", Value(reservation_id)},
+      {"flight_id", Value(flight_id.value())},
+      {"price_cents", Value(it->second.price_cents)},
+  });
+}
+
+Result<Value> Airline::confirm_reservation(const soap::Struct& params) {
+  auto reservation_id = core::require_string(params, "reservation_id");
+  if (!reservation_id.ok()) return reservation_id.error();
+  auto authorization_id = core::require_string(params, "authorization_id");
+  if (!authorization_id.ok()) return authorization_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = reservations_.find(reservation_id.value());
+  if (it == reservations_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown reservation '" + reservation_id.value() + "'");
+  }
+  if (it->second.confirmed) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "reservation '" + reservation_id.value() +
+                     "' is already confirmed");
+  }
+  it->second.confirmed = true;
+  it->second.authorization_id = authorization_id.value();
+  return Value(true);
+}
+
+Result<Value> Airline::cancel_reservation(const soap::Struct& params) {
+  auto reservation_id = core::require_string(params, "reservation_id");
+  if (!reservation_id.ok()) return reservation_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = reservations_.find(reservation_id.value());
+  if (it == reservations_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown reservation '" + reservation_id.value() + "'");
+  }
+  if (it->second.confirmed) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot cancel a confirmed reservation");
+  }
+  // Seat goes back to inventory.
+  auto flight = flights_.find(it->second.flight_id);
+  if (flight != flights_.end()) flight->second.seats += 1;
+  reservations_.erase(it);
+  return Value(true);
+}
+
+std::int64_t Airline::seats_available(const std::string& flight_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = flights_.find(flight_id);
+  return it == flights_.end() ? -1 : it->second.seats;
+}
+
+size_t Airline::pending_reservations() const {
+  std::lock_guard lock(mutex_);
+  size_t count = 0;
+  for (const auto& [id, reservation] : reservations_) {
+    if (!reservation.confirmed) ++count;
+  }
+  return count;
+}
+
+size_t Airline::confirmed_reservations() const {
+  std::lock_guard lock(mutex_);
+  size_t count = 0;
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.confirmed) ++count;
+  }
+  return count;
+}
+
+std::vector<std::unique_ptr<Airline>> make_demo_airlines(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Airline>> airlines;
+  airlines.push_back(std::make_unique<Airline>(
+      "AirChina",
+      std::vector<FlightSpec>{
+          {"CA-101", "PEK", "HNL", 84'500, 12},
+          {"CA-205", "PEK", "SEA", 61'200, 30},
+      },
+      seed ^ 0xA1));
+  airlines.push_back(std::make_unique<Airline>(
+      "PacificWings",
+      std::vector<FlightSpec>{
+          {"PW-77", "PEK", "HNL", 79'900, 4},
+          {"PW-12", "PEK", "LAS", 55'000, 9},
+      },
+      seed ^ 0xA2));
+  airlines.push_back(std::make_unique<Airline>(
+      "NimbusAir",
+      std::vector<FlightSpec>{
+          {"NB-9", "PEK", "HNL", 72'300, 2},  // cheapest PEK->HNL
+          {"NB-44", "PEK", "MCO", 90'100, 18},
+      },
+      seed ^ 0xA3));
+  return airlines;
+}
+
+}  // namespace spi::services

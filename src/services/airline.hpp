@@ -1,0 +1,78 @@
+// AirlineService — one of the three airline back-ends in the W3C travel
+// agent scenario (paper §3.1 / Figure 3). Each instance owns a flight
+// inventory with seat counts; reservations hold a seat until confirmed.
+// Several instances register under different service names in ONE
+// container, which is the precondition for packing the three
+// QueryFlights calls into one SOAP message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/registry.hpp"
+
+namespace spi::services {
+
+struct FlightSpec {
+  std::string flight_id;    // "CA-101"
+  std::string origin;       // "PEK"
+  std::string destination;  // "HNL"
+  std::int64_t price_cents = 0;
+  std::int64_t seats = 0;
+};
+
+/// Thread-safe airline back-end. Operations (registered by
+/// register_with):
+///   QueryFlights(origin, destination) -> array of flight structs
+///   Reserve(flight_id)                -> struct{reservation_id, flight_id,
+///                                               price_cents}
+///   ConfirmReservation(reservation_id, authorization_id) -> bool(true)
+///   CancelReservation(reservation_id) -> bool(true), seat returned
+class Airline {
+ public:
+  /// `seed` drives reservation-id generation (deterministic in tests).
+  Airline(std::string name, std::vector<FlightSpec> flights,
+          std::uint64_t seed);
+
+  /// Registers this airline's operations under its name as the service.
+  void register_with(core::ServiceRegistry& registry);
+
+  const std::string& name() const { return name_; }
+
+  /// Remaining seats (telemetry for invariants in tests).
+  std::int64_t seats_available(const std::string& flight_id) const;
+  size_t pending_reservations() const;
+  size_t confirmed_reservations() const;
+
+  // Operation implementations (public so unit tests can call them without
+  // a registry).
+  Result<soap::Value> query_flights(const soap::Struct& params) const;
+  Result<soap::Value> reserve(const soap::Struct& params);
+  Result<soap::Value> confirm_reservation(const soap::Struct& params);
+  Result<soap::Value> cancel_reservation(const soap::Struct& params);
+
+ private:
+  struct Reservation {
+    std::string flight_id;
+    bool confirmed = false;
+    std::string authorization_id;
+  };
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, FlightSpec> flights_;        // by flight_id
+  std::map<std::string, Reservation> reservations_;  // by reservation_id
+  SplitMix64 rng_;
+};
+
+/// A deterministic three-airline fixture matching the paper's scenario:
+/// AirChina / PacificWings / NimbusAir, each with flights PEK->HNL at
+/// different prices (NimbusAir cheapest).
+std::vector<std::unique_ptr<Airline>> make_demo_airlines(std::uint64_t seed);
+
+}  // namespace spi::services

@@ -1,0 +1,94 @@
+#include "services/creditcard.hpp"
+
+#include "core/params.hpp"
+
+namespace spi::services {
+
+using spi::Result;
+using soap::Value;
+
+bool luhn_valid(std::string_view digits) {
+  if (digits.size() < 12 || digits.size() > 19) return false;
+  int sum = 0;
+  bool doubled = false;
+  for (size_t i = digits.size(); i-- > 0;) {
+    char c = digits[i];
+    if (c < '0' || c > '9') return false;
+    int d = c - '0';
+    if (doubled) {
+      d *= 2;
+      if (d > 9) d -= 9;
+    }
+    sum += d;
+    doubled = !doubled;
+  }
+  return sum % 10 == 0;
+}
+
+CreditCardService::CreditCardService(std::string name, std::uint64_t seed,
+                                     CreditCardOptions options)
+    : name_(std::move(name)), options_(options), rng_(seed) {}
+
+void CreditCardService::register_with(core::ServiceRegistry& registry) {
+  core::ServiceBinder binder(registry, name_);
+  binder.bind("Authorize", [this](const soap::Struct& params) {
+    return authorize(params);
+  });
+  binder.bind("Void", [this](const soap::Struct& params) {
+    return void_authorization(params);
+  });
+}
+
+Result<Value> CreditCardService::authorize(const soap::Struct& params) {
+  auto card = core::require_string(params, "card_number");
+  if (!card.ok()) return card.error();
+  auto amount = core::require_int(params, "amount_cents");
+  if (!amount.ok()) return amount.error();
+
+  if (!luhn_valid(card.value())) {
+    return Error(ErrorCode::kInvalidArgument, "invalid card number");
+  }
+  if (amount.value() <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "amount must be positive");
+  }
+
+  std::lock_guard lock(mutex_);
+  std::int64_t& total = card_totals_[card.value()];
+  if (total + amount.value() > options_.limit_cents) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "authorization declined: over limit");
+  }
+  total += amount.value();
+
+  std::string authorization_id = "AUTH-" + rng_.hex_string(8);
+  holds_.emplace(authorization_id, Hold{card.value(), amount.value()});
+  return Value(soap::Struct{
+      {"authorization_id", Value(authorization_id)},
+      {"amount_cents", Value(amount.value())},
+  });
+}
+
+Result<Value> CreditCardService::void_authorization(
+    const soap::Struct& params) {
+  auto authorization_id = core::require_string(params, "authorization_id");
+  if (!authorization_id.ok()) return authorization_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = holds_.find(authorization_id.value());
+  if (it == holds_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown authorization '" + authorization_id.value() + "'");
+  }
+  card_totals_[it->second.card_number] -= it->second.amount_cents;
+  holds_.erase(it);
+  return Value(true);
+}
+
+std::int64_t CreditCardService::authorized_total(
+    const std::string& card_number) const {
+  std::lock_guard lock(mutex_);
+  auto it = card_totals_.find(card_number);
+  return it == card_totals_.end() ? 0 : it->second;
+}
+
+}  // namespace spi::services

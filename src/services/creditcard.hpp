@@ -1,0 +1,57 @@
+// CreditCardService — step 5 of the travel agent sequence: authorize the
+// combined payment and mint the authorization id that both confirmations
+// reference. Card numbers are validated with the Luhn checksum; a
+// per-card spending limit exercises the decline path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/registry.hpp"
+
+namespace spi::services {
+
+/// True if `digits` (12-19 chars, ASCII digits) passes the Luhn check.
+bool luhn_valid(std::string_view digits);
+
+struct CreditCardOptions {
+  /// Per-card cumulative authorization limit.
+  std::int64_t limit_cents = 1'000'000;  // $10,000
+};
+
+/// Operations:
+///   Authorize(card_number, amount_cents) -> struct{authorization_id,
+///                                                  amount_cents}
+///   Void(authorization_id)               -> bool(true), releases the hold
+/// Faults: malformed/Luhn-invalid card (Client), over-limit (Server).
+class CreditCardService {
+ public:
+  CreditCardService(std::string name, std::uint64_t seed,
+                    CreditCardOptions options = {});
+
+  void register_with(core::ServiceRegistry& registry);
+
+  const std::string& name() const { return name_; }
+  std::int64_t authorized_total(const std::string& card_number) const;
+
+  Result<soap::Value> authorize(const soap::Struct& params);
+  Result<soap::Value> void_authorization(const soap::Struct& params);
+
+ private:
+  struct Hold {
+    std::string card_number;
+    std::int64_t amount_cents = 0;
+  };
+
+  std::string name_;
+  CreditCardOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> card_totals_;
+  std::map<std::string, Hold> holds_;  // by authorization_id
+  SplitMix64 rng_;
+};
+
+}  // namespace spi::services

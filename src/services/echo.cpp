@@ -1,0 +1,54 @@
+#include "services/echo.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/params.hpp"
+
+namespace spi::services {
+
+using spi::Result;
+using soap::Value;
+
+void register_echo_service(core::ServiceRegistry& registry,
+                           const std::string& service_name,
+                           EchoOptions options) {
+  core::ServiceBinder binder(registry, service_name);
+
+  binder.bind("Echo", [](const soap::Struct& params) -> Result<Value> {
+    const Value* data = core::find_param(params, "data");
+    if (!data) {
+      return Error(ErrorCode::kInvalidArgument, "missing parameter 'data'");
+    }
+    return *data;
+  });
+
+  binder.bind("Reverse", [](const soap::Struct& params) -> Result<Value> {
+    auto data = core::require_string(params, "data");
+    if (!data.ok()) return data.error();
+    std::string reversed = data.value();
+    std::reverse(reversed.begin(), reversed.end());
+    return Value(std::move(reversed));
+  });
+
+  binder.bind("Length", [](const soap::Struct& params) -> Result<Value> {
+    auto data = core::require_string(params, "data");
+    if (!data.ok()) return data.error();
+    return Value(static_cast<std::int64_t>(data.value().size()));
+  });
+
+  binder.bind("Delay",
+              [options](const soap::Struct& params) -> Result<Value> {
+    auto ms = core::require_int(params, "milliseconds");
+    if (!ms.ok()) return ms.error();
+    if (ms.value() < 0 || ms.value() > options.max_delay_ms) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "milliseconds out of range [0, " +
+                       std::to_string(options.max_delay_ms) + "]");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms.value()));
+    return Value(ms.value());
+  });
+}
+
+}  // namespace spi::services

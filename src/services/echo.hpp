@@ -1,0 +1,27 @@
+// EchoService — the measurement service of the paper's §4.1: "we use Echo
+// services, which only return the data whatever they received, to
+// substitute the services of [the] use case". Extra operations support the
+// concurrency tests (Delay) and payload transforms (Reverse, Length).
+#pragma once
+
+#include "core/registry.hpp"
+
+namespace spi::services {
+
+struct EchoOptions {
+  /// Upper bound accepted by Delay(milliseconds) — guards tests against
+  /// hanging on bad input.
+  std::int64_t max_delay_ms = 10'000;
+};
+
+/// Registers EchoService with operations:
+///   Echo(data: any)          -> data, unchanged
+///   Reverse(data: string)    -> data reversed
+///   Length(data: string)     -> byte length
+///   Delay(milliseconds: int) -> milliseconds, after sleeping that long
+/// Registration name defaults to "EchoService".
+void register_echo_service(core::ServiceRegistry& registry,
+                           const std::string& service_name = "EchoService",
+                           EchoOptions options = {});
+
+}  // namespace spi::services

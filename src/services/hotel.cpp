@@ -1,0 +1,186 @@
+#include "services/hotel.hpp"
+
+#include "core/params.hpp"
+
+namespace spi::services {
+
+using spi::Result;
+using soap::Value;
+
+Hotel::Hotel(std::string name, std::vector<RoomSpec> rooms,
+             std::uint64_t seed)
+    : name_(std::move(name)), rng_(seed) {
+  for (RoomSpec& room : rooms) {
+    std::string id = room.room_id;
+    rooms_.emplace(std::move(id), std::move(room));
+  }
+}
+
+void Hotel::register_with(core::ServiceRegistry& registry) {
+  core::ServiceBinder binder(registry, name_);
+  binder.bind("QueryRooms", [this](const soap::Struct& params) {
+    return query_rooms(params);
+  });
+  binder.bind("Reserve", [this](const soap::Struct& params) {
+    return reserve(params);
+  });
+  binder.bind("ConfirmReservation", [this](const soap::Struct& params) {
+    return confirm_reservation(params);
+  });
+  binder.bind("CancelReservation", [this](const soap::Struct& params) {
+    return cancel_reservation(params);
+  });
+}
+
+Result<Value> Hotel::query_rooms(const soap::Struct& params) const {
+  auto city = core::require_string(params, "city");
+  if (!city.ok()) return city.error();
+  auto nights = core::require_int(params, "nights");
+  if (!nights.ok()) return nights.error();
+  if (nights.value() <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "nights must be positive");
+  }
+
+  std::lock_guard lock(mutex_);
+  soap::Array matches;
+  for (const auto& [id, room] : rooms_) {
+    if (room.city == city.value() && room.rooms > 0) {
+      matches.emplace_back(soap::Struct{
+          {"room_id", Value(room.room_id)},
+          {"hotel", Value(name_)},
+          {"city", Value(room.city)},
+          {"category", Value(room.category)},
+          {"rate_cents_per_night", Value(room.rate_cents_per_night)},
+          {"total_cents", Value(room.rate_cents_per_night * nights.value())},
+          {"rooms", Value(room.rooms)},
+      });
+    }
+  }
+  return Value(std::move(matches));
+}
+
+Result<Value> Hotel::reserve(const soap::Struct& params) {
+  auto room_id = core::require_string(params, "room_id");
+  if (!room_id.ok()) return room_id.error();
+  auto nights = core::require_int(params, "nights");
+  if (!nights.ok()) return nights.error();
+  if (nights.value() <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "nights must be positive");
+  }
+
+  std::lock_guard lock(mutex_);
+  auto it = rooms_.find(room_id.value());
+  if (it == rooms_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown room '" + room_id.value() + "'");
+  }
+  if (it->second.rooms <= 0) {
+    return Error(ErrorCode::kCapacityExceeded,
+                 "no rooms left for '" + room_id.value() + "'");
+  }
+  it->second.rooms -= 1;
+
+  std::string reservation_id = name_ + "-R" + rng_.hex_string(6);
+  reservations_.emplace(
+      reservation_id, Reservation{room_id.value(), nights.value(), false, {}});
+  return Value(soap::Struct{
+      {"reservation_id", Value(reservation_id)},
+      {"room_id", Value(room_id.value())},
+      {"total_cents",
+       Value(it->second.rate_cents_per_night * nights.value())},
+  });
+}
+
+Result<Value> Hotel::confirm_reservation(const soap::Struct& params) {
+  auto reservation_id = core::require_string(params, "reservation_id");
+  if (!reservation_id.ok()) return reservation_id.error();
+  auto authorization_id = core::require_string(params, "authorization_id");
+  if (!authorization_id.ok()) return authorization_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = reservations_.find(reservation_id.value());
+  if (it == reservations_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown reservation '" + reservation_id.value() + "'");
+  }
+  if (it->second.confirmed) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "reservation '" + reservation_id.value() +
+                     "' is already confirmed");
+  }
+  it->second.confirmed = true;
+  it->second.authorization_id = authorization_id.value();
+  return Value(true);
+}
+
+Result<Value> Hotel::cancel_reservation(const soap::Struct& params) {
+  auto reservation_id = core::require_string(params, "reservation_id");
+  if (!reservation_id.ok()) return reservation_id.error();
+
+  std::lock_guard lock(mutex_);
+  auto it = reservations_.find(reservation_id.value());
+  if (it == reservations_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "unknown reservation '" + reservation_id.value() + "'");
+  }
+  if (it->second.confirmed) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "cannot cancel a confirmed reservation");
+  }
+  auto room = rooms_.find(it->second.room_id);
+  if (room != rooms_.end()) room->second.rooms += 1;
+  reservations_.erase(it);
+  return Value(true);
+}
+
+std::int64_t Hotel::rooms_available(const std::string& room_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = rooms_.find(room_id);
+  return it == rooms_.end() ? -1 : it->second.rooms;
+}
+
+size_t Hotel::pending_reservations() const {
+  std::lock_guard lock(mutex_);
+  size_t count = 0;
+  for (const auto& [id, reservation] : reservations_) {
+    if (!reservation.confirmed) ++count;
+  }
+  return count;
+}
+
+size_t Hotel::confirmed_reservations() const {
+  std::lock_guard lock(mutex_);
+  size_t count = 0;
+  for (const auto& [id, reservation] : reservations_) {
+    if (reservation.confirmed) ++count;
+  }
+  return count;
+}
+
+std::vector<std::unique_ptr<Hotel>> make_demo_hotels(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Hotel>> hotels;
+  hotels.push_back(std::make_unique<Hotel>(
+      "GrandPalm",
+      std::vector<RoomSpec>{
+          {"GRAND-STD", "Honolulu", "standard", 18'900, 8},  // cheapest
+          {"GRAND-STE", "Honolulu", "suite", 44'000, 2},
+      },
+      seed ^ 0xB1));
+  hotels.push_back(std::make_unique<Hotel>(
+      "SeasideInn",
+      std::vector<RoomSpec>{
+          {"SEA-STD", "Honolulu", "standard", 21'500, 15},
+          {"SEA-STE", "Honolulu", "suite", 39'900, 3},
+      },
+      seed ^ 0xB2));
+  hotels.push_back(std::make_unique<Hotel>(
+      "LagoonResort",
+      std::vector<RoomSpec>{
+          {"LAG-STD", "Honolulu", "standard", 24'700, 22},
+          {"LAG-STE", "Honolulu", "suite", 52'800, 5},
+      },
+      seed ^ 0xB3));
+  return hotels;
+}
+
+}  // namespace spi::services

@@ -1,0 +1,65 @@
+// HotelService — the hotel back-ends of the travel agent scenario. Same
+// reservation lifecycle as Airline (query/reserve/confirm/cancel) over a
+// room inventory keyed by city.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/registry.hpp"
+
+namespace spi::services {
+
+struct RoomSpec {
+  std::string room_id;  // "GRAND-STD"
+  std::string city;     // "Honolulu"
+  std::string category; // "standard" / "suite"
+  std::int64_t rate_cents_per_night = 0;
+  std::int64_t rooms = 0;
+};
+
+/// Thread-safe hotel back-end. Operations:
+///   QueryRooms(city, nights)  -> array of room structs with total_cents
+///   Reserve(room_id, nights)  -> struct{reservation_id, room_id, total_cents}
+///   ConfirmReservation(reservation_id, authorization_id) -> bool(true)
+///   CancelReservation(reservation_id) -> bool(true)
+class Hotel {
+ public:
+  Hotel(std::string name, std::vector<RoomSpec> rooms, std::uint64_t seed);
+
+  void register_with(core::ServiceRegistry& registry);
+
+  const std::string& name() const { return name_; }
+  std::int64_t rooms_available(const std::string& room_id) const;
+  size_t pending_reservations() const;
+  size_t confirmed_reservations() const;
+
+  Result<soap::Value> query_rooms(const soap::Struct& params) const;
+  Result<soap::Value> reserve(const soap::Struct& params);
+  Result<soap::Value> confirm_reservation(const soap::Struct& params);
+  Result<soap::Value> cancel_reservation(const soap::Struct& params);
+
+ private:
+  struct Reservation {
+    std::string room_id;
+    std::int64_t nights = 0;
+    bool confirmed = false;
+    std::string authorization_id;
+  };
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, RoomSpec> rooms_;
+  std::map<std::string, Reservation> reservations_;
+  SplitMix64 rng_;
+};
+
+/// Three demo hotels in Honolulu (GrandPalm cheapest standard room).
+std::vector<std::unique_ptr<Hotel>> make_demo_hotels(std::uint64_t seed);
+
+}  // namespace spi::services

@@ -1,0 +1,65 @@
+#include "services/weather.hpp"
+
+#include <array>
+
+#include "core/params.hpp"
+
+namespace spi::services {
+
+using spi::Result;
+using soap::Value;
+
+namespace {
+
+struct CityWeather {
+  std::string_view city;
+  std::string_view condition;
+  std::int64_t temperature_c;
+  std::int64_t humidity_pct;
+};
+
+constexpr std::array<CityWeather, 8> kWeatherTable{{
+    {"Beijing", "Sunny", 31, 42},
+    {"Shanghai", "Cloudy", 28, 71},
+    {"Guangzhou", "Thunderstorms", 33, 88},
+    {"Edinburgh", "Rain", 14, 90},
+    {"Honolulu", "Sunny", 29, 65},
+    {"Seattle", "Drizzle", 17, 84},
+    {"Las Vegas", "Clear", 39, 12},
+    {"Orlando", "Humid", 34, 79},
+}};
+
+}  // namespace
+
+void register_weather_service(core::ServiceRegistry& registry,
+                              const std::string& service_name) {
+  core::ServiceBinder binder(registry, service_name);
+
+  binder.bind("GetWeather", [](const soap::Struct& params) -> Result<Value> {
+    auto city = core::require_string(params, "city");
+    if (!city.ok()) return city.error();
+    for (const CityWeather& entry : kWeatherTable) {
+      if (entry.city == city.value()) {
+        return Value(soap::Struct{
+            {"city", Value(entry.city)},
+            {"condition", Value(entry.condition)},
+            {"temperature_c", Value(entry.temperature_c)},
+            {"humidity_pct", Value(entry.humidity_pct)},
+        });
+      }
+    }
+    return Error(ErrorCode::kNotFound,
+                 "no forecast for city '" + city.value() + "'");
+  });
+
+  binder.bind("ListCities", [](const soap::Struct&) -> Result<Value> {
+    soap::Array cities;
+    cities.reserve(kWeatherTable.size());
+    for (const CityWeather& entry : kWeatherTable) {
+      cities.emplace_back(entry.city);
+    }
+    return Value(std::move(cities));
+  });
+}
+
+}  // namespace spi::services

@@ -1,0 +1,20 @@
+// WeatherService — the paper's Figure 4 example (a WebServiceX.NET-style
+// weather query): GetWeather("Beijing") and GetWeather("Shanghai") are the
+// two calls shown packed into one Parallel_Method message. Canned,
+// deterministic data keeps the wire-format example reproducible.
+#pragma once
+
+#include "core/registry.hpp"
+
+namespace spi::services {
+
+/// Registers WeatherService with operations:
+///   GetWeather(city: string) -> struct{city, condition, temperature_c,
+///                                      humidity_pct}
+///   ListCities()             -> array of city names
+/// Unknown cities produce a Client fault.
+void register_weather_service(core::ServiceRegistry& registry,
+                              const std::string& service_name =
+                                  "WeatherService");
+
+}  // namespace spi::services

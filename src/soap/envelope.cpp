@@ -1,0 +1,142 @@
+#include "soap/envelope.hpp"
+
+#include "xml/text.hpp"
+#include "xml/writer.hpp"
+
+namespace spi::soap {
+
+std::string build_envelope(
+    std::string_view body_inner_xml,
+    const std::vector<std::string>& header_blocks_xml) {
+  std::string out;
+  size_t header_bytes = 0;
+  for (const std::string& block : header_blocks_xml) {
+    header_bytes += block.size();
+  }
+  out.reserve(body_inner_xml.size() + header_bytes + 512);
+
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  out += "<SOAP-ENV:Envelope";
+  out += " xmlns:SOAP-ENV=\"";
+  out += kEnvelopeNs;
+  out += "\" xmlns:SOAP-ENC=\"";
+  out += kEncodingNs;
+  out += "\" xmlns:xsd=\"";
+  out += kXsdNs;
+  out += "\" xmlns:xsi=\"";
+  out += kXsiNs;
+  out += "\" xmlns:spi=\"";
+  out += kSpiNs;
+  out += "\">";
+  if (!header_blocks_xml.empty()) {
+    out += "<SOAP-ENV:Header>";
+    for (const std::string& block : header_blocks_xml) {
+      out += block;
+    }
+    out += "</SOAP-ENV:Header>";
+  }
+  out += "<SOAP-ENV:Body>";
+  out += body_inner_xml;
+  out += "</SOAP-ENV:Body></SOAP-ENV:Envelope>";
+  return out;
+}
+
+Result<Envelope> Envelope::parse(std::string_view text) {
+  auto document = xml::parse_document(text);
+  if (!document.ok()) return document.wrap_error("SOAP envelope");
+  xml::Element& root = document.value().root;
+
+  if (root.local_name() != "Envelope") {
+    return Error(ErrorCode::kProtocolError,
+                 "root element is <" + root.name + ">, expected Envelope");
+  }
+
+  Envelope envelope;
+  bool seen_body = false;
+  for (xml::Element& child : root.children) {
+    if (child.local_name() == "Header") {
+      if (seen_body) {
+        return Error(ErrorCode::kProtocolError, "Header after Body");
+      }
+      envelope.header_blocks = std::move(child.children);
+    } else if (child.local_name() == "Body") {
+      if (seen_body) {
+        return Error(ErrorCode::kProtocolError, "multiple Body elements");
+      }
+      seen_body = true;
+      envelope.body_entries = std::move(child.children);
+    }
+    // Other envelope children are ignored (lax processing, like Axis).
+  }
+  if (!seen_body) {
+    return Error(ErrorCode::kProtocolError, "envelope has no Body");
+  }
+  return envelope;
+}
+
+std::string Fault::to_xml() const {
+  xml::Writer writer;
+  writer.start_element("SOAP-ENV:Fault");
+  writer.text_element("faultcode", faultcode);
+  writer.text_element("faultstring", faultstring);
+  if (!faultactor.empty()) writer.text_element("faultactor", faultactor);
+  if (!detail.empty()) {
+    writer.start_element("detail");
+    writer.text_element("spi:message", detail);
+    writer.end_element();
+  }
+  return writer.take();
+}
+
+std::optional<Fault> Fault::from_element(const xml::Element& entry) {
+  if (entry.local_name() != "Fault") return std::nullopt;
+  Fault fault;
+  if (const xml::Element* code = entry.first_child("faultcode")) {
+    fault.faultcode = std::string(code->text_trimmed());
+  }
+  if (const xml::Element* text = entry.first_child("faultstring")) {
+    fault.faultstring = text->text;
+  }
+  if (const xml::Element* actor = entry.first_child("faultactor")) {
+    fault.faultactor = std::string(actor->text_trimmed());
+  }
+  if (const xml::Element* detail_el = entry.first_child("detail")) {
+    if (const xml::Element* message = detail_el->first_child("message")) {
+      fault.detail = message->text;
+    } else {
+      fault.detail = detail_el->text;
+    }
+  }
+  return fault;
+}
+
+Error Fault::to_error() const {
+  std::string message = faultcode + ": " + faultstring;
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ')';
+  }
+  return Error(ErrorCode::kFault, std::move(message));
+}
+
+Fault Fault::from_error(const Error& error) {
+  Fault fault;
+  // Client-caused errors map to the Client fault code per SOAP 1.1 §4.4.1.
+  switch (error.code()) {
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kParseError:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kProtocolError:
+      fault.faultcode = "SOAP-ENV:Client";
+      break;
+    default:
+      fault.faultcode = "SOAP-ENV:Server";
+      break;
+  }
+  fault.faultstring = std::string(error_code_name(error.code()));
+  fault.detail = error.message();
+  return fault;
+}
+
+}  // namespace spi::soap

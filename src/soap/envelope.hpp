@@ -1,0 +1,63 @@
+// SOAP 1.1 envelope framing: building envelopes around pre-serialized body
+// content (streaming, used by the Assembler) and parsing received
+// envelopes into a DOM (used by the Dispatcher). Fault handling per SOAP
+// 1.1 §4.4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+
+namespace spi::soap {
+
+/// Canonical namespace URIs (SOAP 1.1).
+inline constexpr std::string_view kEnvelopeNs =
+    "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr std::string_view kEncodingNs =
+    "http://schemas.xmlsoap.org/soap/encoding/";
+inline constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema";
+inline constexpr std::string_view kXsiNs =
+    "http://www.w3.org/2001/XMLSchema-instance";
+/// Namespace of the SPI extension elements (Parallel_Method, Call, ...).
+inline constexpr std::string_view kSpiNs = "http://spi.example.org/2006/spi";
+
+/// Builds a complete envelope document. `body_inner_xml` is spliced in
+/// verbatim (already-serialized accessor elements); `header_blocks_xml`
+/// likewise, one fragment per header entry. Single pass, no DOM.
+std::string build_envelope(std::string_view body_inner_xml,
+                           const std::vector<std::string>& header_blocks_xml = {});
+
+/// A received envelope, parsed to DOM.
+struct Envelope {
+  /// Header element children (empty when no Header block was present).
+  std::vector<xml::Element> header_blocks;
+  /// Body element children (operation request/response elements).
+  std::vector<xml::Element> body_entries;
+
+  /// Parses and validates Envelope/Header?/Body structure.
+  static Result<Envelope> parse(std::string_view text);
+};
+
+/// SOAP 1.1 Fault.
+struct Fault {
+  std::string faultcode = "SOAP-ENV:Server";
+  std::string faultstring;
+  std::string faultactor;
+  std::string detail;
+
+  /// Serializes as a <SOAP-ENV:Fault> body entry fragment.
+  std::string to_xml() const;
+
+  /// Recognizes a Fault body entry; nullopt if `entry` is not a Fault.
+  static std::optional<Fault> from_element(const xml::Element& entry);
+
+  /// Maps onto the library error model (kFault).
+  Error to_error() const;
+  static Fault from_error(const Error& error);
+};
+
+}  // namespace spi::soap

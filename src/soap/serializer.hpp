@@ -1,0 +1,34 @@
+// Value <-> XML encoding, SOAP 1.1 section-5 style: every accessor element
+// carries an xsi:type attribute; arrays use SOAP-ENC:Array with item
+// accessors; structs nest named accessors.
+//
+//   <city xsi:type="xsd:string">Beijing</city>
+//   <ids SOAP-ENC:arrayType="xsd:anyType[2]" xsi:type="SOAP-ENC:Array">
+//     <item xsi:type="xsd:int">1</item><item xsi:type="xsd:int">2</item>
+//   </ids>
+//
+// Deserialization is tolerant: when xsi:type is missing it infers struct /
+// array / string from shape, which keeps us interoperable with the loosely
+// typed messages 2006-era toolkits emitted.
+#pragma once
+
+#include "soap/value.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace spi::soap {
+
+/// Serializes `value` as element `name` into `writer`.
+void write_value(xml::Writer& writer, std::string_view name,
+                 const Value& value);
+
+/// Serializes to a standalone XML fragment string.
+std::string value_to_xml(std::string_view name, const Value& value);
+
+/// Parses one accessor element back into a Value.
+Result<Value> read_value(const xml::Element& element);
+
+/// Parses an XML fragment produced by value_to_xml.
+Result<Value> value_from_xml(std::string_view xml_fragment);
+
+}  // namespace spi::soap

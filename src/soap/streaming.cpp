@@ -1,0 +1,156 @@
+#include "soap/streaming.hpp"
+
+#include <charconv>
+
+#include "common/string_util.hpp"
+
+namespace spi::soap {
+
+namespace {
+
+std::string_view local_of(std::string_view qualified) {
+  size_t colon = qualified.rfind(':');
+  return colon == std::string_view::npos ? qualified
+                                         : qualified.substr(colon + 1);
+}
+
+std::optional<std::string_view> attribute_of(const xml::Token& token,
+                                             std::string_view name) {
+  for (const xml::Attribute& attribute : token.attributes) {
+    if (attribute.name == name) return std::string_view(attribute.value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status skip_subtree(xml::PullParser& parser, const xml::Token& start) {
+  // The synthesized end of a self-closing element still arrives as a
+  // token, so depth accounting is uniform.
+  size_t depth = 1;
+  (void)start;
+  while (depth > 0) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    switch (token.value().type) {
+      // Every start — including self-closing, whose end is synthesized —
+      // is matched by exactly one end token.
+      case xml::TokenType::kStartElement:
+        ++depth;
+        break;
+      case xml::TokenType::kEndElement:
+        --depth;
+        break;
+      case xml::TokenType::kEndOfDocument:
+        return Error(ErrorCode::kParseError, "unexpected end of document");
+      default:
+        break;
+    }
+  }
+  return Status();
+}
+
+Result<Value> ValueStreamReader::read_value(const xml::Token& start) {
+  return decode(start);
+}
+
+Result<Value> ValueStreamReader::decode(const xml::Token& start) {
+  std::string text;
+  Struct children;  // local name -> decoded value, in document order
+
+  // Gather this element's direct text and decode children recursively.
+  while (true) {
+    auto token = parser_.next();
+    if (!token.ok()) return token.error();
+    bool done = false;
+    switch (token.value().type) {
+      case xml::TokenType::kText:
+      case xml::TokenType::kCData:
+        text += token.value().text;
+        break;
+      case xml::TokenType::kStartElement: {
+        std::string child_name(local_of(token.value().name));
+        auto child = decode(token.value());
+        if (!child.ok()) return child.error();
+        children.emplace_back(std::move(child_name),
+                              std::move(child).value());
+        break;
+      }
+      case xml::TokenType::kEndElement:
+        done = true;  // our own end: children consumed their own
+        break;
+      case xml::TokenType::kEndOfDocument:
+        return Error(ErrorCode::kParseError, "unexpected end of document");
+      default:
+        break;  // comments / PIs
+    }
+    if (done) break;
+  }
+
+  // Interpretation mirrors soap::read_value exactly.
+  if (auto nil = attribute_of(start, "xsi:nil"); nil && *nil == "true") {
+    return Value();
+  }
+  std::string_view type = attribute_of(start, "xsi:type").value_or("");
+  if (size_t colon = type.rfind(':'); colon != std::string_view::npos) {
+    type = type.substr(colon + 1);
+  }
+
+  if (type == "boolean") {
+    std::string_view t = trim(text);
+    if (t == "true" || t == "1") return Value(true);
+    if (t == "false" || t == "0") return Value(false);
+    return Error(ErrorCode::kParseError,
+                 "invalid xsd:boolean '" + std::string(t) + "'");
+  }
+  if (type == "int" || type == "long" || type == "short" || type == "byte" ||
+      type == "integer") {
+    std::string_view t = trim(text);
+    std::int64_t out = 0;
+    auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out, 10);
+    if (ec != std::errc() || ptr != t.data() + t.size()) {
+      return Error(ErrorCode::kParseError,
+                   "invalid xsd:int '" + std::string(t) + "'");
+    }
+    return Value(out);
+  }
+  if (type == "double" || type == "float" || type == "decimal") {
+    std::string owned(trim(text));
+    char* end = nullptr;
+    double out = std::strtod(owned.c_str(), &end);
+    if (end == owned.c_str() || *end != '\0') {
+      return Error(ErrorCode::kParseError, "invalid xsd:double '" + owned + "'");
+    }
+    return Value(out);
+  }
+  if (type == "string") return Value(std::move(text));
+
+  if (type == "Array") {
+    Array items;
+    items.reserve(children.size());
+    for (auto& [name, value] : children) items.push_back(std::move(value));
+    return Value(std::move(items));
+  }
+  if (type == "Struct") return Value(std::move(children));
+
+  // No (or unknown) xsi:type: infer from shape.
+  if (!children.empty()) {
+    bool all_items = true;
+    for (const auto& [name, value] : children) {
+      if (name != "item") {
+        all_items = false;
+        break;
+      }
+    }
+    if (all_items) {
+      Array items;
+      items.reserve(children.size());
+      for (auto& [name, value] : children) items.push_back(std::move(value));
+      return Value(std::move(items));
+    }
+    return Value(std::move(children));
+  }
+  return Value(std::move(text));
+}
+
+}  // namespace spi::soap

@@ -1,0 +1,62 @@
+// WSDL 1.1 service descriptions — the third leg of the paper's §1 web
+// services stack ("WSDL describes Web Services interface, the XML-based
+// SOAP is the ... communication protocol, and ... HTTP ... the transport
+// level"). Generates rpc/encoded-style WSDL for registered services and
+// parses descriptions back, so SPI deployments are discoverable the way
+// 2006 grid containers were.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spi::soap {
+
+/// XSD type name used in WSDL part declarations ("string", "int",
+/// "double", "boolean", "anyType").
+struct ParamDescription {
+  std::string name;
+  std::string xsd_type = "anyType";
+
+  friend bool operator==(const ParamDescription&,
+                         const ParamDescription&) = default;
+};
+
+struct OperationDescription {
+  std::string name;
+  std::vector<ParamDescription> inputs;
+  std::string output_xsd_type = "anyType";
+  std::string documentation;
+
+  friend bool operator==(const OperationDescription&,
+                         const OperationDescription&) = default;
+};
+
+struct ServiceDescription {
+  std::string name;
+  /// SOAP HTTP binding location, e.g. "http://host:80/spi".
+  std::string endpoint_url;
+  std::vector<OperationDescription> operations;
+
+  friend bool operator==(const ServiceDescription&,
+                         const ServiceDescription&) = default;
+};
+
+/// Serializes a WSDL 1.1 document (definitions/message/portType/binding/
+/// service, SOAP rpc binding).
+std::string generate_wsdl(const ServiceDescription& description);
+
+/// Parses a WSDL document produced by generate_wsdl (lenient about
+/// namespace prefixes, strict about structure).
+Result<ServiceDescription> parse_wsdl(std::string_view wsdl_xml);
+
+/// Builds a description from bare operation names (e.g. from
+/// core::ServiceRegistry::operation_names): inputs unknown — registries
+/// hold handlers, not signatures — ready for hand-annotation.
+Result<ServiceDescription> describe_service(
+    const std::string& service_name,
+    const std::vector<std::string>& operation_names,
+    const std::string& endpoint_url);
+
+}  // namespace spi::soap

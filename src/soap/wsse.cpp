@@ -1,0 +1,172 @@
+#include "soap/wsse.hpp"
+
+#include <ctime>
+
+#include "common/codec.hpp"
+#include "common/string_util.hpp"
+#include "xml/writer.hpp"
+
+namespace spi::soap {
+
+std::string compute_password_digest(std::string_view nonce_bytes,
+                                    std::string_view created,
+                                    std::string_view password) {
+  std::string material;
+  material.reserve(nonce_bytes.size() + created.size() + password.size());
+  material.append(nonce_bytes);
+  material.append(created);
+  material.append(password);
+  return sha1_base64(material);
+}
+
+std::string iso8601_now() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+Result<std::int64_t> parse_iso8601(std::string_view text) {
+  std::tm tm{};
+  // Strict shape: YYYY-MM-DDTHH:MM:SSZ
+  if (text.size() != 20 || text[4] != '-' || text[7] != '-' ||
+      text[10] != 'T' || text[13] != ':' || text[16] != ':' ||
+      text[19] != 'Z') {
+    return Error(ErrorCode::kParseError,
+                 "invalid ISO-8601 instant '" + std::string(text) + "'");
+  }
+  auto read = [&](size_t pos, size_t len) -> int {
+    int value = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      if (text[i] < '0' || text[i] > '9') return -1;
+      value = value * 10 + (text[i] - '0');
+    }
+    return value;
+  };
+  int year = read(0, 4), month = read(5, 2), day = read(8, 2);
+  int hour = read(11, 2), minute = read(14, 2), second = read(17, 2);
+  if (year < 0 || month < 1 || month > 12 || day < 1 || day > 31 ||
+      hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 60) {
+    return Error(ErrorCode::kParseError,
+                 "out-of-range ISO-8601 field in '" + std::string(text) + "'");
+  }
+  tm.tm_year = year - 1900;
+  tm.tm_mon = month - 1;
+  tm.tm_mday = day;
+  tm.tm_hour = hour;
+  tm.tm_min = minute;
+  tm.tm_sec = second;
+  return static_cast<std::int64_t>(timegm(&tm));
+}
+
+WsseTokenFactory::WsseTokenFactory(WsseCredentials credentials,
+                                   std::uint64_t nonce_seed)
+    : credentials_(std::move(credentials)), rng_(nonce_seed) {}
+
+std::string WsseTokenFactory::make_header_block(std::string_view created) {
+  std::string nonce_bytes;
+  {
+    std::lock_guard lock(mutex_);
+    nonce_bytes = rng_.hex_string(16);  // 32 hex chars of entropy
+  }
+  std::string digest =
+      compute_password_digest(nonce_bytes, created, credentials_.password);
+
+  xml::Writer writer;
+  writer.start_element("wsse:Security");
+  writer.attribute("xmlns:wsse", kWsseNs);
+  writer.attribute("xmlns:wsu", kWsuNs);
+  writer.attribute("SOAP-ENV:mustUnderstand", "1");
+
+  writer.start_element("wsu:Timestamp");
+  writer.text_element("wsu:Created", created);
+  writer.end_element();
+
+  writer.start_element("wsse:UsernameToken");
+  writer.text_element("wsse:Username", credentials_.username);
+  writer.start_element("wsse:Password");
+  writer.attribute("Type", "wsse:PasswordDigest");
+  writer.text(digest);
+  writer.end_element();
+  writer.start_element("wsse:Nonce");
+  writer.attribute("EncodingType", "wsse:Base64Binary");
+  writer.text(base64_encode(nonce_bytes));
+  writer.end_element();
+  writer.text_element("wsu:Created", created);
+  writer.end_element();  // UsernameToken
+
+  writer.end_element();  // Security
+  return writer.take();
+}
+
+WsseVerifier::WsseVerifier(WsseCredentials expected)
+    : WsseVerifier(std::move(expected), Options()) {}
+
+WsseVerifier::WsseVerifier(WsseCredentials expected, Options options)
+    : expected_(std::move(expected)), options_(options) {}
+
+Status WsseVerifier::check_nonce_replay(const std::string& nonce) {
+  std::lock_guard lock(mutex_);
+  if (nonce_set_.contains(nonce)) {
+    return Error(ErrorCode::kInvalidArgument, "wsse: replayed nonce");
+  }
+  nonce_set_.insert(nonce);
+  nonce_order_.push_back(nonce);
+  while (nonce_order_.size() > options_.nonce_cache_size) {
+    nonce_set_.erase(nonce_order_.front());
+    nonce_order_.pop_front();
+  }
+  return Status();
+}
+
+Status WsseVerifier::verify(const xml::Element& security_block,
+                            std::string_view now) {
+  if (security_block.local_name() != "Security") {
+    return Error(ErrorCode::kInvalidArgument,
+                 "not a wsse:Security block: <" + security_block.name + ">");
+  }
+  const xml::Element* token = security_block.first_child("UsernameToken");
+  if (!token) {
+    return Error(ErrorCode::kInvalidArgument, "wsse: missing UsernameToken");
+  }
+  const xml::Element* username = token->first_child("Username");
+  const xml::Element* password = token->first_child("Password");
+  const xml::Element* nonce = token->first_child("Nonce");
+  const xml::Element* created = token->first_child("Created");
+  if (!username || !password || !nonce || !created) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "wsse: incomplete UsernameToken");
+  }
+  if (username->text_trimmed() != expected_.username) {
+    return Error(ErrorCode::kInvalidArgument, "wsse: unknown user");
+  }
+
+  auto nonce_bytes = base64_decode(nonce->text_trimmed());
+  if (!nonce_bytes.ok()) {
+    return nonce_bytes.wrap_error("wsse nonce");
+  }
+
+  std::string expected_digest = compute_password_digest(
+      nonce_bytes.value(), created->text_trimmed(), expected_.password);
+  if (trim(password->text) != expected_digest) {
+    return Error(ErrorCode::kInvalidArgument, "wsse: digest mismatch");
+  }
+
+  if (options_.freshness_window.count() > 0) {
+    auto token_time = parse_iso8601(created->text_trimmed());
+    if (!token_time.ok()) return token_time.wrap_error("wsse created");
+    auto now_time = parse_iso8601(now);
+    if (!now_time.ok()) return now_time.wrap_error("wsse now");
+    std::int64_t age = now_time.value() - token_time.value();
+    if (age < 0 || age > options_.freshness_window.count()) {
+      return Error(ErrorCode::kInvalidArgument, "wsse: token expired");
+    }
+  }
+
+  return check_nonce_replay(std::string(nonce->text_trimmed()));
+}
+
+}  // namespace spi::soap

@@ -1,0 +1,74 @@
+#include "xml/namespaces.hpp"
+
+#include "common/string_util.hpp"
+
+namespace spi::xml {
+
+namespace {
+constexpr std::string_view kXmlPrefixUri =
+    "http://www.w3.org/XML/1998/namespace";
+}
+
+NamespaceScope::NamespaceScope() {
+  bindings_.emplace("xml", std::string(kXmlPrefixUri));
+}
+
+NamespaceScope NamespaceScope::enter(const Element& element) const {
+  NamespaceScope child = *this;
+  for (const Attribute& attribute : element.attributes) {
+    if (attribute.name == "xmlns") {
+      child.bindings_["" ] = attribute.value;
+    } else if (starts_with(attribute.name, "xmlns:")) {
+      std::string prefix = attribute.name.substr(6);
+      if (!prefix.empty()) {
+        child.bindings_[prefix] = attribute.value;
+      }
+    }
+  }
+  return child;
+}
+
+std::optional<std::string_view> NamespaceScope::uri_for(
+    std::string_view prefix) const {
+  auto it = bindings_.find(prefix);
+  if (it == bindings_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+Result<QName> NamespaceScope::resolve(std::string_view qualified_name) const {
+  size_t colon = qualified_name.find(':');
+  if (colon == std::string_view::npos) {
+    QName name;
+    name.local = std::string(qualified_name);
+    if (auto default_ns = uri_for("")) {
+      name.ns_uri = std::string(*default_ns);
+    }
+    return name;
+  }
+  std::string_view prefix = qualified_name.substr(0, colon);
+  std::string_view local = qualified_name.substr(colon + 1);
+  if (prefix.empty() || local.empty() ||
+      local.find(':') != std::string_view::npos) {
+    return Error(ErrorCode::kParseError,
+                 "malformed qualified name '" + std::string(qualified_name) +
+                     "'");
+  }
+  auto uri = uri_for(prefix);
+  if (!uri) {
+    return Error(ErrorCode::kParseError,
+                 "unbound namespace prefix '" + std::string(prefix) + "'");
+  }
+  QName name;
+  name.ns_uri = std::string(*uri);
+  name.local = std::string(local);
+  return name;
+}
+
+bool element_is(const Element& element, const NamespaceScope& scope,
+                std::string_view ns_uri, std::string_view local) {
+  auto resolved = scope.resolve(element.name);
+  return resolved.ok() && resolved.value().ns_uri == ns_uri &&
+         resolved.value().local == local;
+}
+
+}  // namespace spi::xml

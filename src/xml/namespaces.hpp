@@ -1,0 +1,59 @@
+// Namespace resolution over parsed documents: tracks in-scope xmlns /
+// xmlns:prefix declarations down a DOM subtree so qualified names can be
+// resolved to (namespace URI, local name). The SOAP layer mostly compares
+// local names (interop-lenient, as Axis did), but strict consumers —
+// WS-Security verification, WSDL tooling — use this to check that
+// prefixes actually bind to the canonical URIs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/parser.hpp"
+
+namespace spi::xml {
+
+/// A resolved name: namespace URI (empty = no namespace) + local part.
+struct QName {
+  std::string ns_uri;
+  std::string local;
+
+  friend bool operator==(const QName&, const QName&) = default;
+};
+
+/// Immutable view of the namespace bindings in scope at some element.
+class NamespaceScope {
+ public:
+  /// Root scope: only the implicit "xml" prefix is bound.
+  NamespaceScope();
+
+  /// Child scope: this scope plus the element's xmlns declarations.
+  NamespaceScope enter(const Element& element) const;
+
+  /// URI bound to `prefix` ("" = default namespace), nullopt if unbound.
+  std::optional<std::string_view> uri_for(std::string_view prefix) const;
+
+  /// Resolves a qualified name against this scope. Fails on an unbound
+  /// prefix; an unprefixed name takes the default namespace (or none).
+  Result<QName> resolve(std::string_view qualified_name) const;
+
+  /// Resolves an element's own name.
+  Result<QName> resolve_element(const Element& element) const {
+    return resolve(element.name);
+  }
+
+  size_t binding_count() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> bindings_;
+};
+
+/// Convenience: true iff `element`'s name resolves to {ns_uri, local}
+/// under `scope`.
+bool element_is(const Element& element, const NamespaceScope& scope,
+                std::string_view ns_uri, std::string_view local);
+
+}  // namespace spi::xml

@@ -1,0 +1,403 @@
+#include "xml/parser.hpp"
+
+#include "common/string_util.hpp"
+#include "xml/text.hpp"
+#include "xml/writer.hpp"
+
+namespace spi::xml {
+
+namespace {
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+}  // namespace
+
+std::string_view token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kStartElement: return "StartElement";
+    case TokenType::kEndElement: return "EndElement";
+    case TokenType::kText: return "Text";
+    case TokenType::kCData: return "CData";
+    case TokenType::kComment: return "Comment";
+    case TokenType::kProcessingInstruction: return "ProcessingInstruction";
+    case TokenType::kDeclaration: return "Declaration";
+    case TokenType::kEndOfDocument: return "EndOfDocument";
+  }
+  return "?";
+}
+
+PullParser::PullParser(std::string_view input) : input_(input) {}
+
+Error PullParser::err(std::string message) const {
+  message += " at offset ";
+  append_u64(message, pos_);
+  return Error(ErrorCode::kParseError, std::move(message));
+}
+
+void PullParser::skip_whitespace() {
+  while (pos_ < input_.size() && is_ws(input_[pos_])) ++pos_;
+}
+
+Result<std::string> PullParser::read_name() {
+  size_t start = pos_;
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (is_ws(c) || c == '>' || c == '/' || c == '=' || c == '?') break;
+    ++pos_;
+  }
+  std::string name(input_.substr(start, pos_ - start));
+  if (!is_valid_name(name)) {
+    return err("invalid name '" + name + "'");
+  }
+  return name;
+}
+
+Result<Token> PullParser::next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    Token token;
+    token.type = TokenType::kEndElement;
+    token.name = std::move(pending_end_name_);
+    return token;
+  }
+
+  if (pos_ >= input_.size()) {
+    if (!open_.empty()) {
+      return err("unexpected end of input; unclosed <" + open_.back() + ">");
+    }
+    if (!seen_root_) return err("document has no root element");
+    Token token;
+    token.type = TokenType::kEndOfDocument;
+    return token;
+  }
+
+  if (input_[pos_] == '<') return parse_markup();
+  return parse_text();
+}
+
+Result<Token> PullParser::parse_text() {
+  size_t start = pos_;
+  size_t lt = input_.find('<', pos_);
+  if (lt == std::string_view::npos) lt = input_.size();
+  std::string_view raw = input_.substr(start, lt - start);
+  pos_ = lt;
+
+  if (open_.empty()) {
+    // Only whitespace is allowed outside the root element.
+    for (char c : raw) {
+      if (!is_ws(c)) return err("character data outside root element");
+    }
+    return next();
+  }
+
+  auto unescaped = unescape(raw);
+  if (!unescaped.ok()) return unescaped.wrap_error("character data");
+  Token token;
+  token.type = TokenType::kText;
+  token.text = std::move(unescaped).value();
+  return token;
+}
+
+Result<Token> PullParser::parse_markup() {
+  // pos_ points at '<'.
+  if (pos_ + 1 >= input_.size()) return err("truncated markup");
+  char c = input_[pos_ + 1];
+  if (c == '/') return parse_end_tag();
+  if (c == '!') return parse_bang();
+  if (c == '?') return parse_pi();
+  return parse_start_or_empty();
+}
+
+Result<Token> PullParser::parse_start_or_empty() {
+  ++pos_;  // consume '<'
+  if (open_.empty() && seen_root_) {
+    return err("multiple root elements");
+  }
+  auto name = read_name();
+  if (!name.ok()) return name.error();
+
+  Token token;
+  token.type = TokenType::kStartElement;
+  token.name = std::move(name).value();
+
+  // Attributes.
+  while (true) {
+    skip_whitespace();
+    if (pos_ >= input_.size()) return err("truncated start tag");
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
+      break;
+    }
+    if (c == '/') {
+      if (pos_ + 1 >= input_.size() || input_[pos_ + 1] != '>') {
+        return err("expected '/>'");
+      }
+      pos_ += 2;
+      token.self_closing = true;
+      break;
+    }
+    auto attr_name = read_name();
+    if (!attr_name.ok()) return attr_name.error();
+    skip_whitespace();
+    if (pos_ >= input_.size() || input_[pos_] != '=') {
+      return err("attribute '" + attr_name.value() + "' missing '='");
+    }
+    ++pos_;
+    skip_whitespace();
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return err("attribute value must be quoted");
+    }
+    char quote = input_[pos_++];
+    size_t value_start = pos_;
+    size_t value_end = input_.find(quote, pos_);
+    if (value_end == std::string_view::npos) {
+      return err("unterminated attribute value");
+    }
+    std::string_view raw_value =
+        input_.substr(value_start, value_end - value_start);
+    if (raw_value.find('<') != std::string_view::npos) {
+      return err("'<' in attribute value");
+    }
+    pos_ = value_end + 1;
+    auto value = unescape(raw_value);
+    if (!value.ok()) return value.wrap_error("attribute value");
+    for (const Attribute& existing : token.attributes) {
+      if (existing.name == attr_name.value()) {
+        return err("duplicate attribute '" + attr_name.value() + "'");
+      }
+    }
+    token.attributes.push_back(
+        Attribute{std::move(attr_name).value(), std::move(value).value()});
+  }
+
+  seen_root_ = true;
+  if (token.self_closing) {
+    pending_end_ = true;
+    pending_end_name_ = token.name;
+  } else {
+    open_.push_back(token.name);
+  }
+  return token;
+}
+
+Result<Token> PullParser::parse_end_tag() {
+  pos_ += 2;  // consume "</"
+  auto name = read_name();
+  if (!name.ok()) return name.error();
+  skip_whitespace();
+  if (pos_ >= input_.size() || input_[pos_] != '>') {
+    return err("malformed end tag");
+  }
+  ++pos_;
+  if (open_.empty()) {
+    return err("end tag </" + name.value() + "> with no open element");
+  }
+  if (open_.back() != name.value()) {
+    return err("mismatched end tag: expected </" + open_.back() + ">, got </" +
+               name.value() + ">");
+  }
+  open_.pop_back();
+  Token token;
+  token.type = TokenType::kEndElement;
+  token.name = std::move(name).value();
+  return token;
+}
+
+Result<Token> PullParser::parse_bang() {
+  // Comment or CDATA.
+  if (input_.substr(pos_, 4) == "<!--") {
+    size_t end = input_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) return err("unterminated comment");
+    std::string_view body = input_.substr(pos_ + 4, end - pos_ - 4);
+    if (body.find("--") != std::string_view::npos) {
+      return err("'--' inside comment");
+    }
+    pos_ = end + 3;
+    Token token;
+    token.type = TokenType::kComment;
+    token.text = std::string(body);
+    return token;
+  }
+  if (input_.substr(pos_, 9) == "<![CDATA[") {
+    if (open_.empty()) return err("CDATA outside root element");
+    size_t end = input_.find("]]>", pos_ + 9);
+    if (end == std::string_view::npos) return err("unterminated CDATA");
+    Token token;
+    token.type = TokenType::kCData;
+    token.text = std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+    pos_ = end + 3;
+    return token;
+  }
+  // DOCTYPE and friends: SOAP 1.1 §3 forbids DTDs in messages.
+  return err("unsupported '<!' construct (DTDs are not allowed in SOAP)");
+}
+
+Result<Token> PullParser::parse_pi() {
+  size_t end = input_.find("?>", pos_ + 2);
+  if (end == std::string_view::npos) {
+    return err("unterminated processing instruction");
+  }
+  std::string_view body = input_.substr(pos_ + 2, end - pos_ - 2);
+  bool is_decl = starts_with(body, "xml") &&
+                 (body.size() == 3 || is_ws(body[3]));
+  if (is_decl && (pos_ != 0 || seen_root_)) {
+    return err("XML declaration must be at the start of the document");
+  }
+  pos_ = end + 2;
+  Token token;
+  token.type = is_decl ? TokenType::kDeclaration
+                       : TokenType::kProcessingInstruction;
+  size_t space = body.find_first_of(" \t\r\n");
+  token.name = std::string(body.substr(0, space));
+  if (space != std::string_view::npos) {
+    token.text = std::string(trim(body.substr(space)));
+  }
+  return token;
+}
+
+// ---------------------------------------------------------------------------
+// DOM
+
+std::string_view Element::local_name() const {
+  size_t colon = name.rfind(':');
+  return colon == std::string::npos
+             ? std::string_view(name)
+             : std::string_view(name).substr(colon + 1);
+}
+
+const Element* Element::first_child(std::string_view local) const {
+  for (const Element& child : children) {
+    if (child.local_name() == local) return &child;
+  }
+  return nullptr;
+}
+
+Element* Element::first_child(std::string_view local) {
+  for (Element& child : children) {
+    if (child.local_name() == local) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view local) const {
+  std::vector<const Element*> out;
+  for (const Element& child : children) {
+    if (child.local_name() == local) out.push_back(&child);
+  }
+  return out;
+}
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view name) const {
+  for (const Attribute& attr : attributes) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::text_trimmed() const { return trim(text); }
+
+namespace {
+void write_element(Writer& writer, const Element& element) {
+  writer.start_element(element.name);
+  for (const Attribute& attr : element.attributes) {
+    writer.attribute(attr.name, attr.value);
+  }
+  if (!element.text.empty()) writer.text(element.text);
+  for (const Element& child : element.children) {
+    write_element(writer, child);
+  }
+  writer.end_element();
+}
+}  // namespace
+
+std::string Element::to_string(bool pretty) const {
+  Writer writer(pretty);
+  write_element(writer, *this);
+  return writer.take();
+}
+
+std::string Document::to_string(bool pretty) const {
+  Writer writer(pretty);
+  writer.declaration();
+  write_element(writer, root);
+  return writer.take();
+}
+
+Result<Document> parse_document(std::string_view input) {
+  PullParser parser(input);
+  Document document;
+  std::vector<Element*> stack;
+  bool have_root = false;
+
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    switch (token.value().type) {
+      case TokenType::kStartElement: {
+        Element element;
+        element.name = std::move(token.value().name);
+        element.attributes = std::move(token.value().attributes);
+        if (stack.empty()) {
+          if (have_root) {
+            return Error(ErrorCode::kParseError, "multiple root elements");
+          }
+          document.root = std::move(element);
+          stack.push_back(&document.root);
+          have_root = true;
+        } else {
+          // Appending may reallocate the children vector of the parent but
+          // never of the grandparents, so raw pointers into the stack stay
+          // valid as long as we re-take the address after push_back.
+          Element* parent = stack.back();
+          parent->children.push_back(std::move(element));
+          stack.push_back(&parent->children.back());
+        }
+        break;
+      }
+      case TokenType::kEndElement:
+        stack.pop_back();
+        break;
+      case TokenType::kText:
+      case TokenType::kCData:
+        if (!stack.empty()) stack.back()->text += token.value().text;
+        break;
+      case TokenType::kComment:
+      case TokenType::kProcessingInstruction:
+      case TokenType::kDeclaration:
+        break;
+      case TokenType::kEndOfDocument:
+        return document;
+    }
+  }
+}
+
+Status parse_sax(std::string_view input, SaxHandler& handler) {
+  PullParser parser(input);
+  while (true) {
+    auto token = parser.next();
+    if (!token.ok()) return token.error();
+    switch (token.value().type) {
+      case TokenType::kStartElement:
+        handler.on_start_element(token.value().name,
+                                 token.value().attributes);
+        break;
+      case TokenType::kEndElement:
+        handler.on_end_element(token.value().name);
+        break;
+      case TokenType::kText:
+      case TokenType::kCData:
+        handler.on_text(token.value().text);
+        break;
+      case TokenType::kComment:
+      case TokenType::kProcessingInstruction:
+      case TokenType::kDeclaration:
+        break;
+      case TokenType::kEndOfDocument:
+        return Status();
+    }
+  }
+}
+
+}  // namespace spi::xml

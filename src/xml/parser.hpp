@@ -1,0 +1,138 @@
+// XML parsing, three APIs over one tokenizer:
+//   * PullParser — incremental token stream (used by the deserializer core)
+//   * parse_document — DOM builder (used by SOAP envelope handling)
+//   * parse_sax — callback driver (used by streaming consumers and the
+//     trie ablation bench)
+// Covers the subset SOAP 1.1 needs: elements, attributes, character data,
+// CDATA, comments, PIs, the XML declaration, and the five predefined plus
+// numeric entities. No DTDs (SOAP forbids them).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spi::xml {
+
+struct Attribute {
+  std::string name;
+  std::string value;
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+enum class TokenType {
+  kStartElement,  // <name attr="v"> or <name/>, see self_closing
+  kEndElement,    // </name>; also synthesized for self-closing elements
+  kText,          // character data (entities expanded)
+  kCData,         // <![CDATA[...]]>
+  kComment,       // <!-- ... -->
+  kProcessingInstruction,
+  kDeclaration,   // <?xml ... ?>
+  kEndOfDocument,
+};
+
+std::string_view token_type_name(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfDocument;
+  std::string name;                    // element/PI name
+  std::vector<Attribute> attributes;   // start elements only
+  std::string text;                    // text/cdata/comment content
+  bool self_closing = false;           // <name/>
+};
+
+/// Tokenizer + well-formedness checker. next() returns tokens until
+/// kEndOfDocument; a self-closing element yields kStartElement
+/// (self_closing=true) followed by a synthesized kEndElement.
+class PullParser {
+ public:
+  explicit PullParser(std::string_view input);
+
+  Result<Token> next();
+
+  /// Byte offset of the parse cursor; used in error messages.
+  size_t offset() const { return pos_; }
+
+  /// Current element nesting depth (after the last returned token).
+  size_t depth() const { return open_.size(); }
+
+ private:
+  Result<Token> parse_markup();
+  Result<Token> parse_start_or_empty();
+  Result<Token> parse_end_tag();
+  Result<Token> parse_text();
+  Result<Token> parse_bang();  // comments, CDATA
+  Result<Token> parse_pi();    // <?...?> incl. xml declaration
+  Error err(std::string message) const;
+  void skip_whitespace();
+  Result<std::string> read_name();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::vector<std::string> open_;  // open element stack
+  bool seen_root_ = false;
+  bool pending_end_ = false;       // synthesized end for self-closing
+  std::string pending_end_name_;
+};
+
+/// DOM node. Children are element nodes; direct character data is
+/// concatenated into `text` (sufficient for SOAP, where mixed content
+/// does not carry meaning).
+class Element {
+ public:
+  std::string name;                   // qualified name as written
+  std::vector<Attribute> attributes;
+  std::vector<Element> children;
+  std::string text;
+
+  /// Name without its namespace prefix: "SOAP-ENV:Body" -> "Body".
+  std::string_view local_name() const;
+
+  /// First child whose local name matches, or nullptr.
+  const Element* first_child(std::string_view local) const;
+  Element* first_child(std::string_view local);
+
+  /// All children whose local name matches (document order).
+  std::vector<const Element*> children_named(std::string_view local) const;
+
+  /// Attribute value by exact (qualified) name.
+  std::optional<std::string_view> attribute(std::string_view name) const;
+
+  /// `text` with surrounding ASCII whitespace stripped.
+  std::string_view text_trimmed() const;
+
+  /// Re-serializes this subtree.
+  std::string to_string(bool pretty = false) const;
+
+  friend bool operator==(const Element&, const Element&) = default;
+};
+
+struct Document {
+  Element root;
+  std::string to_string(bool pretty = false) const;
+};
+
+/// Parses a complete document into a DOM. Comments/PIs are dropped.
+Result<Document> parse_document(std::string_view input);
+
+/// SAX-style callbacks. Default implementations ignore events.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+  virtual void on_start_element(std::string_view name,
+                                const std::vector<Attribute>& attributes) {
+    (void)name;
+    (void)attributes;
+  }
+  virtual void on_end_element(std::string_view name) { (void)name; }
+  virtual void on_text(std::string_view text) { (void)text; }
+};
+
+/// Drives a SaxHandler over the input. CDATA is reported via on_text.
+Status parse_sax(std::string_view input, SaxHandler& handler);
+
+}  // namespace spi::xml

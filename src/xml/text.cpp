@@ -1,0 +1,168 @@
+#include "xml/text.hpp"
+
+namespace spi::xml {
+
+namespace {
+
+bool is_name_start(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || c >= 0x80;
+}
+
+bool is_name_char(unsigned char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+}  // namespace
+
+void append_escaped_text(std::string& out, std::string_view text) {
+  // Fast path: copy runs of unescaped characters in one append.
+  size_t run_start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char* replacement = nullptr;
+    switch (c) {
+      case '&': replacement = "&amp;"; break;
+      case '<': replacement = "&lt;"; break;
+      case '>': replacement = "&gt;"; break;
+      default: continue;
+    }
+    out.append(text, run_start, i - run_start);
+    out.append(replacement);
+    run_start = i + 1;
+  }
+  out.append(text, run_start, text.size() - run_start);
+}
+
+void append_escaped_attribute(std::string& out, std::string_view value) {
+  size_t run_start = 0;
+  for (size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    const char* replacement = nullptr;
+    switch (c) {
+      case '&': replacement = "&amp;"; break;
+      case '<': replacement = "&lt;"; break;
+      case '>': replacement = "&gt;"; break;
+      case '"': replacement = "&quot;"; break;
+      case '\n': replacement = "&#10;"; break;
+      case '\t': replacement = "&#9;"; break;
+      default: continue;
+    }
+    out.append(value, run_start, i - run_start);
+    out.append(replacement);
+    run_start = i + 1;
+  }
+  out.append(value, run_start, value.size() - run_start);
+}
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped_text(out, text);
+  return out;
+}
+
+std::string escape_attribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  append_escaped_attribute(out, value);
+  return out;
+}
+
+bool append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+Result<std::string> unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      // Copy the run up to the next entity in one shot.
+      size_t amp = text.find('&', i);
+      if (amp == std::string_view::npos) amp = text.size();
+      out.append(text, i, amp - i);
+      i = amp;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Error(ErrorCode::kParseError, "unterminated entity reference");
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      std::uint32_t cp = 0;
+      bool ok = false;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        for (size_t k = 2; k < entity.size(); ++k) {
+          char h = entity[k];
+          std::uint32_t digit;
+          if (h >= '0' && h <= '9') digit = h - '0';
+          else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
+          else { ok = false; break; }
+          cp = cp * 16 + digit;
+          if (cp > 0x10FFFF) break;
+          ok = true;
+        }
+      } else if (entity.size() > 1) {
+        for (size_t k = 1; k < entity.size(); ++k) {
+          char d = entity[k];
+          if (d < '0' || d > '9') { ok = false; break; }
+          cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+          if (cp > 0x10FFFF) break;
+          ok = true;
+        }
+      }
+      if (!ok || !append_utf8(out, cp)) {
+        return Error(ErrorCode::kParseError,
+                     "invalid character reference '&" + std::string(entity) +
+                         ";'");
+      }
+    } else {
+      return Error(ErrorCode::kParseError,
+                   "unknown entity '&" + std::string(entity) + ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+bool is_valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  if (!is_name_start(static_cast<unsigned char>(name[0]))) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!is_name_char(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace spi::xml

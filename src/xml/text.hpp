@@ -1,0 +1,35 @@
+// XML character-data handling: entity escaping/unescaping, numeric
+// character references, and name validation. Shared by the writer (escape)
+// and the parser (unescape).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace spi::xml {
+
+/// Escapes the five predefined entities for element content (&, <, >).
+/// '>' is escaped too for "]]>" safety.
+void append_escaped_text(std::string& out, std::string_view text);
+
+/// Escapes for a double-quoted attribute value (&, <, >, ").
+void append_escaped_attribute(std::string& out, std::string_view value);
+
+std::string escape_text(std::string_view text);
+std::string escape_attribute(std::string_view value);
+
+/// Expands &amp; &lt; &gt; &quot; &apos; and numeric refs (&#ddd; &#xhhh;).
+/// Fails on malformed or unknown entities.
+Result<std::string> unescape(std::string_view text);
+
+/// True if `name` is a valid XML element/attribute name (ASCII subset plus
+/// pass-through of multi-byte UTF-8; sufficient for SOAP envelopes).
+bool is_valid_name(std::string_view name);
+
+/// Appends a Unicode code point as UTF-8. Returns false for invalid
+/// code points (surrogates, > U+10FFFF).
+bool append_utf8(std::string& out, std::uint32_t code_point);
+
+}  // namespace spi::xml

@@ -1,0 +1,88 @@
+#include "xml/trie.hpp"
+
+#include <algorithm>
+
+namespace spi::xml {
+
+namespace {
+std::string_view strip_prefix(std::string_view qualified) {
+  size_t colon = qualified.rfind(':');
+  return colon == std::string_view::npos ? qualified
+                                         : qualified.substr(colon + 1);
+}
+}  // namespace
+
+std::uint32_t TagTrie::Node::child(unsigned char c) const {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), c,
+      [](const auto& entry, unsigned char key) { return entry.first < key; });
+  if (it == children.end() || it->first != c) return 0;
+  return it->second;
+}
+
+std::uint32_t TagTrie::walk_or_insert(std::string_view tag) {
+  std::uint32_t node = 0;
+  for (unsigned char c : tag) {
+    std::uint32_t next = nodes_[node].child(c);
+    if (next == 0) {
+      next = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      auto& children = nodes_[node].children;
+      auto it = std::lower_bound(children.begin(), children.end(), c,
+                                 [](const auto& entry, unsigned char key) {
+                                   return entry.first < key;
+                                 });
+      children.insert(it, {c, next});
+    }
+    node = next;
+  }
+  return node;
+}
+
+std::uint32_t TagTrie::walk(std::string_view tag) const {
+  std::uint32_t node = 0;
+  for (unsigned char c : tag) {
+    node = nodes_[node].child(c);
+    if (node == 0) return 0;
+  }
+  return node;
+}
+
+int TagTrie::insert(std::string_view tag) {
+  std::uint32_t node = walk_or_insert(tag);
+  if (nodes_[node].id == kNotFound) {
+    nodes_[node].id = static_cast<int>(tag_count_++);
+  }
+  return nodes_[node].id;
+}
+
+int TagTrie::find(std::string_view tag) const {
+  if (tag.empty()) return kNotFound;
+  std::uint32_t node = walk(tag);
+  return node == 0 ? kNotFound : nodes_[node].id;
+}
+
+int TagTrie::find_local(std::string_view qualified_tag) const {
+  return find(strip_prefix(qualified_tag));
+}
+
+int LinearTagMatcher::insert(std::string_view tag) {
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] == tag) return static_cast<int>(i);
+  }
+  tags_.emplace_back(tag);
+  return static_cast<int>(tags_.size() - 1);
+}
+
+int LinearTagMatcher::find(std::string_view tag) const {
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] == tag) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int LinearTagMatcher::find_local(std::string_view qualified_tag) const {
+  return find(strip_prefix(qualified_tag));
+}
+
+}  // namespace spi::xml

@@ -1,0 +1,76 @@
+// Streaming XML writer. Serialization (client Assembler, server response
+// Assembler) appends into one growing string; no intermediate tree is built,
+// which keeps the pack path to a single pass over the payload (Per.14).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spi::xml {
+
+class Writer {
+ public:
+  /// `pretty` inserts newlines + two-space indentation (examples/docs);
+  /// benchmarks use compact output like real SOAP stacks.
+  explicit Writer(bool pretty = false) : pretty_(pretty) { out_.reserve(256); }
+
+  /// Writes the <?xml version="1.0" encoding="UTF-8"?> declaration.
+  /// Must precede the first element.
+  Writer& declaration();
+
+  /// Opens <name>. Throws SpiError(kInvalidArgument) on an invalid name.
+  Writer& start_element(std::string_view name);
+
+  /// Adds an attribute to the most recently opened element. Must be called
+  /// before any content is written into it.
+  Writer& attribute(std::string_view name, std::string_view value);
+
+  /// Writes escaped character data inside the current element.
+  Writer& text(std::string_view text);
+
+  /// Writes pre-escaped/verbatim bytes (nested pre-serialized fragments —
+  /// this is how the Assembler splices per-call XML into Parallel_Method).
+  Writer& raw(std::string_view xml);
+
+  /// Writes a CDATA section. Content containing "]]>" is split across
+  /// adjacent sections so any byte sequence is representable.
+  Writer& cdata(std::string_view text);
+
+  /// Closes the current element, collapsing empty ones to <name/>.
+  Writer& end_element();
+
+  /// <name>text</name> in one call.
+  Writer& text_element(std::string_view name, std::string_view text);
+
+  /// Closes all open elements.
+  Writer& finish();
+
+  /// True once every start_element has been matched.
+  bool complete() const { return open_elements_.empty(); }
+
+  size_t depth() const { return open_elements_.size(); }
+
+  /// The serialized document. Call after finish() / when complete().
+  const std::string& str() const& { return out_; }
+
+  /// Closes any elements still open (finish()) and moves the document out.
+  std::string take() {
+    finish();
+    return std::move(out_);
+  }
+
+ private:
+  void close_start_tag();
+  void indent();
+
+  std::string out_;
+  std::vector<std::string> open_elements_;
+  bool pretty_;
+  bool start_tag_open_ = false;   // "<name" emitted, '>' pending
+  bool element_has_text_ = false; // suppress pretty newline before </name>
+};
+
+}  // namespace spi::xml

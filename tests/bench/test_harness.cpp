@@ -1,0 +1,162 @@
+// The benchmark harness itself: fixtures, strategy runners, workload
+// generation, summaries, and the env plumbing — so the figures rest on
+// tested machinery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "benchsupport/harness.hpp"
+
+namespace spi::bench {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedShape) {
+  auto calls = make_echo_calls(5, 64, /*seed=*/1);
+  ASSERT_EQ(calls.size(), 5u);
+  for (const auto& call : calls) {
+    EXPECT_EQ(call.service, "EchoService");
+    EXPECT_EQ(call.operation, "Echo");
+    ASSERT_EQ(call.params.size(), 1u);
+    EXPECT_EQ(call.params[0].second.as_string().size(), 64u);
+  }
+  // Payloads differ call to call (anti-caching property).
+  EXPECT_NE(calls[0].params[0].second, calls[1].params[0].second);
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  auto a = make_echo_calls(3, 16, 42);
+  auto b = make_echo_calls(3, 16, 42);
+  auto c = make_echo_calls(3, 16, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(WorkloadTest, CountEchoErrorsDetectsProblems) {
+  auto calls = make_echo_calls(2, 8, 1);
+  std::vector<core::CallOutcome> good;
+  good.emplace_back(calls[0].params[0].second);
+  good.emplace_back(calls[1].params[0].second);
+  EXPECT_EQ(count_echo_errors(calls, good), 0u);
+
+  std::vector<core::CallOutcome> wrong;
+  wrong.emplace_back(soap::Value("tampered"));
+  wrong.emplace_back(Error(ErrorCode::kFault, "boom"));
+  EXPECT_EQ(count_echo_errors(calls, wrong), 2u);
+
+  std::vector<core::CallOutcome> short_list;
+  short_list.emplace_back(calls[0].params[0].second);
+  EXPECT_EQ(count_echo_errors(calls, short_list), 2u);
+}
+
+TEST(SummarizeTest, ComputesOrderStatistics) {
+  auto s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.samples, 5u);
+  EXPECT_DOUBLE_EQ(s.min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 3.0);
+  EXPECT_DOUBLE_EQ(s.median_ms, 3.0);
+  EXPECT_GT(s.stddev_ms, 0.0);
+}
+
+TEST(SummarizeTest, HandlesEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).samples, 0u);
+  auto s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.min_ms, 7.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 7.0);
+}
+
+TEST(StrategyLabelTest, MatchesPaperTerminology) {
+  EXPECT_EQ(strategy_label(Strategy::kSerial), "No Optimization");
+  EXPECT_EQ(strategy_label(Strategy::kMultithreaded), "Multiple Threads");
+  EXPECT_EQ(strategy_label(Strategy::kPacked), "Our Approach");
+}
+
+TEST(EnvOverridesTest, LinkParamsReadEnvironment) {
+  ::setenv("SPI_LINK_RTT_US", "1234", 1);
+  ::setenv("SPI_LINK_BW_MBPS", "10", 1);
+  auto params = link_params_from_env();
+  EXPECT_EQ(params.rtt, std::chrono::microseconds(1234));
+  EXPECT_DOUBLE_EQ(params.bandwidth_bytes_per_sec, 10e6 / 8.0);
+  ::unsetenv("SPI_LINK_RTT_US");
+  ::unsetenv("SPI_LINK_BW_MBPS");
+  // Defaults restored.
+  EXPECT_EQ(link_params_from_env().rtt,
+            net::LinkParams::ethernet_100mbit().rtt);
+}
+
+TEST(EnvOverridesTest, BenchRepsAndMaxM) {
+  ::setenv("SPI_BENCH_REPS", "7", 1);
+  EXPECT_EQ(bench_reps(3), 7u);
+  ::unsetenv("SPI_BENCH_REPS");
+  EXPECT_EQ(bench_reps(3), 3u);
+  ::setenv("SPI_BENCH_MAX_M", "16", 1);
+  EXPECT_EQ(bench_max_m(128), 16u);
+  ::unsetenv("SPI_BENCH_MAX_M");
+}
+
+TEST(EnvOverridesTest, PackCostFromEnv) {
+  ::setenv("SPI_LINK_PACK_NSPB", "55", 1);
+  ::setenv("SPI_LINK_PACK_USPC", "66", 1);
+  auto model = pack_cost_from_env();
+  EXPECT_DOUBLE_EQ(model.ns_per_byte, 55.0);
+  EXPECT_DOUBLE_EQ(model.us_per_call, 66.0);
+  ::unsetenv("SPI_LINK_PACK_NSPB");
+  ::unsetenv("SPI_LINK_PACK_USPC");
+}
+
+TEST(FormattersTest, FixedWidthNumbers) {
+  EXPECT_EQ(fmt_ms(1.23456), "1.235");
+  EXPECT_EQ(fmt_ratio(9.876), "9.88x");
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table table({"a", "long-header"});
+  table.add_row({"1", "2"});
+  table.add_row({"wide-cell"});  // short rows are padded
+  std::ostringstream out;
+  table.print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("a          long-header"), std::string::npos);
+  EXPECT_NE(text.find("wide-cell"), std::string::npos);
+}
+
+TEST(EchoFixtureTest, RunsAllStrategiesOnInstantLink) {
+  EchoFixture fixture;  // instant link, no calibration
+  auto calls = make_echo_calls(6, 32, /*seed=*/3);
+  for (Strategy strategy : {Strategy::kSerial, Strategy::kMultithreaded,
+                            Strategy::kPacked}) {
+    double ms = run_once_ms(fixture.client(), calls, strategy);
+    EXPECT_GE(ms, 0.0);
+  }
+  auto summary =
+      run_repeated(fixture.client(), calls, Strategy::kPacked, 3);
+  EXPECT_EQ(summary.samples, 3u);
+}
+
+TEST(EchoFixtureTest, RunOnceThrowsOnBrokenWorkload) {
+  EchoFixture fixture;
+  // An operation the echo service does not have -> every call faults.
+  std::vector<core::ServiceCall> calls = {
+      core::make_call("EchoService", "NoSuchOp")};
+  EXPECT_THROW(run_once_ms(fixture.client(), calls, Strategy::kPacked),
+               SpiError);
+}
+
+TEST(EchoFixtureTest, SimulatedLinkOrdersStrategiesLikeFigure5) {
+  // Small-scale sanity check of the Figure 5 shape on a mild link (kept
+  // fast for CI): packed beats serial at M=8, 10-byte payloads.
+  FixtureOptions options;
+  options.link = net::LinkParams::ethernet_100mbit();
+  // Scale delays down 10x to keep the test under a second.
+  options.link.connect_cost = std::chrono::microseconds(300);
+  options.link.per_message_overhead = std::chrono::microseconds(200);
+  options.link.rtt = std::chrono::microseconds(40);
+  EchoFixture fixture(options);
+  auto calls = make_echo_calls(8, 10, /*seed=*/4);
+  double serial = run_once_ms(fixture.client(), calls, Strategy::kSerial);
+  double packed = run_once_ms(fixture.client(), calls, Strategy::kPacked);
+  EXPECT_GT(serial, packed);
+}
+
+}  // namespace
+}  // namespace spi::bench

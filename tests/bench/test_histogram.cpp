@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "benchsupport/histogram.hpp"
+
+namespace spi::bench {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean_us(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.p50_us(), 0.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram histogram;
+  histogram.record_us(100);
+  histogram.record_us(300);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_NEAR(histogram.mean_us(), 200.0, 0.5);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketError) {
+  LatencyHistogram histogram;
+  // Uniform 1..1000 us.
+  for (int us = 1; us <= 1000; ++us) {
+    histogram.record_us(static_cast<double>(us));
+  }
+  // Buckets grow by 4%; allow 10% tolerance.
+  EXPECT_NEAR(histogram.p50_us(), 500.0, 50.0);
+  EXPECT_NEAR(histogram.p95_us(), 950.0, 95.0);
+  EXPECT_NEAR(histogram.p99_us(), 990.0, 99.0);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 1000; ++i) {
+    histogram.record_us(static_cast<double>((i * 37) % 5000 + 1));
+  }
+  double previous = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double value = histogram.quantile_us(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, ExtremesClampToBucketRange) {
+  LatencyHistogram histogram;
+  histogram.record_us(0.0001);                  // below min bucket
+  histogram.record_us(1e12);                    // far above max bucket
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_LE(histogram.quantile_us(0.0), 1.1);   // clamped to first bucket
+  EXPECT_GT(histogram.quantile_us(1.0), 1e6);   // clamped to top bucket
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram histogram;
+  histogram.record_ms(5);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean_us(), 0.0);
+}
+
+TEST(HistogramTest, SummaryShape) {
+  LatencyHistogram histogram;
+  histogram.record_ms(2.5);
+  std::string summary = histogram.summary();
+  EXPECT_NE(summary.find("n=1"), std::string::npos);
+  EXPECT_NE(summary.find("p95="), std::string::npos);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram histogram;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 10'000; ++i) {
+          histogram.record_us(100.0 + i % 100);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(histogram.count(), 80'000u);
+}
+
+TEST(HistogramTest, BucketMappingIsMonotoneAndInverse) {
+  size_t previous = 0;
+  for (double us = 1; us < 1e6; us *= 1.5) {
+    size_t bucket = LatencyHistogram::bucket_for(us);
+    EXPECT_GE(bucket, previous);
+    previous = bucket;
+    // The recorded value is <= its bucket's upper bound.
+    EXPECT_LE(us, LatencyHistogram::bucket_upper_us(bucket) * 1.0001);
+  }
+}
+
+}  // namespace
+}  // namespace spi::bench

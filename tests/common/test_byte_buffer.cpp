@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.hpp"
+
+namespace spi {
+namespace {
+
+TEST(ByteBufferTest, StartsEmpty) {
+  ByteBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.view(), "");
+}
+
+TEST(ByteBufferTest, AppendAndView) {
+  ByteBuffer buffer;
+  buffer.append("hello ");
+  buffer.append("world");
+  EXPECT_EQ(buffer.view(), "hello world");
+  EXPECT_EQ(buffer.size(), 11u);
+  EXPECT_EQ(buffer.total_appended(), 11u);
+}
+
+TEST(ByteBufferTest, ConsumeAdvancesReadCursor) {
+  ByteBuffer buffer("abcdef");
+  buffer.consume(2);
+  EXPECT_EQ(buffer.view(), "cdef");
+  buffer.consume(4);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ByteBufferTest, ConsumePastEndThrows) {
+  ByteBuffer buffer("ab");
+  EXPECT_THROW(buffer.consume(3), std::out_of_range);
+}
+
+TEST(ByteBufferTest, ReadStringCopiesAndConsumes) {
+  ByteBuffer buffer("request body");
+  EXPECT_EQ(buffer.read_string(7), "request");
+  EXPECT_EQ(buffer.view(), " body");
+  EXPECT_THROW(buffer.read_string(99), std::out_of_range);
+}
+
+TEST(ByteBufferTest, FindSearchesUnconsumedOnly) {
+  ByteBuffer buffer("xx\r\nrest");
+  EXPECT_EQ(buffer.find("\r\n"), 2u);
+  buffer.consume(4);
+  EXPECT_EQ(buffer.find("\r\n"), ByteBuffer::npos);
+  EXPECT_EQ(buffer.find("rest"), 0u);
+}
+
+TEST(ByteBufferTest, ClearResetsEverythingButTotals) {
+  ByteBuffer buffer("abc");
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.total_appended(), 3u);
+}
+
+TEST(ByteBufferTest, InterleavedAppendConsumeKeepsDataIntact) {
+  // Exercises lazy compaction: many partial consumes with appends between.
+  ByteBuffer buffer;
+  std::string expected;
+  std::string drained;
+  for (int i = 0; i < 2000; ++i) {
+    std::string chunk = "chunk-" + std::to_string(i) + ";";
+    buffer.append(chunk);
+    expected += chunk;
+    if (i % 3 == 0 && buffer.size() >= 5) {
+      drained += buffer.read_string(5);
+    }
+  }
+  drained += buffer.read_string(buffer.size());
+  EXPECT_EQ(drained, expected);
+}
+
+TEST(ByteBufferTest, EmptyAppendIsANoOp) {
+  ByteBuffer buffer("x");
+  buffer.append("");
+  EXPECT_EQ(buffer.view(), "x");
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "common/random.hpp"
+
+namespace spi {
+namespace {
+
+// RFC 4648 §10 test vectors.
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeVectors) {
+  EXPECT_EQ(base64_decode("").value(), "");
+  EXPECT_EQ(base64_decode("Zg==").value(), "f");
+  EXPECT_EQ(base64_decode("Zm9vYmFy").value(), "foobar");
+}
+
+TEST(Base64Test, DecodeRejectsBadLength) {
+  EXPECT_FALSE(base64_decode("Zg=").ok());
+  EXPECT_FALSE(base64_decode("Z").ok());
+}
+
+TEST(Base64Test, DecodeRejectsBadCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!A==").ok());
+  EXPECT_FALSE(base64_decode("Zm9v\n").ok());
+}
+
+TEST(Base64Test, DecodeRejectsMisplacedPadding) {
+  EXPECT_FALSE(base64_decode("=m9v").ok());
+  EXPECT_FALSE(base64_decode("Zm=v").ok());
+  EXPECT_FALSE(base64_decode("Zg==Zg==").ok());  // padding mid-stream
+}
+
+TEST(Base64Test, BinaryRoundTripProperty) {
+  SplitMix64 rng(0xB64);
+  for (size_t size : {size_t{1}, size_t{2}, size_t{3}, size_t{20},
+                      size_t{100}, size_t{1000}}) {
+    std::string bytes;
+    for (size_t i = 0; i < size; ++i) {
+      bytes.push_back(static_cast<char>(rng.next() & 0xff));
+    }
+    auto decoded = base64_decode(base64_encode(bytes));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), bytes) << "size=" << size;
+  }
+}
+
+// FIPS 180-1 / well-known SHA-1 vectors.
+TEST(Sha1Test, KnownVectors) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(sha1_hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, MillionAs) {
+  EXPECT_EQ(sha1_hex(std::string(1'000'000, 'a')),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, LengthBoundaryBlocks) {
+  // 55/56/63/64/65 bytes straddle the padding boundary.
+  for (size_t n : {size_t{55}, size_t{56}, size_t{63}, size_t{64},
+                   size_t{65}}) {
+    std::string input(n, 'x');
+    EXPECT_EQ(sha1(input).size(), 20u);
+    // Same input -> same digest; different length -> different digest.
+    EXPECT_EQ(sha1_hex(input), sha1_hex(std::string(n, 'x')));
+    EXPECT_NE(sha1_hex(input), sha1_hex(std::string(n + 1, 'x')));
+  }
+}
+
+TEST(Sha1Base64Test, MatchesHexDigest) {
+  auto b64 = sha1_base64("abc");
+  auto decoded = base64_decode(b64);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 20u);
+  EXPECT_EQ(static_cast<unsigned char>(decoded.value()[0]), 0xa9);
+  EXPECT_EQ(static_cast<unsigned char>(decoded.value()[1]), 0x99);
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/config.hpp"
+
+namespace spi {
+namespace {
+
+TEST(ConfigParseTest, ParsesKeyValues) {
+  auto config = Config::parse("a=1\nb = two \n# comment\n\nc=3 # inline");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().size(), 3u);
+  EXPECT_EQ(config.value().get("a"), "1");
+  EXPECT_EQ(config.value().get("b"), "two");
+  EXPECT_EQ(config.value().get("c"), "3");
+}
+
+TEST(ConfigParseTest, RejectsMissingEquals) {
+  auto config = Config::parse("valid=1\nnot a pair\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.error().code(), ErrorCode::kParseError);
+  EXPECT_NE(config.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigParseTest, RejectsEmptyKey) {
+  EXPECT_FALSE(Config::parse("=value").ok());
+}
+
+TEST(ConfigTest, GetIntParsesSigned) {
+  Config config;
+  config.set("pos", "42");
+  config.set("neg", "-7");
+  config.set("junk", "4x");
+  EXPECT_EQ(config.get_int("pos"), 42);
+  EXPECT_EQ(config.get_int("neg"), -7);
+  EXPECT_FALSE(config.get_int("junk").has_value());
+  EXPECT_EQ(config.get_int_or("absent", 9), 9);
+}
+
+TEST(ConfigTest, GetDoubleParsesAndRejects) {
+  Config config;
+  config.set("pi", "3.25");
+  config.set("exp", "1e3");
+  config.set("junk", "1.5garbage");
+  EXPECT_DOUBLE_EQ(config.get_double("pi").value(), 3.25);
+  EXPECT_DOUBLE_EQ(config.get_double("exp").value(), 1000.0);
+  EXPECT_FALSE(config.get_double("junk").has_value());
+  EXPECT_DOUBLE_EQ(config.get_double_or("absent", 2.5), 2.5);
+}
+
+TEST(ConfigTest, GetBoolUnderstandsCommonSpellings) {
+  Config config;
+  config.set("t1", "1");
+  config.set("t2", "TRUE");
+  config.set("t3", "on");
+  config.set("f1", "0");
+  config.set("f2", "No");
+  config.set("weird", "maybe");
+  EXPECT_TRUE(config.get_bool_or("t1", false));
+  EXPECT_TRUE(config.get_bool_or("t2", false));
+  EXPECT_TRUE(config.get_bool_or("t3", false));
+  EXPECT_FALSE(config.get_bool_or("f1", true));
+  EXPECT_FALSE(config.get_bool_or("f2", true));
+  EXPECT_TRUE(config.get_bool_or("weird", true));  // fallback on nonsense
+}
+
+TEST(ConfigTest, MergeOverlays) {
+  Config base;
+  base.set("a", "1");
+  base.set("b", "1");
+  Config overlay;
+  overlay.set("b", "2");
+  overlay.set("c", "2");
+  base.merge(overlay);
+  EXPECT_EQ(base.get("a"), "1");
+  EXPECT_EQ(base.get("b"), "2");
+  EXPECT_EQ(base.get("c"), "2");
+}
+
+TEST(ConfigTest, FromEnvStripsPrefixAndLowercases) {
+  ::setenv("SPITEST_FOO_BAR", "99", 1);
+  ::setenv("OTHER_VAR", "x", 1);
+  Config config = Config::from_env("SPITEST_");
+  EXPECT_EQ(config.get("foo_bar"), "99");
+  EXPECT_FALSE(config.contains("other_var"));
+  ::unsetenv("SPITEST_FOO_BAR");
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace spi {
+namespace {
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  Error error(ErrorCode::kParseError, "bad byte at 3");
+  EXPECT_EQ(error.to_string(), "ParseError: bad byte at 3");
+}
+
+TEST(ErrorTest, ToStringWithoutMessageIsJustCode) {
+  Error error(ErrorCode::kTimeout, "");
+  EXPECT_EQ(error.to_string(), "Timeout");
+}
+
+TEST(ErrorTest, WrapPrependsContext) {
+  Error error(ErrorCode::kConnectionClosed, "peer reset");
+  Error wrapped = error.wrap("http receive");
+  EXPECT_EQ(wrapped.code(), ErrorCode::kConnectionClosed);
+  EXPECT_EQ(wrapped.message(), "http receive: peer reset");
+}
+
+TEST(ErrorCodeNameTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kInternal); ++code) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(code)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-7), -7);
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  Result<int> result(Error(ErrorCode::kNotFound, "missing"));
+  EXPECT_THROW(result.value(), SpiError);
+}
+
+TEST(ResultTest, ErrorOnValueThrows) {
+  Result<int> result(1);
+  EXPECT_THROW(result.error(), SpiError);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, WrapErrorAddsLayerContext) {
+  Result<int> result(Error(ErrorCode::kParseError, "inner"));
+  Error wrapped = result.wrap_error("outer");
+  EXPECT_EQ(wrapped.message(), "outer: inner");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.to_string(), "OK");
+  EXPECT_THROW(status.error(), SpiError);
+}
+
+TEST(StatusTest, CarriesError) {
+  Status status(ErrorCode::kShutdown, "stopping");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), ErrorCode::kShutdown);
+  EXPECT_EQ(status.to_string(), "Shutdown: stopping");
+}
+
+TEST(SpiErrorTest, CarriesOriginalError) {
+  SpiError thrown(ErrorCode::kCapacityExceeded, "queue full");
+  EXPECT_EQ(thrown.error().code(), ErrorCode::kCapacityExceeded);
+  EXPECT_STREQ(thrown.what(), "CapacityExceeded: queue full");
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace spi {
+namespace {
+
+/// Captures log lines for the duration of a test and restores defaults.
+class LogCapture {
+ public:
+  LogCapture() {
+    Logger::instance().set_sink([this](LogLevel level,
+                                       const std::string& line) {
+      std::lock_guard lock(mutex_);
+      lines_.emplace_back(level, line);
+    });
+    previous_level_ = Logger::instance().level();
+  }
+  ~LogCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines() {
+    std::lock_guard lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+  LogLevel previous_level_;
+};
+
+TEST(LoggingTest, FormatsLevelComponentMessage) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  SPI_LOG(kInfo, "test.component") << "value=" << 42;
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines[0].second, "[INFO] test.component: value=42");
+}
+
+TEST(LoggingTest, LevelFiltersLowerSeverities) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  SPI_LOG(kDebug, "t") << "hidden";
+  SPI_LOG(kInfo, "t") << "hidden too";
+  SPI_LOG(kWarn, "t") << "visible";
+  SPI_LOG(kError, "t") << "visible too";
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].second.find("visible"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  SPI_LOG(kError, "t") << "nope";
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(LoggingTest, StreamArgumentsNotEvaluatedWhenFiltered) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  SPI_LOG(kDebug, "t") << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits
+  SPI_LOG(kError, "t") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, LevelNamesAreStable) {
+  EXPECT_EQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, ConcurrentLoggingDoesNotInterleaveLines) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < 100; ++i) {
+          SPI_LOG(kInfo, "stress") << "thread-" << t << "-line-" << i;
+        }
+      });
+    }
+  }
+  auto lines = capture.lines();
+  EXPECT_EQ(lines.size(), 400u);
+  for (const auto& [level, line] : lines) {
+    // Every captured line is a complete, well-formed record.
+    EXPECT_EQ(line.find("[INFO] stress: thread-"), 0u) << line;
+  }
+}
+
+}  // namespace
+}  // namespace spi

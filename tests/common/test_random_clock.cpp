@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/random.hpp"
+
+namespace spi {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, NextBelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, AsciiStringSizeAndAlphabet) {
+  SplitMix64 rng(11);
+  for (size_t size : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                      size_t{1000}}) {
+    std::string s = rng.ascii_string(size);
+    EXPECT_EQ(s.size(), size);
+    for (char c : s) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9'))
+          << "bad char " << int(c);
+    }
+  }
+}
+
+TEST(SplitMix64Test, HexStringShape) {
+  SplitMix64 rng(13);
+  std::string s = rng.hex_string(16);
+  EXPECT_EQ(s.size(), 32u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+  // Nonces must differ call to call.
+  EXPECT_NE(s, rng.hex_string(16));
+}
+
+TEST(ManualClockTest, AdvancesOnlyExplicitly) {
+  ManualClock clock;
+  TimePoint t0 = clock.now();
+  EXPECT_EQ(clock.now(), t0);
+  clock.advance(std::chrono::milliseconds(5));
+  EXPECT_EQ(clock.now() - t0, Duration(std::chrono::milliseconds(5)));
+  clock.sleep_for(std::chrono::milliseconds(3));  // jumps, never blocks
+  EXPECT_EQ(clock.now() - t0, Duration(std::chrono::milliseconds(8)));
+}
+
+TEST(RealClockTest, MonotonicAndSleeps) {
+  RealClock& clock = RealClock::instance();
+  TimePoint t0 = clock.now();
+  clock.sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(clock.now() - t0, Duration(std::chrono::milliseconds(2)));
+  clock.sleep_for(Duration(-1));  // negative sleeps are no-ops
+}
+
+TEST(StopwatchTest, MeasuresManualClock) {
+  ManualClock clock;
+  Stopwatch stopwatch(clock);
+  clock.advance(std::chrono::milliseconds(250));
+  EXPECT_DOUBLE_EQ(stopwatch.elapsed_ms(), 250.0);
+  stopwatch.reset();
+  EXPECT_DOUBLE_EQ(stopwatch.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.hpp"
+
+namespace spi {
+namespace {
+
+TEST(IEqualsTest, MatchesCaseInsensitively) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("HOST", "host"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(IEqualsTest, DoesNotFoldNonAscii) {
+  // 0xC4 vs 0xE4 (Latin-1 Ä/ä) must NOT be treated as equal.
+  EXPECT_FALSE(iequals("\xC4", "\xE4"));
+}
+
+TEST(ToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(to_lower("MiXeD-123"), "mixed-123");
+  EXPECT_EQ(to_lower("\xC4滚"), "\xC4滚");
+}
+
+TEST(TrimTest, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWholeString) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTrimmedTest, TrimsAndDropsEmpties) {
+  auto parts = split_trimmed(" keep-alive ,  , close ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "keep-alive");
+  EXPECT_EQ(parts[1], "close");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("HTTP/1.1", "HTTP/"));
+  EXPECT_FALSE(starts_with("HT", "HTTP/"));
+  EXPECT_TRUE(ends_with("file.xml", ".xml"));
+  EXPECT_FALSE(ends_with("xml", ".xml"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(ParseU64Test, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ULL);
+}
+
+TEST(ParseU64Test, RejectsGarbage) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64(" 12"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // overflow
+}
+
+TEST(ParseHexU64Test, AcceptsHex) {
+  EXPECT_EQ(parse_hex_u64("0"), 0u);
+  EXPECT_EQ(parse_hex_u64("ff"), 255u);
+  EXPECT_EQ(parse_hex_u64("FF"), 255u);
+  EXPECT_EQ(parse_hex_u64("1a2B"), 0x1a2bu);
+}
+
+TEST(ParseHexU64Test, RejectsGarbage) {
+  EXPECT_FALSE(parse_hex_u64(""));
+  EXPECT_FALSE(parse_hex_u64("0x10"));
+  EXPECT_FALSE(parse_hex_u64("g"));
+}
+
+TEST(AppendNumbersTest, FormatsCorrectly) {
+  std::string out = "n=";
+  append_u64(out, 12345);
+  EXPECT_EQ(out, "n=12345");
+  out.clear();
+  append_i64(out, -987);
+  EXPECT_EQ(out, "-987");
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 3.14159265358979,
+                   1e-300, 1.7976931348623157e308}) {
+    std::string s = format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(FormatDoubleTest, PrefersShortForm) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(2.0), "2");
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "concurrency/blocking_queue.hpp"
+
+namespace spi {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> queue;
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BlockingQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BlockingQueue<int> queue;
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  queue.pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BlockingQueueTest, CloseDrainsBacklogThenSignals) {
+  BlockingQueue<int> queue;
+  queue.push(7);
+  queue.push(8);
+  queue.close();
+  EXPECT_FALSE(queue.push(9));  // rejected after close
+  EXPECT_EQ(queue.pop(), 7);    // backlog still drains
+  EXPECT_EQ(queue.pop(), 8);
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BlockingQueueTest, PopForTimesOut) {
+  BlockingQueue<int> queue;
+  auto result = queue.pop_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BlockingQueueTest, PopForReturnsAvailableItem) {
+  BlockingQueue<int> queue;
+  queue.push(5);
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), 5);
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> queue;
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(99);
+  });
+  EXPECT_EQ(queue.pop(), 99);  // must block, not spin-fail
+}
+
+TEST(BlockingQueueTest, BoundedPushBlocksUntilSpace) {
+  BlockingQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::jthread producer([&] {
+    queue.push(2);  // blocks until the consumer makes room
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedConsumers) {
+  BlockingQueue<int> queue;
+  std::atomic<int> woken{0};
+  std::vector<std::jthread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(queue.pop().has_value());
+      ++woken;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumers.clear();  // join
+  EXPECT_EQ(woken.load(), 4);
+}
+
+TEST(BlockingQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  BlockingQueue<int> queue(64);
+
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::jthread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum += *item;
+        ++received;
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(queue.push(p * kPerProducer + i));
+        }
+      });
+    }
+  }  // producers join
+  queue.close();
+  threads.clear();  // consumers join
+
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(BlockingQueueTest, MoveOnlyItemsSupported) {
+  BlockingQueue<std::unique_ptr<int>> queue;
+  queue.push(std::make_unique<int>(31));
+  auto item = queue.pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 31);
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "concurrency/stage.hpp"
+#include "concurrency/wait_group.hpp"
+
+namespace spi {
+namespace {
+
+TEST(StageTest, RejectsBadConstruction) {
+  EXPECT_THROW(Stage<int>("s", 0, [](int) {}), SpiError);
+  EXPECT_THROW(Stage<int>("s", 1, nullptr), SpiError);
+}
+
+TEST(StageTest, ProcessesAcceptedEvents) {
+  std::atomic<int> sum{0};
+  WaitGroup pending;
+  pending.add(10);
+  Stage<int> stage("adder", 2, [&](int v) {
+    sum += v;
+    pending.done();
+  });
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(stage.accept(i));
+  }
+  pending.wait();
+  EXPECT_EQ(sum.load(), 55);
+  auto stats = stage.stats();
+  EXPECT_EQ(stats.accepted, 10u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(StageTest, ShutdownDrainsBacklogAndRejectsNewEvents) {
+  std::atomic<int> processed{0};
+  Stage<int> stage("drain", 1, [&](int) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++processed;
+  });
+  for (int i = 0; i < 20; ++i) stage.accept(i);
+  stage.shutdown();
+  EXPECT_EQ(processed.load(), 20);
+  EXPECT_FALSE(stage.accept(99));
+  EXPECT_EQ(stage.stats().rejected, 1u);
+}
+
+TEST(StageTest, HandlerExceptionsAreCountedNotFatal) {
+  WaitGroup pending;
+  pending.add(3);
+  Stage<int> stage("thrower", 1, [&](int v) {
+    struct Guard {
+      WaitGroup& group;
+      ~Guard() { group.done(); }
+    } guard{pending};
+    if (v == 1) throw std::runtime_error("bad event");
+  });
+  stage.accept(0);
+  stage.accept(1);
+  stage.accept(2);
+  pending.wait();
+  auto stats = stage.stats();
+  EXPECT_EQ(stats.processed, 3u);
+  EXPECT_EQ(stats.handler_errors, 1u);
+}
+
+TEST(StageTest, TryAcceptFailsWhenFull) {
+  CountdownLatch release(1);
+  Stage<int> stage("bounded", 1, [&](int) { release.wait(); },
+                   /*queue_capacity=*/1);
+  // First event occupies the worker; second fills the queue.
+  ASSERT_TRUE(stage.try_accept(1));
+  // Wait until the worker has picked up event 1 so the queue is empty.
+  while (stage.backlog() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(stage.try_accept(2));
+  EXPECT_FALSE(stage.try_accept(3));
+  EXPECT_EQ(stage.stats().rejected, 1u);
+  release.count_down();
+}
+
+TEST(StageTest, EventsFanOutAcrossWorkers) {
+  std::mutex mutex;
+  std::set<std::thread::id> workers;
+  CountdownLatch rendezvous(4);
+  WaitGroup pending;
+  pending.add(4);
+  Stage<int> stage("fan", 4, [&](int) {
+    {
+      std::lock_guard lock(mutex);
+      workers.insert(std::this_thread::get_id());
+    }
+    rendezvous.count_down();
+    EXPECT_TRUE(rendezvous.wait_for(std::chrono::seconds(5)));
+    pending.done();
+  });
+  for (int i = 0; i < 4; ++i) stage.accept(i);
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST(StageTest, MoveOnlyEventsSupported) {
+  WaitGroup pending;
+  pending.add(1);
+  Stage<std::unique_ptr<int>> stage("move", 1,
+                                    [&](std::unique_ptr<int> event) {
+    EXPECT_EQ(*event, 5);
+    pending.done();
+  });
+  stage.accept(std::make_unique<int>(5));
+  pending.wait();
+}
+
+}  // namespace
+}  // namespace spi

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "concurrency/thread_pool.hpp"
+#include "concurrency/wait_group.hpp"
+
+namespace spi {
+namespace {
+
+TEST(ThreadPoolTest, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), SpiError);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4, "test");
+  std::atomic<int> counter{0};
+  WaitGroup pending;
+  pending.add(100);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&] {
+      ++counter;
+      pending.done();
+    }));
+  }
+  pending.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4, "test");
+  CountdownLatch rendezvous(4);
+  WaitGroup pending;
+  pending.add(4);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      rendezvous.count_down();
+      // Only completes if all 4 workers reach this point together.
+      EXPECT_TRUE(rendezvous.wait_for(std::chrono::seconds(5)));
+      pending.done();
+    });
+  }
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsBacklog) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2, "drain");
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++executed;
+      });
+    }
+  }  // destructor shuts down and drains
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1, "closed");
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+  // Idempotent shutdown.
+  pool.shutdown();
+}
+
+TEST(ThreadPoolTest, TaskExceptionDoesNotKillWorker) {
+  ThreadPool pool(1, "thrower");
+  pool.submit([] { throw std::runtime_error("boom"); });
+  std::atomic<bool> ran{false};
+  WaitGroup pending;
+  pending.add(1);
+  pool.submit([&] {
+    ran = true;
+    pending.done();
+  });
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(pool.completed_tasks(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultPropagatesValue) {
+  ThreadPool pool(2, "futures");
+  auto future = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultPropagatesException) {
+  ThreadPool pool(1, "futures");
+  auto future = pool.submit_with_result(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultAfterShutdownThrows) {
+  ThreadPool pool(1, "closed");
+  pool.shutdown();
+  EXPECT_THROW(pool.submit_with_result([] { return 1; }), SpiError);
+}
+
+TEST(ThreadPoolTest, ReportsThreadCountAndName) {
+  ThreadPool pool(3, "named");
+  EXPECT_EQ(pool.thread_count(), 3u);
+  EXPECT_EQ(pool.name(), "named");
+}
+
+TEST(WaitGroupTest, DoneWithoutAddThrows) {
+  WaitGroup group;
+  EXPECT_THROW(group.done(), std::logic_error);
+}
+
+TEST(WaitGroupTest, WaitReturnsImmediatelyAtZero) {
+  WaitGroup group;
+  group.wait();  // must not hang
+  EXPECT_EQ(group.count(), 0u);
+}
+
+TEST(WaitGroupTest, WaitForTimesOutWhenOutstanding) {
+  WaitGroup group;
+  group.add(1);
+  EXPECT_FALSE(group.wait_for(std::chrono::milliseconds(10)));
+  group.done();
+  EXPECT_TRUE(group.wait_for(std::chrono::milliseconds(10)));
+}
+
+TEST(CountdownLatchTest, ExtraCountDownsAreIgnored) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  latch.count_down();  // no underflow
+  latch.wait();
+}
+
+}  // namespace
+}  // namespace spi

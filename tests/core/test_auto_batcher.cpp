@@ -1,0 +1,181 @@
+// AutoBatcher (the paper's §5 "automatic communication" future work):
+// transparent coalescing of individually-issued calls into packed
+// messages.
+#include <gtest/gtest.h>
+
+#include "benchsupport/workload.hpp"
+#include "core/auto_batcher.hpp"
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "services/echo.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+class AutoBatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    services::register_echo_service(registry_);
+    server_ = std::make_unique<SpiServer>(transport_,
+                                          net::Endpoint{"server", 80},
+                                          registry_);
+    ASSERT_TRUE(server_->start().ok());
+    client_ = std::make_unique<SpiClient>(transport_, server_->endpoint());
+  }
+
+  AutoBatcher::Options slow_timer() {
+    AutoBatcher::Options options;
+    options.max_batch = 64;
+    options.max_delay = std::chrono::seconds(10);  // timer never fires
+    return options;
+  }
+
+  net::SimTransport transport_;
+  ServiceRegistry registry_;
+  std::unique_ptr<SpiServer> server_;
+  std::unique_ptr<SpiClient> client_;
+};
+
+TEST_F(AutoBatcherTest, RejectsZeroMaxBatch) {
+  AutoBatcher::Options options;
+  options.max_batch = 0;
+  EXPECT_THROW(AutoBatcher(*client_, options), SpiError);
+}
+
+TEST_F(AutoBatcherTest, SingleCallCompletesViaTimer) {
+  AutoBatcher::Options options;
+  options.max_batch = 64;
+  options.max_delay = std::chrono::milliseconds(5);
+  AutoBatcher batcher(*client_, options);
+  auto future = batcher.call_async("EchoService", "Echo",
+                                   {{"data", Value("solo")}});
+  CallOutcome outcome = future.get();
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_EQ(outcome.value().as_string(), "solo");
+  auto stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.timer_flushes, 1u);
+}
+
+TEST_F(AutoBatcherTest, CoalescesBurstIntoOneEnvelope) {
+  AutoBatcher batcher(*client_, slow_timer());
+  std::vector<std::future<CallOutcome>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(batcher.call_async(
+        "EchoService", "Echo", {{"data", Value(std::to_string(i))}}));
+  }
+  batcher.flush();
+  for (int i = 0; i < 10; ++i) {
+    CallOutcome outcome = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().as_string(), std::to_string(i));
+  }
+  // Exactly one packed envelope crossed the wire.
+  EXPECT_EQ(client_->stats().assembler.envelopes, 1u);
+  EXPECT_EQ(client_->stats().assembler.packed_envelopes, 1u);
+  EXPECT_EQ(batcher.stats().largest_batch, 10u);
+}
+
+TEST_F(AutoBatcherTest, MaxBatchTriggersImmediateFlush) {
+  AutoBatcher::Options options = slow_timer();
+  options.max_batch = 4;
+  AutoBatcher batcher(*client_, options);
+  std::vector<std::future<CallOutcome>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(batcher.call_async(
+        "EchoService", "Echo", {{"data", Value(i)}}));
+  }
+  // No flush() call: the size trigger must ship the batch on its own.
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());
+  }
+  EXPECT_GE(batcher.stats().full_flushes, 1u);
+}
+
+TEST_F(AutoBatcherTest, FaultsPropagatePerCall) {
+  AutoBatcher batcher(*client_, slow_timer());
+  auto good = batcher.call_async("EchoService", "Echo",
+                                 {{"data", Value("fine")}});
+  auto bad = batcher.call_async("EchoService", "NoSuchOp", {});
+  batcher.flush();
+  EXPECT_TRUE(good.get().ok());
+  CallOutcome failed = bad.get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code(), ErrorCode::kFault);
+}
+
+TEST_F(AutoBatcherTest, ShutdownFlushesPendingCalls) {
+  std::future<CallOutcome> future;
+  {
+    AutoBatcher batcher(*client_, slow_timer());
+    future = batcher.call_async("EchoService", "Echo",
+                                {{"data", Value("draining")}});
+  }  // destructor shutdown
+  CallOutcome outcome = future.get();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().as_string(), "draining");
+}
+
+TEST_F(AutoBatcherTest, CallAfterShutdownThrows) {
+  AutoBatcher batcher(*client_, slow_timer());
+  batcher.shutdown();
+  batcher.shutdown();  // idempotent
+  EXPECT_THROW(batcher.call_async("EchoService", "Echo", {}), SpiError);
+}
+
+TEST_F(AutoBatcherTest, FlushOnEmptyBatcherReturns) {
+  AutoBatcher batcher(*client_, slow_timer());
+  batcher.flush();  // must not hang
+  EXPECT_EQ(batcher.stats().batches, 0u);
+}
+
+TEST_F(AutoBatcherTest, ManyThreadsIssueConcurrently) {
+  AutoBatcher::Options options;
+  options.max_batch = 8;
+  options.max_delay = std::chrono::milliseconds(2);
+  AutoBatcher batcher(*client_, options);
+
+  std::atomic<int> wrong{0};
+  {
+    std::vector<std::jthread> issuers;
+    for (int t = 0; t < 4; ++t) {
+      issuers.emplace_back([&, t] {
+        for (int i = 0; i < 25; ++i) {
+          std::string payload = std::to_string(t) + "/" + std::to_string(i);
+          auto outcome = batcher
+                             .call_async("EchoService", "Echo",
+                                         {{"data", Value(payload)}})
+                             .get();
+          if (!outcome.ok() || outcome.value().as_string() != payload) {
+            ++wrong;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  auto stats = batcher.stats();
+  EXPECT_EQ(stats.calls, 100u);
+  EXPECT_GE(stats.batches, 1u);
+  // Batching must have actually coalesced: fewer envelopes than calls.
+  EXPECT_LT(stats.batches, 100u);
+}
+
+TEST_F(AutoBatcherTest, TimerHonoursMaxDelay) {
+  AutoBatcher::Options options;
+  options.max_batch = 1000;
+  options.max_delay = std::chrono::milliseconds(30);
+  AutoBatcher batcher(*client_, options);
+  Stopwatch watch;
+  auto future = batcher.call_async("EchoService", "Echo",
+                                   {{"data", Value("waiting")}});
+  ASSERT_TRUE(future.get().ok());
+  double ms = watch.elapsed_ms();
+  EXPECT_GE(ms, 25.0);   // held back close to max_delay...
+  EXPECT_LT(ms, 1000.0); // ...but not forever
+}
+
+}  // namespace
+}  // namespace spi::core

@@ -1,0 +1,187 @@
+// Failure injection end to end: refused connects, connections severed
+// mid-message, and corrupted bytes must surface as errors at the SPI call
+// boundary — never hangs, crashes, or silently wrong results — and must
+// not poison the server for subsequent well-behaved clients.
+#include <gtest/gtest.h>
+
+#include "benchsupport/workload.hpp"
+#include "core/client.hpp"
+#include "core/params.hpp"
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "services/echo.hpp"
+#include "support/faulty_transport.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+using test::FaultPlan;
+using test::FaultyTransport;
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    services::register_echo_service(registry_);
+    server_ = std::make_unique<SpiServer>(inner_,
+                                          net::Endpoint{"server", 80},
+                                          registry_);
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  /// A client whose traffic passes through the fault plan.
+  std::unique_ptr<SpiClient> faulty_client(FaultPlan plan) {
+    faulty_ = std::make_unique<FaultyTransport>(inner_, plan);
+    return std::make_unique<SpiClient>(*faulty_, server_->endpoint());
+  }
+
+  /// Sanity probe on the clean transport.
+  void expect_server_still_healthy() {
+    SpiClient clean(inner_, server_->endpoint());
+    auto outcome =
+        clean.call("EchoService", "Echo", {{"data", Value("probe")}});
+    ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+    EXPECT_EQ(outcome.value().as_string(), "probe");
+  }
+
+  net::SimTransport inner_;
+  std::unique_ptr<FaultyTransport> faulty_;
+  ServiceRegistry registry_;
+  std::unique_ptr<SpiServer> server_;
+};
+
+TEST_F(FailureInjectionTest, RefusedConnectSurfacesAndRecovers) {
+  FaultPlan plan;
+  plan.refuse_connects = 1;
+  auto client = faulty_client(plan);
+
+  auto first = client->call("EchoService", "Echo", {{"data", Value("x")}});
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code(), ErrorCode::kConnectionFailed);
+
+  // The very next call (fresh connection) succeeds.
+  auto second = client->call("EchoService", "Echo", {{"data", Value("y")}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().as_string(), "y");
+}
+
+TEST_F(FailureInjectionTest, SeveredRequestFailsTheCallOnly) {
+  FaultPlan plan;
+  plan.sever_after_bytes = 100;  // mid-HTTP-headers
+  auto client = faulty_client(plan);
+
+  auto outcome = client->call("EchoService", "Echo",
+                              {{"data", Value("never arrives")}});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kConnectionClosed);
+  expect_server_still_healthy();
+}
+
+TEST_F(FailureInjectionTest, SeveredPackedBatchReplicatesErrorToAllCalls) {
+  FaultPlan plan;
+  plan.sever_after_bytes = 200;
+  auto client = faulty_client(plan);
+
+  auto calls = bench::make_echo_calls(5, 100, /*seed=*/1);
+  auto outcomes = client->call_packed(calls);
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (const auto& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code(), ErrorCode::kConnectionClosed);
+  }
+  expect_server_still_healthy();
+}
+
+TEST_F(FailureInjectionTest, CorruptedEnvelopeByteIsRejectedNotEchoed) {
+  // Flip one bit deep in the request body: either the XML becomes
+  // malformed (server answers with a Fault / 400) or a payload character
+  // changes (detectable by comparing the echo) — silence is not an option.
+  FaultPlan plan;
+  plan.corrupt_at = 450;
+  auto client = faulty_client(plan);
+
+  ServiceCall call = make_call("EchoService", "Echo",
+                               {{"data", Value(std::string(200, 'A'))}});
+  auto outcome = client->call(call);
+  if (outcome.ok()) {
+    EXPECT_NE(outcome.value(), *find_param(call.params, "data"))
+        << "corruption silently disappeared";
+  } else {
+    EXPECT_TRUE(outcome.error().code() == ErrorCode::kFault ||
+                outcome.error().code() == ErrorCode::kProtocolError)
+        << outcome.error().to_string();
+  }
+  expect_server_still_healthy();
+}
+
+TEST_F(FailureInjectionTest, ServerRejectsRawGarbageConnections) {
+  // Straight bytes at the server, bypassing HTTP framing entirely.
+  for (std::string_view garbage :
+       {std::string_view("\x00\x01\x02\x03garbage", 11),
+        std::string_view("GET / HTTP/9.9\r\n\r\n"),
+        std::string_view("POST / HTTP/1.1\r\nContent-Length: zz\r\n\r\n")}) {
+    auto connection = inner_.connect(server_->endpoint());
+    ASSERT_TRUE(connection.ok());
+    ASSERT_TRUE(connection.value()->send(garbage).ok());
+    // Half-close so the server stops waiting for more bytes; it must then
+    // answer 400 or close — never hang.
+    connection.value()->close();
+    auto reply = connection.value()->receive(4096);
+    if (reply.ok()) {
+      EXPECT_NE(reply.value().find("400"), std::string::npos);
+    }
+  }
+  expect_server_still_healthy();
+}
+
+TEST_F(FailureInjectionTest, OversizedRequestRejectedByLimits) {
+  ServerOptions options;
+  options.http_limits.max_body_bytes = 1024;
+  SpiServer small_server(inner_, net::Endpoint{"small", 80}, registry_,
+                         options);
+  ASSERT_TRUE(small_server.start().ok());
+  SpiClient client(inner_, small_server.endpoint());
+
+  auto outcome = client.call("EchoService", "Echo",
+                             {{"data", Value(std::string(10'000, 'x'))}});
+  ASSERT_FALSE(outcome.ok());
+  // The server kills the connection after its 400; the client reports the
+  // protocol failure either way.
+  EXPECT_TRUE(outcome.error().code() == ErrorCode::kProtocolError ||
+              outcome.error().code() == ErrorCode::kConnectionClosed)
+      << outcome.error().to_string();
+
+  // A request under the limit is fine.
+  auto small = client.call("EchoService", "Echo",
+                           {{"data", Value("small enough")}});
+  EXPECT_TRUE(small.ok());
+  small_server.stop();
+}
+
+TEST_F(FailureInjectionTest, ResponseBiggerThanClientLimitFails) {
+  ClientOptions options;
+  options.http_limits.max_body_bytes = 512;
+  SpiClient client(inner_, server_->endpoint(), options);
+  auto outcome = client.call("EchoService", "Echo",
+                             {{"data", Value(std::string(4'096, 'y'))}});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST_F(FailureInjectionTest, MultithreadedStrategyIsolatesPerCallFailures) {
+  FaultPlan plan;
+  plan.refuse_connects = 3;  // first three connects fail
+  auto client = faulty_client(plan);
+
+  auto calls = bench::make_echo_calls(8, 32, /*seed=*/2);
+  auto outcomes = client->call_multithreaded(calls);
+  ASSERT_EQ(outcomes.size(), 8u);
+  size_t failures = 0;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 3u);  // exactly the injected refusals
+}
+
+}  // namespace
+}  // namespace spi::core

@@ -1,0 +1,193 @@
+// The Axis-style handler chain (§3.6 integration slot) and SEDA admission
+// control on SpiServer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "benchsupport/workload.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "services/echo.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+// --- HandlerChain unit behaviour ---------------------------------------------
+
+class RecordingHandler final : public Handler {
+ public:
+  RecordingHandler(std::string name, std::vector<std::string>* log,
+                   Status request_result = Status())
+      : name_(std::move(name)),
+        log_(log),
+        request_result_(std::move(request_result)) {}
+
+  std::string_view name() const override { return name_; }
+  Status on_request(const HandlerContext&) override {
+    log_->push_back(name_ + ":request");
+    return request_result_;
+  }
+  void on_response(const HandlerContext&) override {
+    log_->push_back(name_ + ":response");
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+  Status request_result_;
+};
+
+TEST(HandlerChainTest, RequestOrderForwardResponseOrderReverse) {
+  std::vector<std::string> log;
+  HandlerChain chain;
+  chain.add(std::make_shared<RecordingHandler>("a", &log));
+  chain.add(std::make_shared<RecordingHandler>("b", &log));
+
+  wire::ParsedRequest request;
+  HandlerContext context;
+  context.request = &request;
+  ASSERT_TRUE(chain.run_request(context).ok());
+  chain.run_response(context);
+  EXPECT_EQ(log, (std::vector<std::string>{"a:request", "b:request",
+                                           "b:response", "a:response"}));
+}
+
+TEST(HandlerChainTest, FirstVetoWinsAndIsAttributed) {
+  std::vector<std::string> log;
+  HandlerChain chain;
+  chain.add(std::make_shared<RecordingHandler>("first", &log));
+  chain.add(std::make_shared<RecordingHandler>(
+      "vetoer", &log, Status(ErrorCode::kInvalidArgument, "nope")));
+  chain.add(std::make_shared<RecordingHandler>("never", &log));
+
+  wire::ParsedRequest request;
+  HandlerContext context;
+  context.request = &request;
+  Status status = chain.run_request(context);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("vetoer"), std::string::npos);
+  EXPECT_EQ(log, (std::vector<std::string>{"first:request",
+                                           "vetoer:request"}));
+}
+
+TEST(HandlerChainTest, NullHandlerRejected) {
+  HandlerChain chain;
+  EXPECT_THROW(chain.add(nullptr), SpiError);
+}
+
+// --- end-to-end on SpiServer ---------------------------------------------------
+
+class HandlerServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { services::register_echo_service(registry_); }
+
+  net::SimTransport transport_;
+  ServiceRegistry registry_;
+};
+
+TEST_F(HandlerServerTest, CallQuotaVetoesOversizedBatches) {
+  SpiServer server(transport_, net::Endpoint{"server", 80}, registry_);
+  server.handlers().add(make_call_quota_handler(4));
+  ASSERT_TRUE(server.start().ok());
+  SpiClient client(transport_, server.endpoint());
+
+  auto small = bench::make_echo_calls(4, 10, /*seed=*/1);
+  EXPECT_EQ(bench::count_echo_errors(small, client.call_packed(small)), 0u);
+
+  auto large = bench::make_echo_calls(5, 10, /*seed=*/2);
+  auto outcomes = client.call_packed(large);
+  for (const auto& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code(), ErrorCode::kFault);
+    EXPECT_NE(outcome.error().message().find("limit is 4"),
+              std::string::npos);
+  }
+  // No quota violation executed anything.
+  EXPECT_EQ(server.stats().dispatcher.calls_dispatched, 4u);
+}
+
+TEST_F(HandlerServerTest, AuditHandlerCountsTraffic) {
+  auto audit = std::make_shared<AuditStats>();
+  SpiServer server(transport_, net::Endpoint{"server", 80}, registry_);
+  server.handlers().add(make_audit_handler(audit));
+  ASSERT_TRUE(server.start().ok());
+  SpiClient client(transport_, server.endpoint());
+
+  auto calls = bench::make_echo_calls(3, 10, /*seed=*/3);
+  (void)client.call_packed(calls);
+  (void)client.call("EchoService", "Echo", {{"data", Value("x")}});
+  (void)client.call("EchoService", "NoSuchOp", {});
+
+  EXPECT_EQ(audit->messages.load(), 3u);
+  EXPECT_EQ(audit->calls.load(), 5u);
+  EXPECT_EQ(audit->faults.load(), 1u);
+}
+
+TEST_F(HandlerServerTest, AdmissionControlSheds503UnderOverload) {
+  ServerOptions options;
+  options.max_concurrent_messages = 2;
+  options.protocol_threads = 16;
+  options.application_threads = 16;
+  SpiServer server(transport_, net::Endpoint{"server", 80}, registry_,
+                   options);
+  ASSERT_TRUE(server.start().ok());
+
+  // 8 concurrent slow calls against a 2-message admission bound.
+  std::atomic<int> ok_count{0}, shed_count{0};
+  {
+    std::vector<std::jthread> clients;
+    for (int t = 0; t < 8; ++t) {
+      clients.emplace_back([&] {
+        SpiClient client(transport_, server.endpoint());
+        auto outcome = client.call("EchoService", "Delay",
+                                   {{"milliseconds", Value(50)}});
+        if (outcome.ok()) {
+          ++ok_count;
+        } else {
+          EXPECT_EQ(outcome.error().code(), ErrorCode::kFault);
+          EXPECT_NE(outcome.error().message().find("concurrency limit"),
+                    std::string::npos);
+          ++shed_count;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok_count.load() + shed_count.load(), 8);
+  EXPECT_GE(ok_count.load(), 2);
+  EXPECT_GE(shed_count.load(), 1);
+  EXPECT_EQ(server.stats().admission_rejections,
+            static_cast<std::uint64_t>(shed_count.load()));
+
+  // After the burst the server accepts work normally again.
+  SpiClient client(transport_, server.endpoint());
+  auto outcome = client.call("EchoService", "Echo", {{"data", Value("ok")}});
+  ASSERT_TRUE(outcome.ok());
+}
+
+TEST_F(HandlerServerTest, AdmissionUnlimitedByDefault) {
+  SpiServer server(transport_, net::Endpoint{"server", 80}, registry_);
+  ASSERT_TRUE(server.start().ok());
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> clients;
+    for (int t = 0; t < 12; ++t) {
+      clients.emplace_back([&] {
+        SpiClient client(transport_, server.endpoint());
+        if (!client
+                 .call("EchoService", "Delay", {{"milliseconds", Value(10)}})
+                 .ok()) {
+          ++failures;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.stats().admission_rejections, 0u);
+}
+
+}  // namespace
+}  // namespace spi::core

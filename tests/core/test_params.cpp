@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+soap::Struct sample() {
+  return soap::Struct{
+      {"name", Value("Beijing")},
+      {"count", Value(42)},
+      {"ratio", Value(2.5)},
+      {"flag", Value(true)},
+      {"dup", Value("first")},
+      {"dup", Value("second")},
+  };
+}
+
+TEST(FindParamTest, FindsFirstMatch) {
+  auto params = sample();
+  ASSERT_NE(find_param(params, "name"), nullptr);
+  EXPECT_EQ(find_param(params, "dup")->as_string(), "first");
+  EXPECT_EQ(find_param(params, "missing"), nullptr);
+  soap::Struct empty;
+  EXPECT_EQ(find_param(empty, "x"), nullptr);
+}
+
+TEST(RequireStringTest, ReturnsValueOrDescriptiveError) {
+  auto params = sample();
+  EXPECT_EQ(require_string(params, "name").value(), "Beijing");
+
+  auto missing = require_string(params, "ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(missing.error().message().find("ghost"), std::string::npos);
+
+  auto wrong_type = require_string(params, "count");
+  ASSERT_FALSE(wrong_type.ok());
+  EXPECT_NE(wrong_type.error().message().find("must be a string"),
+            std::string::npos);
+  EXPECT_NE(wrong_type.error().message().find("int"), std::string::npos);
+}
+
+TEST(RequireIntTest, StrictAboutType) {
+  auto params = sample();
+  EXPECT_EQ(require_int(params, "count").value(), 42);
+  EXPECT_FALSE(require_int(params, "name").ok());
+  EXPECT_FALSE(require_int(params, "ratio").ok());  // no silent narrowing
+  EXPECT_FALSE(require_int(params, "ghost").ok());
+}
+
+TEST(RequireDoubleTest, WidensIntButNothingElse) {
+  auto params = sample();
+  EXPECT_DOUBLE_EQ(require_double(params, "ratio").value(), 2.5);
+  EXPECT_DOUBLE_EQ(require_double(params, "count").value(), 42.0);  // widened
+  EXPECT_FALSE(require_double(params, "name").ok());
+  EXPECT_FALSE(require_double(params, "flag").ok());
+}
+
+TEST(RequireBoolTest, StrictAboutType) {
+  auto params = sample();
+  EXPECT_TRUE(require_bool(params, "flag").value());
+  EXPECT_FALSE(require_bool(params, "count").ok());
+  EXPECT_FALSE(require_bool(params, "ghost").ok());
+}
+
+}  // namespace
+}  // namespace spi::core

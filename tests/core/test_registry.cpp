@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/registry.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+OperationHandler constant(Value value) {
+  return [value](const soap::Struct&) -> Result<Value> { return value; };
+}
+
+TEST(RegistryTest, RegisterAndFind) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry.register_operation("S", "Op", constant(Value(1))).ok());
+  auto handler = registry.find("S", "Op");
+  ASSERT_TRUE(handler.ok());
+  EXPECT_EQ(handler.value()({}).value(), Value(1));
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+  ServiceRegistry registry;
+  ASSERT_TRUE(registry.register_operation("S", "Op", constant(Value(1))).ok());
+  Status dup = registry.register_operation("S", "Op", constant(Value(2)));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, RejectsEmptyNamesAndNullHandlers) {
+  ServiceRegistry registry;
+  EXPECT_FALSE(registry.register_operation("", "Op", constant(Value(1))).ok());
+  EXPECT_FALSE(registry.register_operation("S", "", constant(Value(1))).ok());
+  EXPECT_FALSE(registry.register_operation("S", "Op", nullptr).ok());
+}
+
+TEST(RegistryTest, FindDistinguishesServiceFromOperation) {
+  ServiceRegistry registry;
+  (void)registry.register_operation("S", "Op", constant(Value(1)));
+  auto no_service = registry.find("T", "Op");
+  ASSERT_FALSE(no_service.ok());
+  EXPECT_NE(no_service.error().message().find("unknown service"),
+            std::string::npos);
+  auto no_operation = registry.find("S", "Other");
+  ASSERT_FALSE(no_operation.ok());
+  EXPECT_NE(no_operation.error().message().find("no operation"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, InvokeRunsHandler) {
+  ServiceRegistry registry;
+  (void)registry.register_operation(
+      "Math", "Add", [](const soap::Struct& params) -> Result<Value> {
+        return Value(params[0].second.as_int() + params[1].second.as_int());
+      });
+  CallOutcome outcome = registry.invoke(
+      make_call("Math", "Add", {{"a", Value(2)}, {"b", Value(3)}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().as_int(), 5);
+}
+
+TEST(RegistryTest, InvokeMapsUnknownTargetToError) {
+  ServiceRegistry registry;
+  CallOutcome outcome = registry.invoke(make_call("Nope", "Nada"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(RegistryTest, InvokeCatchesSpiError) {
+  ServiceRegistry registry;
+  (void)registry.register_operation(
+      "S", "Throws", [](const soap::Struct&) -> Result<Value> {
+        throw SpiError(ErrorCode::kCapacityExceeded, "full");
+      });
+  CallOutcome outcome = registry.invoke(make_call("S", "Throws"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kCapacityExceeded);
+}
+
+TEST(RegistryTest, InvokeCatchesStdException) {
+  ServiceRegistry registry;
+  (void)registry.register_operation(
+      "S", "Throws", [](const soap::Struct&) -> Result<Value> {
+        throw std::runtime_error("unexpected");
+      });
+  CallOutcome outcome = registry.invoke(make_call("S", "Throws"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kInternal);
+  EXPECT_NE(outcome.error().message().find("unexpected"), std::string::npos);
+}
+
+TEST(RegistryTest, EnumeratesServicesAndOperations) {
+  ServiceRegistry registry;
+  (void)registry.register_operation("B", "Y", constant(Value(1)));
+  (void)registry.register_operation("A", "X", constant(Value(1)));
+  (void)registry.register_operation("A", "W", constant(Value(1)));
+  EXPECT_EQ(registry.service_names(),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(registry.operation_names("A"),
+            (std::vector<std::string>{"W", "X"}));
+  EXPECT_TRUE(registry.operation_names("missing").empty());
+  EXPECT_EQ(registry.operation_count(), 3u);
+}
+
+TEST(RegistryTest, ConcurrentInvokeAndRegister) {
+  ServiceRegistry registry;
+  (void)registry.register_operation("S", "Op", constant(Value(7)));
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          if (!registry.invoke(make_call("S", "Op")).ok()) ++failures;
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        (void)registry.register_operation("S", "Extra" + std::to_string(i),
+                                          constant(Value(i)));
+      }
+    });
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.operation_count(), 101u);
+}
+
+TEST(ServiceBinderTest, FluentRegistration) {
+  ServiceRegistry registry;
+  ServiceBinder(registry, "Chained")
+      .bind("A", constant(Value(1)))
+      .bind("B", constant(Value(2)));
+  EXPECT_TRUE(registry.find("Chained", "A").ok());
+  EXPECT_TRUE(registry.find("Chained", "B").ok());
+}
+
+TEST(ServiceBinderTest, DuplicateBindThrows) {
+  ServiceRegistry registry;
+  ServiceBinder binder(registry, "S");
+  binder.bind("Op", constant(Value(1)));
+  EXPECT_THROW(binder.bind("Op", constant(Value(2))), SpiError);
+}
+
+}  // namespace
+}  // namespace spi::core

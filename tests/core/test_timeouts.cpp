@@ -1,0 +1,106 @@
+// Receive timeouts end to end: a server that accepts a request and then
+// stalls must produce kTimeout at the caller, on both transports, without
+// wedging the client or the server.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "services/echo.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+template <typename TransportT>
+class TimeoutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    services::register_echo_service(registry_);
+    server_ = std::make_unique<SpiServer>(transport_, listen_endpoint(),
+                                          registry_);
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  net::Endpoint listen_endpoint() {
+    if constexpr (std::is_same_v<TransportT, net::TcpTransport>) {
+      return net::Endpoint{"127.0.0.1", 0};
+    } else {
+      return net::Endpoint{"server", 80};
+    }
+  }
+
+  TransportT transport_;
+  ServiceRegistry registry_;
+  std::unique_ptr<SpiServer> server_;
+};
+
+using Transports = ::testing::Types<net::SimTransport, net::TcpTransport>;
+TYPED_TEST_SUITE(TimeoutTest, Transports);
+
+TYPED_TEST(TimeoutTest, SlowHandlerTriggersClientTimeout) {
+  ClientOptions options;
+  options.receive_timeout = std::chrono::milliseconds(50);
+  SpiClient client(this->transport_, this->server_->endpoint(), options);
+
+  Stopwatch watch;
+  auto outcome = client.call("EchoService", "Delay",
+                             {{"milliseconds", Value(500)}});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kTimeout)
+      << outcome.error().to_string();
+  EXPECT_LT(watch.elapsed_ms(), 400.0);  // did not wait for the handler
+}
+
+TYPED_TEST(TimeoutTest, FastCallsUnaffectedByTimeout) {
+  ClientOptions options;
+  options.receive_timeout = std::chrono::milliseconds(500);
+  SpiClient client(this->transport_, this->server_->endpoint(), options);
+  auto outcome = client.call("EchoService", "Echo", {{"data", Value("ok")}});
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_EQ(outcome.value().as_string(), "ok");
+}
+
+TYPED_TEST(TimeoutTest, ClientRecoversAfterTimeout) {
+  ClientOptions options;
+  options.receive_timeout = std::chrono::milliseconds(50);
+  SpiClient client(this->transport_, this->server_->endpoint(), options);
+  auto slow = client.call("EchoService", "Delay",
+                          {{"milliseconds", Value(300)}});
+  ASSERT_FALSE(slow.ok());
+  // The next call goes out on a fresh connection and succeeds.
+  auto fast = client.call("EchoService", "Echo", {{"data", Value("back")}});
+  ASSERT_TRUE(fast.ok()) << fast.error().to_string();
+}
+
+TYPED_TEST(TimeoutTest, PackedBatchTimesOutAsAWhole) {
+  ClientOptions options;
+  options.receive_timeout = std::chrono::milliseconds(50);
+  SpiClient client(this->transport_, this->server_->endpoint(), options);
+  std::vector<ServiceCall> calls;
+  calls.push_back(make_call("EchoService", "Echo", {{"data", Value("x")}}));
+  calls.push_back(
+      make_call("EchoService", "Delay", {{"milliseconds", Value(400)}}));
+  auto outcomes = client.call_packed(calls);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& outcome : outcomes) {
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(TimeoutValidationTest, NegativeTimeoutRejected) {
+  net::SimTransport transport;
+  auto listener = transport.listen(net::Endpoint{"h", 1});
+  ASSERT_TRUE(listener.ok());
+  auto connection = transport.connect(net::Endpoint{"h", 1});
+  ASSERT_TRUE(connection.ok());
+  EXPECT_FALSE(
+      connection.value()->set_receive_timeout(Duration(-1)).ok());
+  EXPECT_TRUE(connection.value()->set_receive_timeout(Duration(0)).ok());
+}
+
+}  // namespace
+}  // namespace spi::core

@@ -1,0 +1,191 @@
+// HTTP client + server integration over the in-process transport, plus
+// server behaviour cases (keep-alive, errors, handler exceptions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "net/sim_transport.hpp"
+
+namespace spi::http {
+namespace {
+
+class HttpIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(
+        transport_, net::Endpoint{"server", 80},
+        [this](const Request& request) { return handler_(request); });
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  net::SimTransport transport_;
+  std::function<Response(const Request&)> handler_ =
+      [](const Request& request) {
+        return Response::make(200, "OK", "echo:" + request.body);
+      };
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpIntegrationTest, PostRoundTrip) {
+  HttpClient client(transport_, server_->endpoint());
+  auto response = client.post("/x", "payload");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response.value().status, 200);
+  EXPECT_EQ(response.value().body, "echo:payload");
+}
+
+TEST_F(HttpIntegrationTest, SequentialRequestsWithoutKeepAlive) {
+  HttpClient client(transport_, server_->endpoint());
+  for (int i = 0; i < 10; ++i) {
+    auto response = client.post("/x", std::to_string(i));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().body, "echo:" + std::to_string(i));
+  }
+  // No keep-alive: each request opened its own connection.
+  EXPECT_EQ(transport_.stats().connections_opened, 10u);
+  EXPECT_EQ(server_->requests_served(), 10u);
+}
+
+TEST_F(HttpIntegrationTest, KeepAliveReusesConnection) {
+  ClientOptions options;
+  options.keep_alive = true;
+  HttpClient client(transport_, server_->endpoint(), options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.post("/x", "k").ok());
+  }
+  EXPECT_EQ(transport_.stats().connections_opened, 1u);
+  EXPECT_EQ(server_->requests_served(), 10u);
+}
+
+TEST_F(HttpIntegrationTest, DisconnectForcesReconnect) {
+  ClientOptions options;
+  options.keep_alive = true;
+  HttpClient client(transport_, server_->endpoint(), options);
+  ASSERT_TRUE(client.post("/x", "a").ok());
+  client.disconnect();
+  ASSERT_TRUE(client.post("/x", "b").ok());
+  EXPECT_EQ(transport_.stats().connections_opened, 2u);
+}
+
+TEST_F(HttpIntegrationTest, HandlerExceptionBecomes500) {
+  handler_ = [](const Request&) -> Response {
+    throw std::runtime_error("handler exploded");
+  };
+  HttpClient client(transport_, server_->endpoint());
+  auto response = client.post("/x", "boom");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 500);
+  EXPECT_NE(response.value().body.find("handler exploded"),
+            std::string::npos);
+}
+
+TEST_F(HttpIntegrationTest, ErrorStatusesAreReturnedNotErrors) {
+  handler_ = [](const Request&) {
+    return Response::make(404, "Not Found", "nope");
+  };
+  HttpClient client(transport_, server_->endpoint());
+  auto response = client.post("/x", "");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, 404);
+}
+
+TEST_F(HttpIntegrationTest, MalformedRequestGets400) {
+  // Drive the server with a raw connection to bypass the client's framing.
+  auto connection = transport_.connect(server_->endpoint());
+  ASSERT_TRUE(connection.ok());
+  ASSERT_TRUE(connection.value()->send("GARBAGE\r\n\r\n").ok());
+  std::string reply;
+  while (true) {
+    auto chunk = connection.value()->receive(4096);
+    if (!chunk.ok()) break;
+    reply += chunk.value();
+  }
+  EXPECT_NE(reply.find("400 Bad Request"), std::string::npos);
+}
+
+TEST_F(HttpIntegrationTest, NonPostMethodsReachHandler) {
+  handler_ = [](const Request& request) {
+    return Response::make(200, "OK", request.method + " " + request.target);
+  };
+  HttpClient client(transport_, server_->endpoint());
+  Request request;
+  request.method = "DELETE";
+  request.target = "/resource/1";
+  auto response = client.send(std::move(request));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, "DELETE /resource/1");
+}
+
+TEST_F(HttpIntegrationTest, ConcurrentClients) {
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> clients;
+    for (int t = 0; t < 8; ++t) {
+      clients.emplace_back([&, t] {
+        HttpClient client(transport_, server_->endpoint());
+        for (int i = 0; i < 20; ++i) {
+          std::string body = std::to_string(t) + ":" + std::to_string(i);
+          auto response = client.post("/x", body);
+          if (!response.ok() || response.value().body != "echo:" + body) {
+            ++failures;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->requests_served(), 160u);
+}
+
+TEST_F(HttpIntegrationTest, StopIsIdempotentAndServerRestarts) {
+  server_->stop();
+  server_->stop();  // idempotent
+  ASSERT_TRUE(server_->start().ok());  // rebinds and serves again
+  HttpClient client(transport_, server_->endpoint());
+  auto response = client.post("/x", "again");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().body, "echo:again");
+}
+
+TEST_F(HttpIntegrationTest, StopReturnsPromptlyWithIdleKeepAliveConnections) {
+  // Regression: protocol threads parked in receive() on idle persistent
+  // connections must not block shutdown (found by bench_ablation_keepalive
+  // hanging forever in the fixture destructor).
+  ClientOptions options;
+  options.keep_alive = true;
+  HttpClient client(transport_, server_->endpoint(), options);
+  ASSERT_TRUE(client.post("/x", "warm").ok());
+  // The connection is now idle in the pool AND held open by the server.
+  Stopwatch watch;
+  server_->stop();
+  EXPECT_LT(watch.elapsed_ms(), 2'000.0);
+}
+
+TEST(HttpServerTest, StartFailsOnTakenEndpoint) {
+  net::SimTransport transport;
+  auto handler = [](const Request&) { return Response::make(200, "OK"); };
+  HttpServer first(transport, net::Endpoint{"s", 80}, handler);
+  ASSERT_TRUE(first.start().ok());
+  HttpServer second(transport, net::Endpoint{"s", 80}, handler);
+  EXPECT_FALSE(second.start().ok());
+}
+
+TEST(HttpServerTest, NullHandlerThrows) {
+  net::SimTransport transport;
+  EXPECT_THROW(HttpServer(transport, net::Endpoint{"s", 80}, nullptr),
+               SpiError);
+}
+
+TEST(HttpClientTest, ConnectFailureSurfaces) {
+  net::SimTransport transport;
+  HttpClient client(transport, net::Endpoint{"ghost", 1});
+  auto response = client.post("/x", "");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code(), ErrorCode::kConnectionFailed);
+}
+
+}  // namespace
+}  // namespace spi::http

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/connection_pool.hpp"
+#include "net/sim_transport.hpp"
+
+namespace spi::http {
+namespace {
+
+class ConnectionPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    listener_ = transport_.listen(net::Endpoint{"server", 80}).value();
+    // Echo server: accepts connections forever, echoes per message.
+    acceptor_ = std::jthread([this] {
+      while (true) {
+        auto connection = listener_->accept();
+        if (!connection.ok()) return;
+        workers_.emplace_back(
+            [conn = std::shared_ptr<net::Connection>(
+                 std::move(connection).value())] {
+              while (true) {
+                auto data = conn->receive(4096);
+                if (!data.ok()) return;
+                if (!conn->send(data.value()).ok()) return;
+              }
+            });
+      }
+    });
+  }
+
+  void TearDown() override {
+    listener_->close();
+    if (acceptor_.joinable()) acceptor_.join();
+    workers_.clear();
+  }
+
+  net::Endpoint endpoint() { return listener_->endpoint(); }
+
+  net::SimTransport transport_;
+  std::unique_ptr<net::Listener> listener_;
+  std::jthread acceptor_;
+  std::vector<std::jthread> workers_;
+};
+
+TEST_F(ConnectionPoolTest, AcquireCreatesThenReuses) {
+  ConnectionPool pool(transport_);
+  {
+    auto lease = pool.acquire(endpoint());
+    ASSERT_TRUE(lease.ok());
+    ASSERT_TRUE(lease.value()->send("ping").ok());
+    auto echoed = lease.value()->receive(64);
+    ASSERT_TRUE(echoed.ok());
+    EXPECT_EQ(echoed.value(), "ping");
+  }  // returned to pool
+  EXPECT_EQ(pool.idle_count(endpoint()), 1u);
+  {
+    auto lease = pool.acquire(endpoint());
+    ASSERT_TRUE(lease.ok());
+  }
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.reused, 1u);
+  EXPECT_EQ(stats.returned, 2u);
+  EXPECT_EQ(transport_.stats().connections_opened, 1u);
+}
+
+TEST_F(ConnectionPoolTest, PoisonedConnectionsAreDiscarded) {
+  ConnectionPool pool(transport_);
+  {
+    auto lease = pool.acquire(endpoint());
+    ASSERT_TRUE(lease.ok());
+    lease.value().poison();
+  }
+  EXPECT_EQ(pool.idle_count(endpoint()), 0u);
+  EXPECT_EQ(pool.stats().discarded, 1u);
+  // Next acquire builds a fresh connection.
+  auto lease = pool.acquire(endpoint());
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(pool.stats().created, 2u);
+}
+
+TEST_F(ConnectionPoolTest, IdleBoundDiscardsOverflow) {
+  ConnectionPool pool(transport_, /*max_idle_per_endpoint=*/2);
+  {
+    std::vector<PooledConnection> leases;
+    for (int i = 0; i < 5; ++i) {
+      auto lease = pool.acquire(endpoint());
+      ASSERT_TRUE(lease.ok());
+      leases.push_back(std::move(lease).value());
+    }
+  }  // all 5 return; only 2 may be cached
+  EXPECT_EQ(pool.idle_count(endpoint()), 2u);
+  EXPECT_EQ(pool.stats().discarded, 3u);
+}
+
+TEST_F(ConnectionPoolTest, ClearDropsIdleConnections) {
+  ConnectionPool pool(transport_);
+  { auto lease = pool.acquire(endpoint()); }
+  ASSERT_EQ(pool.idle_count(endpoint()), 1u);
+  pool.clear();
+  EXPECT_EQ(pool.idle_count(endpoint()), 0u);
+}
+
+TEST_F(ConnectionPoolTest, ConnectFailureSurfaces) {
+  ConnectionPool pool(transport_);
+  auto lease = pool.acquire(net::Endpoint{"ghost", 1});
+  ASSERT_FALSE(lease.ok());
+  EXPECT_EQ(lease.error().code(), ErrorCode::kConnectionFailed);
+}
+
+TEST_F(ConnectionPoolTest, MoveSemanticsTransferOwnership) {
+  ConnectionPool pool(transport_);
+  auto lease = pool.acquire(endpoint());
+  ASSERT_TRUE(lease.ok());
+  PooledConnection moved = std::move(lease).value();
+  EXPECT_TRUE(moved.valid());
+  PooledConnection assigned;
+  EXPECT_FALSE(assigned.valid());
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.valid());
+  // Single return on destruction, not three.
+  assigned = PooledConnection();
+  EXPECT_EQ(pool.stats().returned, 1u);
+}
+
+TEST_F(ConnectionPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  ConnectionPool pool(transport_, /*max_idle_per_endpoint=*/4);
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          auto lease = pool.acquire(endpoint());
+          if (!lease.ok()) {
+            ++failures;
+            continue;
+          }
+          std::string payload = "m" + std::to_string(i);
+          if (!lease.value()->send(payload).ok()) {
+            ++failures;
+            lease.value().poison();
+            continue;
+          }
+          auto echoed = lease.value()->receive(64);
+          if (!echoed.ok() || echoed.value() != payload) {
+            ++failures;
+            lease.value().poison();
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.created + stats.reused, 400u);
+  // Pooling must have worked: far fewer sockets than acquisitions.
+  EXPECT_LT(stats.created, 50u);
+}
+
+}  // namespace
+}  // namespace spi::http

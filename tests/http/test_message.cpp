@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+
+namespace spi::http {
+namespace {
+
+TEST(HeadersTest, LookupIsCaseInsensitive) {
+  Headers headers;
+  headers.add("Content-Type", "text/xml");
+  EXPECT_EQ(headers.get("content-type"), "text/xml");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/xml");
+  EXPECT_FALSE(headers.get("content-length").has_value());
+}
+
+TEST(HeadersTest, SetReplacesAllValues) {
+  Headers headers;
+  headers.add("X-Multi", "a");
+  headers.add("x-multi", "b");
+  EXPECT_EQ(headers.get_all("X-Multi").size(), 2u);
+  headers.set("X-MULTI", "c");
+  auto all = headers.get_all("x-multi");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], "c");
+}
+
+TEST(HeadersTest, RemoveDeletesAllValues) {
+  Headers headers;
+  headers.add("A", "1");
+  headers.add("a", "2");
+  headers.add("B", "3");
+  headers.remove("A");
+  EXPECT_FALSE(headers.contains("a"));
+  EXPECT_TRUE(headers.contains("B"));
+  EXPECT_EQ(headers.size(), 1u);
+}
+
+TEST(HeadersTest, SerializePreservesInsertionOrder) {
+  Headers headers;
+  headers.add("B", "2");
+  headers.add("A", "1");
+  std::string out;
+  headers.serialize(out);
+  EXPECT_EQ(out, "B: 2\r\nA: 1\r\n");
+}
+
+TEST(RequestTest, SerializeSetsFraming) {
+  Request request;
+  request.method = "POST";
+  request.target = "/spi";
+  request.body = "hello";
+  std::string wire = request.serialize();
+  EXPECT_NE(wire.find("POST /spi HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Host: localhost\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(RequestTest, SerializeOverridesStaleContentLength) {
+  Request request;
+  request.headers.set("Content-Length", "999");
+  request.body = "ab";
+  std::string wire = request.serialize();
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("999"), std::string::npos);
+}
+
+TEST(RequestTest, KeepAliveDefaultsTrueForHttp11) {
+  Request request;
+  EXPECT_TRUE(request.keep_alive());
+  request.headers.set("Connection", "close");
+  EXPECT_FALSE(request.keep_alive());
+  request.headers.set("Connection", "keep-alive");
+  EXPECT_TRUE(request.keep_alive());
+  request.headers.set("Connection", "TE, Close");
+  EXPECT_FALSE(request.keep_alive());
+}
+
+TEST(ResponseTest, SerializeUsesDefaultReason) {
+  Response response;
+  response.status = 404;
+  response.reason.clear();
+  EXPECT_NE(response.serialize().find("HTTP/1.1 404 Not Found\r\n"),
+            std::string::npos);
+}
+
+TEST(ResponseTest, MakeSetsContentType) {
+  Response response = Response::make(200, "OK", "<a/>", "text/xml");
+  EXPECT_EQ(response.headers.get("Content-Type"), "text/xml");
+  Response empty = Response::make(204, "No Content");
+  EXPECT_FALSE(empty.headers.contains("Content-Type"));
+}
+
+TEST(DefaultReasonTest, CoversCommonCodes) {
+  EXPECT_EQ(default_reason(200), "OK");
+  EXPECT_EQ(default_reason(400), "Bad Request");
+  EXPECT_EQ(default_reason(500), "Internal Server Error");
+  EXPECT_EQ(default_reason(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace spi::http

@@ -1,0 +1,166 @@
+// SimLink delay arithmetic — pure calculations, no sleeping (the link is
+// tested against hand-computed expectations from the model in DESIGN.md).
+#include <gtest/gtest.h>
+
+#include "net/simlink.hpp"
+
+namespace spi::net {
+namespace {
+
+using std::chrono::microseconds;
+
+LinkParams test_params() {
+  LinkParams params;
+  params.connect_cost = microseconds(1000);
+  params.rtt = microseconds(400);
+  params.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: 1 byte == 1 us
+  params.endpoint_ns_per_byte = 0.0;
+  params.per_message_overhead = Duration::zero();
+  params.client_cores = 1;
+  params.server_cores = 2;
+  return params;
+}
+
+TEST(SimLinkTest, TransmissionTimeFollowsBandwidth) {
+  SimLink link(test_params());
+  EXPECT_EQ(link.transmission_time(0), Duration::zero());
+  EXPECT_EQ(link.transmission_time(1000), microseconds(1000));
+  EXPECT_EQ(link.transmission_time(12'500), microseconds(12'500));
+}
+
+TEST(SimLinkTest, ConnectDelayIsConfigured) {
+  SimLink link(test_params());
+  EXPECT_EQ(link.connect_delay(), microseconds(1000));
+}
+
+TEST(SimLinkTest, SingleSendBlocksForTransmission) {
+  SimLink link(test_params());
+  TimePoint t0{};
+  auto plan = link.plan_send(500, t0, LinkDirection::kClientToServer);
+  EXPECT_EQ(plan.sender_block, microseconds(500));
+  // Delivery adds half an RTT of propagation.
+  EXPECT_EQ(plan.deliver_after, microseconds(500 + 200));
+}
+
+TEST(SimLinkTest, SameDirectionSendsSerializeOnTheWire) {
+  SimLink link(test_params());
+  TimePoint t0{};
+  auto first = link.plan_send(1000, t0, LinkDirection::kClientToServer);
+  auto second = link.plan_send(1000, t0, LinkDirection::kClientToServer);
+  EXPECT_EQ(first.sender_block, microseconds(1000));
+  // Second transfer queues behind the first: 2000us total.
+  EXPECT_EQ(second.sender_block, microseconds(2000));
+}
+
+TEST(SimLinkTest, OppositeDirectionsAreFullDuplex) {
+  SimLink link(test_params());
+  TimePoint t0{};
+  auto up = link.plan_send(1000, t0, LinkDirection::kClientToServer);
+  auto down = link.plan_send(1000, t0, LinkDirection::kServerToClient);
+  EXPECT_EQ(up.sender_block, microseconds(1000));
+  EXPECT_EQ(down.sender_block, microseconds(1000));  // no queueing
+}
+
+TEST(SimLinkTest, WireFreesUpOverTime) {
+  SimLink link(test_params());
+  TimePoint t0{};
+  (void)link.plan_send(1000, t0, LinkDirection::kClientToServer);
+  // A send starting after the wire is idle again does not queue.
+  auto later = link.plan_send(
+      100, t0 + microseconds(5000), LinkDirection::kClientToServer);
+  EXPECT_EQ(later.sender_block, microseconds(100));
+}
+
+TEST(SimLinkTest, EndpointCostAddsCpuTimeBeforeWire) {
+  LinkParams params = test_params();
+  params.endpoint_ns_per_byte = 1000.0;  // 1 us/byte of CPU
+  SimLink link(params);
+  TimePoint t0{};
+  auto plan = link.plan_send(100, t0, LinkDirection::kClientToServer);
+  // 100 us CPU (serialization) then 100 us wire.
+  EXPECT_EQ(plan.sender_block, microseconds(200));
+}
+
+TEST(SimLinkTest, PerMessageOverheadChargedOnSenderCpu) {
+  LinkParams params = test_params();
+  params.per_message_overhead = microseconds(300);
+  SimLink link(params);
+  TimePoint t0{};
+  auto plan = link.plan_send(100, t0, LinkDirection::kClientToServer);
+  EXPECT_EQ(plan.sender_block, microseconds(400));
+}
+
+TEST(SimLinkTest, ClientCpuIsSingleCore) {
+  LinkParams params = test_params();
+  params.per_message_overhead = microseconds(1000);
+  SimLink link(params);
+  TimePoint t0{};
+  // Two concurrent client sends: CPU serializes them (1 core).
+  auto first = link.plan_send(0, t0, LinkDirection::kClientToServer);
+  auto second = link.plan_send(0, t0, LinkDirection::kClientToServer);
+  EXPECT_EQ(first.sender_block, microseconds(1000));
+  EXPECT_EQ(second.sender_block, microseconds(2000));
+}
+
+TEST(SimLinkTest, ServerCpuHasTwoCores) {
+  LinkParams params = test_params();
+  params.per_message_overhead = microseconds(1000);
+  SimLink link(params);
+  TimePoint t0{};
+  // Three concurrent server sends on two cores: 1ms, 1ms, 2ms.
+  auto a = link.plan_send(0, t0, LinkDirection::kServerToClient);
+  auto b = link.plan_send(0, t0, LinkDirection::kServerToClient);
+  auto c = link.plan_send(0, t0, LinkDirection::kServerToClient);
+  EXPECT_EQ(a.sender_block, microseconds(1000));
+  EXPECT_EQ(b.sender_block, microseconds(1000));
+  EXPECT_EQ(c.sender_block, microseconds(2000));
+}
+
+TEST(SimLinkTest, ReceiveWaitUsesReceiverCpu) {
+  LinkParams params = test_params();
+  params.endpoint_ns_per_byte = 1000.0;
+  SimLink link(params);
+  TimePoint t0{};
+  // Client -> server message: the RECEIVER (server, 2 cores) pays.
+  EXPECT_EQ(link.receive_wait(100, t0, LinkDirection::kClientToServer),
+            microseconds(100));
+  EXPECT_EQ(link.receive_wait(100, t0, LinkDirection::kClientToServer),
+            microseconds(100));  // second core
+  EXPECT_EQ(link.receive_wait(100, t0, LinkDirection::kClientToServer),
+            microseconds(200));  // queues
+}
+
+TEST(SimLinkTest, ZeroEndpointCostMeansNoReceiveWait) {
+  SimLink link(test_params());
+  TimePoint t0{};
+  EXPECT_EQ(link.receive_wait(1'000'000, t0, LinkDirection::kClientToServer),
+            Duration::zero());
+}
+
+TEST(SimLinkTest, DeterministicAcrossInstances) {
+  for (int round = 0; round < 3; ++round) {
+    SimLink link(test_params());
+    TimePoint t0{};
+    auto plan = link.plan_send(777, t0, LinkDirection::kClientToServer);
+    EXPECT_EQ(plan.sender_block, microseconds(777));
+    EXPECT_EQ(plan.deliver_after, microseconds(977));
+  }
+}
+
+TEST(SimLinkTest, InstantParamsAreEffectivelyFree) {
+  SimLink link(LinkParams::instant());
+  TimePoint t0{};
+  auto plan = link.plan_send(1'000'000, t0, LinkDirection::kClientToServer);
+  EXPECT_LT(plan.sender_block, microseconds(10));
+  EXPECT_EQ(link.connect_delay(), Duration::zero());
+}
+
+TEST(SenderReceiverOfTest, MapDirectionsToSides) {
+  EXPECT_EQ(sender_of(LinkDirection::kClientToServer), LinkSide::kClient);
+  EXPECT_EQ(receiver_of(LinkDirection::kClientToServer), LinkSide::kServer);
+  EXPECT_EQ(sender_of(LinkDirection::kServerToClient), LinkSide::kServer);
+  EXPECT_EQ(receiver_of(LinkDirection::kServerToClient), LinkSide::kClient);
+}
+
+}  // namespace
+}  // namespace spi::net

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "services/echo.hpp"
+#include "services/weather.hpp"
+
+namespace spi::services {
+namespace {
+
+using core::make_call;
+using soap::Value;
+
+class EchoServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_echo_service(registry_); }
+  core::ServiceRegistry registry_;
+};
+
+TEST_F(EchoServiceTest, EchoReturnsInputUnchanged) {
+  Value input(soap::Struct{{"nested", Value(soap::Array{Value(1), Value("x")})}});
+  auto outcome =
+      registry_.invoke(make_call("EchoService", "Echo", {{"data", input}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value(), input);
+}
+
+TEST_F(EchoServiceTest, EchoWithoutDataFaults) {
+  auto outcome = registry_.invoke(make_call("EchoService", "Echo"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(EchoServiceTest, ReverseReversesBytes) {
+  auto outcome = registry_.invoke(
+      make_call("EchoService", "Reverse", {{"data", Value("abc")}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().as_string(), "cba");
+}
+
+TEST_F(EchoServiceTest, ReverseRequiresString) {
+  auto outcome = registry_.invoke(
+      make_call("EchoService", "Reverse", {{"data", Value(5)}}));
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(EchoServiceTest, LengthCountsBytes) {
+  auto outcome = registry_.invoke(
+      make_call("EchoService", "Length", {{"data", Value("12345")}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().as_int(), 5);
+}
+
+TEST_F(EchoServiceTest, DelaySleepsAndEchoesDuration) {
+  Stopwatch stopwatch;
+  auto outcome = registry_.invoke(
+      make_call("EchoService", "Delay", {{"milliseconds", Value(15)}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().as_int(), 15);
+  EXPECT_GE(stopwatch.elapsed_ms(), 14.0);
+}
+
+TEST_F(EchoServiceTest, DelayRejectsOutOfRange) {
+  EXPECT_FALSE(registry_
+                   .invoke(make_call("EchoService", "Delay",
+                                     {{"milliseconds", Value(-1)}}))
+                   .ok());
+  EXPECT_FALSE(registry_
+                   .invoke(make_call("EchoService", "Delay",
+                                     {{"milliseconds", Value(999'999)}}))
+                   .ok());
+}
+
+TEST(EchoServiceOptionsTest, CustomNameAndDelayCap) {
+  core::ServiceRegistry registry;
+  EchoOptions options;
+  options.max_delay_ms = 5;
+  register_echo_service(registry, "Bounce", options);
+  EXPECT_TRUE(registry.find("Bounce", "Echo").ok());
+  EXPECT_FALSE(registry
+                   .invoke(make_call("Bounce", "Delay",
+                                     {{"milliseconds", Value(6)}}))
+                   .ok());
+}
+
+class WeatherServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_weather_service(registry_); }
+  core::ServiceRegistry registry_;
+};
+
+TEST_F(WeatherServiceTest, KnownCitiesReturnForecasts) {
+  auto outcome = registry_.invoke(
+      make_call("WeatherService", "GetWeather", {{"city", Value("Beijing")}}));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().field("city")->as_string(), "Beijing");
+  EXPECT_EQ(outcome.value().field("condition")->as_string(), "Sunny");
+  EXPECT_EQ(outcome.value().field("temperature_c")->as_int(), 31);
+}
+
+TEST_F(WeatherServiceTest, UnknownCityFaults) {
+  auto outcome = registry_.invoke(make_call("WeatherService", "GetWeather",
+                                            {{"city", Value("Atlantis")}}));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(WeatherServiceTest, MissingCityParameterFaults) {
+  auto outcome = registry_.invoke(make_call("WeatherService", "GetWeather"));
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(WeatherServiceTest, ListCitiesCoversGetWeatherTable) {
+  auto cities = registry_.invoke(make_call("WeatherService", "ListCities"));
+  ASSERT_TRUE(cities.ok());
+  const soap::Array& list = cities.value().as_array();
+  EXPECT_GE(list.size(), 8u);
+  // Every listed city must have a forecast.
+  for (const Value& city : list) {
+    auto forecast = registry_.invoke(
+        make_call("WeatherService", "GetWeather", {{"city", city}}));
+    EXPECT_TRUE(forecast.ok()) << city.as_string();
+  }
+}
+
+}  // namespace
+}  // namespace spi::services

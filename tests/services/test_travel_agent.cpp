@@ -1,0 +1,183 @@
+// The travel agent orchestration end-to-end over three simulated server
+// nodes — the §4.3 deployment — in both packed and unpacked modes.
+#include <gtest/gtest.h>
+
+#include "core/server.hpp"
+#include "net/sim_transport.hpp"
+#include "services/airline.hpp"
+#include "services/creditcard.hpp"
+#include "services/hotel.hpp"
+#include "services/travel_agent.hpp"
+
+namespace spi::services {
+namespace {
+
+class TravelAgentTest : public ::testing::Test {
+ protected:
+  void SetUp() override { rebuild(); }
+
+  /// Builds (or rebuilds, with fresh inventory) the three-node deployment.
+  void rebuild() {
+    airline_client_.reset();
+    hotel_client_.reset();
+    card_client_.reset();
+    airline_server_.reset();
+    hotel_server_.reset();
+    card_server_.reset();
+    airline_registry_ = std::make_unique<core::ServiceRegistry>();
+    hotel_registry_ = std::make_unique<core::ServiceRegistry>();
+    card_registry_ = std::make_unique<core::ServiceRegistry>();
+
+    airlines_ = make_demo_airlines(/*seed=*/11);
+    for (auto& airline : airlines_) airline->register_with(*airline_registry_);
+    hotels_ = make_demo_hotels(/*seed=*/11);
+    for (auto& hotel : hotels_) hotel->register_with(*hotel_registry_);
+    card_ = std::make_unique<CreditCardService>("CardGate", /*seed=*/11);
+    card_->register_with(*card_registry_);
+
+    airline_server_ = std::make_unique<core::SpiServer>(
+        transport_, net::Endpoint{"airline-node", 80}, *airline_registry_);
+    hotel_server_ = std::make_unique<core::SpiServer>(
+        transport_, net::Endpoint{"hotel-node", 80}, *hotel_registry_);
+    card_server_ = std::make_unique<core::SpiServer>(
+        transport_, net::Endpoint{"card-node", 80}, *card_registry_);
+    ASSERT_TRUE(airline_server_->start().ok());
+    ASSERT_TRUE(hotel_server_->start().ok());
+    ASSERT_TRUE(card_server_->start().ok());
+
+    airline_client_ = std::make_unique<core::SpiClient>(
+        transport_, airline_server_->endpoint());
+    hotel_client_ = std::make_unique<core::SpiClient>(
+        transport_, hotel_server_->endpoint());
+    card_client_ = std::make_unique<core::SpiClient>(
+        transport_, card_server_->endpoint());
+  }
+
+  TravelAgentConfig config(bool packed) {
+    TravelAgentConfig cfg;
+    cfg.airline_services = {"AirChina", "PacificWings", "NimbusAir"};
+    cfg.hotel_services = {"GrandPalm", "SeasideInn", "LagoonResort"};
+    cfg.use_packing = packed;
+    return cfg;
+  }
+
+  Result<Itinerary> book(bool packed) {
+    TravelAgent agent(*airline_client_, *hotel_client_, *card_client_,
+                      config(packed));
+    return agent.book();
+  }
+
+  net::SimTransport transport_;
+  std::unique_ptr<core::ServiceRegistry> airline_registry_, hotel_registry_,
+      card_registry_;
+  std::vector<std::unique_ptr<Airline>> airlines_;
+  std::vector<std::unique_ptr<Hotel>> hotels_;
+  std::unique_ptr<CreditCardService> card_;
+  std::unique_ptr<core::SpiServer> airline_server_, hotel_server_,
+      card_server_;
+  std::unique_ptr<core::SpiClient> airline_client_, hotel_client_,
+      card_client_;
+};
+
+TEST_F(TravelAgentTest, PackedBookingProducesConfirmedItinerary) {
+  auto itinerary = book(/*packed=*/true);
+  ASSERT_TRUE(itinerary.ok()) << itinerary.error().to_string();
+
+  // The paper's count: exactly eleven service invocations...
+  EXPECT_EQ(itinerary.value().invocations, 11u);
+  // ...in seven SOAP messages when steps 1 and 3 are packed.
+  EXPECT_EQ(itinerary.value().messages, 7u);
+
+  // Cheapest choices (fixture data): NimbusAir NB-9 + GrandPalm standard.
+  EXPECT_EQ(itinerary.value().airline, "NimbusAir");
+  EXPECT_EQ(itinerary.value().flight_id, "NB-9");
+  EXPECT_EQ(itinerary.value().hotel, "GrandPalm");
+  EXPECT_EQ(itinerary.value().room_id, "GRAND-STD");
+  EXPECT_EQ(itinerary.value().flight_cents, 72'300);
+  EXPECT_EQ(itinerary.value().room_cents, 18'900 * 5);
+  EXPECT_EQ(itinerary.value().total_cents, 72'300 + 94'500);
+  EXPECT_FALSE(itinerary.value().authorization_id.empty());
+
+  // Server-side state reflects the booking.
+  EXPECT_EQ(airlines_[2]->confirmed_reservations(), 1u);  // NimbusAir
+  EXPECT_EQ(hotels_[0]->confirmed_reservations(), 1u);    // GrandPalm
+  EXPECT_EQ(card_->authorized_total("4111111111111111"),
+            itinerary.value().total_cents);
+  EXPECT_EQ(airlines_[2]->seats_available("NB-9"), 1);
+}
+
+TEST_F(TravelAgentTest, UnpackedBookingUsesElevenMessages) {
+  auto itinerary = book(/*packed=*/false);
+  ASSERT_TRUE(itinerary.ok()) << itinerary.error().to_string();
+  EXPECT_EQ(itinerary.value().invocations, 11u);
+  EXPECT_EQ(itinerary.value().messages, 11u);
+  EXPECT_EQ(itinerary.value().airline, "NimbusAir");
+}
+
+TEST_F(TravelAgentTest, PackedAndUnpackedChooseIdenticalItineraries) {
+  auto packed = book(true);
+  rebuild();  // fresh inventory
+  auto unpacked = book(false);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(packed.value().flight_id, unpacked.value().flight_id);
+  EXPECT_EQ(packed.value().room_id, unpacked.value().room_id);
+  EXPECT_EQ(packed.value().total_cents, unpacked.value().total_cents);
+}
+
+TEST_F(TravelAgentTest, SurvivesOneAirlineFaulting) {
+  // Unregister-like failure: a config naming a dead airline service.
+  TravelAgentConfig cfg = config(true);
+  cfg.airline_services = {"AirChina", "DefunctAir", "NimbusAir"};
+  TravelAgent agent(*airline_client_, *hotel_client_, *card_client_, cfg);
+  auto itinerary = agent.book();
+  ASSERT_TRUE(itinerary.ok()) << itinerary.error().to_string();
+  EXPECT_EQ(itinerary.value().airline, "NimbusAir");  // still found cheapest
+}
+
+TEST_F(TravelAgentTest, FailsCleanlyWhenNoFlightsMatch) {
+  TravelAgentConfig cfg = config(true);
+  cfg.origin = "XXX";
+  TravelAgent agent(*airline_client_, *hotel_client_, *card_client_, cfg);
+  auto itinerary = agent.book();
+  ASSERT_FALSE(itinerary.ok());
+  EXPECT_EQ(itinerary.error().code(), ErrorCode::kNotFound);
+  // Nothing was reserved anywhere.
+  for (auto& airline : airlines_) {
+    EXPECT_EQ(airline->pending_reservations(), 0u);
+  }
+}
+
+TEST_F(TravelAgentTest, FailsWhenCardDeclined) {
+  TravelAgentConfig cfg = config(true);
+  cfg.card_number = "4111111111111112";  // Luhn-invalid
+  TravelAgent agent(*airline_client_, *hotel_client_, *card_client_, cfg);
+  auto itinerary = agent.book();
+  ASSERT_FALSE(itinerary.ok());
+  EXPECT_EQ(itinerary.error().code(), ErrorCode::kFault);
+  // Seats were reserved but never confirmed (the paper's scenario has no
+  // compensation step; we assert the observable state).
+  EXPECT_EQ(airlines_[2]->pending_reservations(), 1u);
+  EXPECT_EQ(airlines_[2]->confirmed_reservations(), 0u);
+}
+
+TEST_F(TravelAgentTest, ConsecutiveBookingsDrainInventory) {
+  // NB-9 has 2 seats; the third booking must fall back to PacificWings.
+  ASSERT_TRUE(book(true).ok());
+  ASSERT_TRUE(book(true).ok());
+  auto third = book(true);
+  ASSERT_TRUE(third.ok()) << third.error().to_string();
+  EXPECT_EQ(third.value().airline, "PacificWings");
+  EXPECT_EQ(third.value().flight_id, "PW-77");
+}
+
+TEST_F(TravelAgentTest, RejectsEmptyServiceLists) {
+  TravelAgentConfig cfg = config(true);
+  cfg.airline_services.clear();
+  EXPECT_THROW(
+      TravelAgent(*airline_client_, *hotel_client_, *card_client_, cfg),
+      SpiError);
+}
+
+}  // namespace
+}  // namespace spi::services

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "soap/envelope.hpp"
+
+namespace spi::soap {
+namespace {
+
+TEST(BuildEnvelopeTest, WrapsBodyWithNamespaces) {
+  std::string envelope = build_envelope("<op><x>1</x></op>");
+  EXPECT_NE(envelope.find("<?xml version=\"1.0\""), std::string::npos);
+  EXPECT_NE(envelope.find("<SOAP-ENV:Envelope"), std::string::npos);
+  EXPECT_NE(envelope.find("xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/"
+                          "soap/envelope/\""),
+            std::string::npos);
+  EXPECT_NE(envelope.find("<SOAP-ENV:Body><op><x>1</x></op></SOAP-ENV:Body>"),
+            std::string::npos);
+  EXPECT_EQ(envelope.find("<SOAP-ENV:Header>"), std::string::npos);
+}
+
+TEST(BuildEnvelopeTest, IncludesHeaderBlocks) {
+  std::string envelope =
+      build_envelope("<op/>", {"<h1>one</h1>", "<h2>two</h2>"});
+  size_t header = envelope.find("<SOAP-ENV:Header>");
+  size_t body = envelope.find("<SOAP-ENV:Body>");
+  ASSERT_NE(header, std::string::npos);
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_LT(header, body);
+  EXPECT_NE(envelope.find("<h1>one</h1><h2>two</h2>"), std::string::npos);
+}
+
+TEST(EnvelopeParseTest, RoundTripsBuildOutput) {
+  std::string wire = build_envelope("<op><x>1</x></op>", {"<h/>"});
+  auto envelope = Envelope::parse(wire);
+  ASSERT_TRUE(envelope.ok()) << envelope.error().to_string();
+  ASSERT_EQ(envelope.value().header_blocks.size(), 1u);
+  EXPECT_EQ(envelope.value().header_blocks[0].name, "h");
+  ASSERT_EQ(envelope.value().body_entries.size(), 1u);
+  EXPECT_EQ(envelope.value().body_entries[0].name, "op");
+  EXPECT_EQ(envelope.value().body_entries[0].children[0].text, "1");
+}
+
+TEST(EnvelopeParseTest, AcceptsMissingHeader) {
+  auto envelope = Envelope::parse(
+      "<e:Envelope xmlns:e=\"ns\"><e:Body><op/></e:Body></e:Envelope>");
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_TRUE(envelope.value().header_blocks.empty());
+  EXPECT_EQ(envelope.value().body_entries.size(), 1u);
+}
+
+TEST(EnvelopeParseTest, AcceptsEmptyBody) {
+  auto envelope =
+      Envelope::parse("<Envelope><Body></Body></Envelope>");
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_TRUE(envelope.value().body_entries.empty());
+}
+
+TEST(EnvelopeParseTest, RejectsNonEnvelopeRoot) {
+  auto envelope = Envelope::parse("<NotAnEnvelope/>");
+  ASSERT_FALSE(envelope.ok());
+  EXPECT_EQ(envelope.error().code(), ErrorCode::kProtocolError);
+}
+
+TEST(EnvelopeParseTest, RejectsMissingBody) {
+  auto envelope = Envelope::parse("<Envelope><Header/></Envelope>");
+  ASSERT_FALSE(envelope.ok());
+  EXPECT_NE(envelope.error().message().find("no Body"), std::string::npos);
+}
+
+TEST(EnvelopeParseTest, RejectsHeaderAfterBody) {
+  auto envelope =
+      Envelope::parse("<Envelope><Body/><Header/></Envelope>");
+  ASSERT_FALSE(envelope.ok());
+}
+
+TEST(EnvelopeParseTest, RejectsDuplicateBody) {
+  auto envelope = Envelope::parse("<Envelope><Body/><Body/></Envelope>");
+  ASSERT_FALSE(envelope.ok());
+}
+
+TEST(EnvelopeParseTest, RejectsMalformedXml) {
+  auto envelope = Envelope::parse("<Envelope><Body></Envelope>");
+  ASSERT_FALSE(envelope.ok());
+  EXPECT_EQ(envelope.error().code(), ErrorCode::kParseError);
+}
+
+TEST(FaultTest, SerializesAllFields) {
+  Fault fault;
+  fault.faultcode = "SOAP-ENV:Client";
+  fault.faultstring = "bad input";
+  fault.faultactor = "urn:spi";
+  fault.detail = "parameter 'x' missing";
+  std::string xml = fault.to_xml();
+  EXPECT_NE(xml.find("<faultcode>SOAP-ENV:Client</faultcode>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<faultstring>bad input</faultstring>"),
+            std::string::npos);
+  EXPECT_NE(xml.find("<faultactor>urn:spi</faultactor>"), std::string::npos);
+  EXPECT_NE(xml.find("parameter 'x' missing"), std::string::npos);
+}
+
+TEST(FaultTest, RoundTripsThroughEnvelope) {
+  Fault fault;
+  fault.faultstring = "it broke";
+  fault.detail = "stack details";
+  auto envelope = Envelope::parse(build_envelope(fault.to_xml()));
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_EQ(envelope.value().body_entries.size(), 1u);
+  auto parsed = Fault::from_element(envelope.value().body_entries[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->faultcode, "SOAP-ENV:Server");
+  EXPECT_EQ(parsed->faultstring, "it broke");
+  EXPECT_EQ(parsed->detail, "stack details");
+}
+
+TEST(FaultTest, FromElementRejectsNonFault) {
+  xml::Element element;
+  element.name = "NotAFault";
+  EXPECT_FALSE(Fault::from_element(element).has_value());
+}
+
+TEST(FaultTest, ErrorMappingPreservesCode) {
+  Error client_error(ErrorCode::kNotFound, "no such op");
+  Fault fault = Fault::from_error(client_error);
+  EXPECT_EQ(fault.faultcode, "SOAP-ENV:Client");
+  EXPECT_EQ(fault.faultstring, "NotFound");
+  EXPECT_EQ(fault.detail, "no such op");
+
+  Error server_error(ErrorCode::kInternal, "oops");
+  EXPECT_EQ(Fault::from_error(server_error).faultcode, "SOAP-ENV:Server");
+
+  Error back = fault.to_error();
+  EXPECT_EQ(back.code(), ErrorCode::kFault);
+  EXPECT_NE(back.message().find("no such op"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spi::soap

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "soap/value.hpp"
+
+namespace spi::soap {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.type(), Value::Type::kNull);
+  EXPECT_EQ(value.type_name(), "null");
+}
+
+TEST(ValueTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_EQ(Value(std::int64_t{1} << 40).as_int(), std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("text").as_string(), "text");
+  EXPECT_EQ(Value(std::string("owned")).as_string(), "owned");
+  EXPECT_EQ(Value(std::string_view("view")).as_string(), "view");
+}
+
+TEST(ValueTest, TypePredicatesAreExclusive) {
+  Value value(7);
+  EXPECT_TRUE(value.is_int());
+  EXPECT_FALSE(value.is_double());
+  EXPECT_FALSE(value.is_string());
+  EXPECT_FALSE(value.is_bool());
+  EXPECT_FALSE(value.is_null());
+}
+
+TEST(ValueTest, MismatchedAccessThrows) {
+  Value value("str");
+  EXPECT_THROW(value.as_int(), SpiError);
+  EXPECT_THROW(value.as_bool(), SpiError);
+  EXPECT_THROW(value.as_array(), SpiError);
+  EXPECT_THROW(value.as_struct(), SpiError);
+}
+
+TEST(ValueTest, ArrayHoldsMixedTypes) {
+  Value value(Array{Value(1), Value("two"), Value(3.0)});
+  ASSERT_TRUE(value.is_array());
+  const Array& items = value.as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_int(), 1);
+  EXPECT_EQ(items[1].as_string(), "two");
+}
+
+TEST(ValueTest, StructFieldLookup) {
+  Value value(Struct{{"name", Value("Beijing")}, {"temp", Value(31)}});
+  ASSERT_TRUE(value.is_struct());
+  ASSERT_NE(value.field("name"), nullptr);
+  EXPECT_EQ(value.field("name")->as_string(), "Beijing");
+  EXPECT_EQ(value.field("missing"), nullptr);
+  EXPECT_EQ(Value(1).field("x"), nullptr);  // non-struct
+}
+
+TEST(ValueTest, StructPreservesOrderAndDuplicates) {
+  Value value(Struct{{"k", Value(1)}, {"k", Value(2)}});
+  EXPECT_EQ(value.field("k")->as_int(), 1);  // first wins on lookup
+  EXPECT_EQ(value.as_struct().size(), 2u);
+}
+
+TEST(ValueTest, DeepEquality) {
+  Value a(Struct{{"list", Value(Array{Value(1), Value("x")})}});
+  Value b(Struct{{"list", Value(Array{Value(1), Value("x")})}});
+  Value c(Struct{{"list", Value(Array{Value(1), Value("y")})}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(Value(1) == Value(1.0));  // int and double are distinct
+}
+
+TEST(ValueTest, PayloadBytesCountsStrings) {
+  EXPECT_EQ(Value("12345").payload_bytes(), 5u);
+  EXPECT_EQ(Value(Array{Value("ab"), Value("cd")}).payload_bytes(), 4u);
+  Value nested(Struct{{"key", Value("value")}});
+  EXPECT_EQ(nested.payload_bytes(), 3u + 5u);
+  EXPECT_EQ(Value().payload_bytes(), 0u);
+}
+
+TEST(ValueDebugStringTest, RendersAllShapes) {
+  Value value(Struct{
+      {"city", Value("Beijing")},
+      {"temps", Value(Array{Value(31), Value(28)})},
+      {"ok", Value(true)},
+      {"ratio", Value(0.5)},
+      {"nothing", Value()},
+  });
+  EXPECT_EQ(value.to_debug_string(),
+            "{city: \"Beijing\", temps: [31, 28], ok: true, ratio: 0.5, "
+            "nothing: null}");
+}
+
+TEST(ValueDebugStringTest, ElidesLongStrings) {
+  Value value(std::string(100, 'x'));
+  std::string debug = value.to_debug_string(8);
+  EXPECT_NE(debug.find("xxxxxxxx"), std::string::npos);
+  EXPECT_NE(debug.find("(100 bytes)"), std::string::npos);
+  EXPECT_LT(debug.size(), 40u);
+}
+
+}  // namespace
+}  // namespace spi::soap

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "services/weather.hpp"
+#include "soap/wsdl.hpp"
+
+namespace spi::soap {
+namespace {
+
+ServiceDescription weather_description() {
+  ServiceDescription description;
+  description.name = "WeatherService";
+  description.endpoint_url = "http://weather-node:80/spi";
+  description.operations.push_back(OperationDescription{
+      "GetWeather",
+      {{"city", "string"}},
+      "anyType",
+      "Current conditions for a city"});
+  description.operations.push_back(
+      OperationDescription{"ListCities", {}, "anyType", ""});
+  return description;
+}
+
+TEST(WsdlGenerateTest, ContainsAllSections) {
+  std::string wsdl = generate_wsdl(weather_description());
+  EXPECT_NE(wsdl.find("<wsdl:definitions"), std::string::npos);
+  EXPECT_NE(wsdl.find("name=\"GetWeatherRequest\""), std::string::npos);
+  EXPECT_NE(wsdl.find("name=\"GetWeatherResponse\""), std::string::npos);
+  EXPECT_NE(wsdl.find("<wsdl:portType"), std::string::npos);
+  EXPECT_NE(wsdl.find("WeatherServicePortType"), std::string::npos);
+  EXPECT_NE(wsdl.find("<soap:binding"), std::string::npos);
+  EXPECT_NE(wsdl.find("style=\"rpc\""), std::string::npos);
+  EXPECT_NE(wsdl.find("location=\"http://weather-node:80/spi\""),
+            std::string::npos);
+  EXPECT_NE(wsdl.find("Current conditions for a city"), std::string::npos);
+}
+
+TEST(WsdlRoundTripTest, GenerateParseIsIdentity) {
+  ServiceDescription original = weather_description();
+  auto parsed = parse_wsdl(generate_wsdl(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), original);
+}
+
+TEST(WsdlRoundTripTest, ManyTypedParameters) {
+  ServiceDescription description;
+  description.name = "Typed";
+  description.endpoint_url = "http://h:1/spi";
+  description.operations.push_back(OperationDescription{
+      "Mix",
+      {{"s", "string"}, {"n", "int"}, {"d", "double"}, {"b", "boolean"}},
+      "string",
+      ""});
+  auto parsed = parse_wsdl(generate_wsdl(description));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), description);
+}
+
+TEST(WsdlParseTest, RejectsNonWsdl) {
+  EXPECT_FALSE(parse_wsdl("<not-wsdl/>").ok());
+  EXPECT_FALSE(parse_wsdl("malformed <").ok());
+}
+
+TEST(WsdlParseTest, RejectsDanglingMessageReference) {
+  constexpr std::string_view kBroken = R"(
+    <wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" name="S">
+      <wsdl:portType name="SPortType">
+        <wsdl:operation name="Op">
+          <wsdl:input message="tns:MissingMessage"/>
+        </wsdl:operation>
+      </wsdl:portType>
+    </wsdl:definitions>)";
+  auto parsed = parse_wsdl(kBroken);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message().find("MissingMessage"),
+            std::string::npos);
+}
+
+TEST(WsdlParseTest, RejectsMissingPortType) {
+  constexpr std::string_view kNoPortType = R"(
+    <wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" name="S"/>)";
+  EXPECT_FALSE(parse_wsdl(kNoPortType).ok());
+}
+
+TEST(DescribeServiceTest, IntrospectsRegistry) {
+  core::ServiceRegistry registry;
+  services::register_weather_service(registry);
+  auto description =
+      describe_service("WeatherService",
+                       registry.operation_names("WeatherService"),
+                       "http://node:80/spi");
+  ASSERT_TRUE(description.ok());
+  EXPECT_EQ(description.value().name, "WeatherService");
+  ASSERT_EQ(description.value().operations.size(), 2u);
+  EXPECT_EQ(description.value().operations[0].name, "GetWeather");
+  EXPECT_EQ(description.value().operations[1].name, "ListCities");
+
+  // The introspected description must produce valid, parseable WSDL.
+  auto parsed = parse_wsdl(generate_wsdl(description.value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+}
+
+TEST(DescribeServiceTest, UnknownServiceFails) {
+  core::ServiceRegistry registry;
+  EXPECT_FALSE(describe_service("Ghost", registry.operation_names("Ghost"),
+                                "http://x/spi").ok());
+}
+
+}  // namespace
+}  // namespace spi::soap

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "soap/envelope.hpp"
+#include "soap/wsse.hpp"
+#include "xml/parser.hpp"
+
+namespace spi::soap {
+namespace {
+
+constexpr std::string_view kCreated = "2006-09-25T12:00:00Z";
+
+xml::Element parse_block(const std::string& fragment) {
+  auto doc = xml::parse_document(fragment);
+  EXPECT_TRUE(doc.ok()) << doc.error().to_string();
+  return doc.ok() ? doc.value().root : xml::Element{};
+}
+
+TEST(PasswordDigestTest, MatchesFormula) {
+  // digest = Base64(SHA1(nonce + created + password)), computable by hand.
+  std::string digest = compute_password_digest("nonce", kCreated, "pw");
+  EXPECT_EQ(digest.size(), 28u);  // 20 bytes -> 28 base64 chars
+  EXPECT_EQ(digest,
+            compute_password_digest("nonce", kCreated, "pw"));  // stable
+  EXPECT_NE(digest, compute_password_digest("nonce2", kCreated, "pw"));
+  EXPECT_NE(digest, compute_password_digest("nonce", kCreated, "pw2"));
+}
+
+TEST(Iso8601Test, ParsesStrictFormat) {
+  auto t = parse_iso8601("1970-01-01T00:00:00Z");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), 0);
+  auto later = parse_iso8601("1970-01-02T00:00:01Z");
+  ASSERT_TRUE(later.ok());
+  EXPECT_EQ(later.value(), 86401);
+}
+
+TEST(Iso8601Test, RejectsMalformed) {
+  EXPECT_FALSE(parse_iso8601("2006-09-25 12:00:00Z").ok());
+  EXPECT_FALSE(parse_iso8601("2006-09-25T12:00:00").ok());
+  EXPECT_FALSE(parse_iso8601("2006-13-25T12:00:00Z").ok());
+  EXPECT_FALSE(parse_iso8601("2006-09-25T25:00:00Z").ok());
+  EXPECT_FALSE(parse_iso8601("garbage").ok());
+}
+
+TEST(Iso8601Test, NowHasCorrectShape) {
+  std::string now = iso8601_now();
+  EXPECT_TRUE(parse_iso8601(now).ok()) << now;
+}
+
+class WsseRoundTripTest : public ::testing::Test {
+ protected:
+  WsseCredentials credentials_{"grid-user", "s3cret"};
+  WsseTokenFactory factory_{credentials_, /*nonce_seed=*/42};
+  WsseVerifier verifier_{credentials_};
+};
+
+TEST_F(WsseRoundTripTest, FactoryOutputVerifies) {
+  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  EXPECT_EQ(block.local_name(), "Security");
+  EXPECT_TRUE(verifier_.verify(block, kCreated).ok());
+}
+
+TEST_F(WsseRoundTripTest, HeaderContainsExpectedStructure) {
+  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  const xml::Element* token = block.first_child("UsernameToken");
+  ASSERT_NE(token, nullptr);
+  EXPECT_NE(token->first_child("Username"), nullptr);
+  EXPECT_NE(token->first_child("Password"), nullptr);
+  EXPECT_NE(token->first_child("Nonce"), nullptr);
+  EXPECT_NE(token->first_child("Created"), nullptr);
+  EXPECT_NE(block.first_child("Timestamp"), nullptr);
+  EXPECT_EQ(token->first_child("Username")->text, "grid-user");
+  // The password itself must never appear on the wire.
+  EXPECT_EQ(factory_.make_header_block(kCreated).find("s3cret"),
+            std::string::npos);
+}
+
+TEST_F(WsseRoundTripTest, ReplayedNonceRejected) {
+  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  EXPECT_TRUE(verifier_.verify(block, kCreated).ok());
+  Status replay = verifier_.verify(block, kCreated);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.error().message().find("replay"), std::string::npos);
+}
+
+TEST_F(WsseRoundTripTest, FreshNoncesKeepVerifying) {
+  for (int i = 0; i < 10; ++i) {
+    xml::Element block = parse_block(factory_.make_header_block(kCreated));
+    EXPECT_TRUE(verifier_.verify(block, kCreated).ok()) << i;
+  }
+}
+
+TEST_F(WsseRoundTripTest, WrongUserRejected) {
+  WsseTokenFactory other(WsseCredentials{"intruder", "s3cret"}, 1);
+  xml::Element block = parse_block(other.make_header_block(kCreated));
+  Status status = verifier_.verify(block, kCreated);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("unknown user"), std::string::npos);
+}
+
+TEST_F(WsseRoundTripTest, WrongPasswordRejected) {
+  WsseTokenFactory other(WsseCredentials{"grid-user", "guess"}, 1);
+  xml::Element block = parse_block(other.make_header_block(kCreated));
+  Status status = verifier_.verify(block, kCreated);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("digest"), std::string::npos);
+}
+
+TEST_F(WsseRoundTripTest, TamperedCreatedRejected) {
+  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Element* token = block.first_child("UsernameToken");
+  token->first_child("Created")->text = "2007-01-01T00:00:00Z";
+  EXPECT_FALSE(verifier_.verify(block, kCreated).ok());
+}
+
+TEST_F(WsseRoundTripTest, IncompleteTokenRejected) {
+  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Element* token = block.first_child("UsernameToken");
+  std::erase_if(token->children, [](const xml::Element& child) {
+    return child.local_name() == "Nonce";
+  });
+  Status status = verifier_.verify(block, kCreated);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("incomplete"), std::string::npos);
+}
+
+TEST_F(WsseRoundTripTest, NotASecurityBlockRejected) {
+  xml::Element bogus;
+  bogus.name = "SomethingElse";
+  EXPECT_FALSE(verifier_.verify(bogus, kCreated).ok());
+}
+
+TEST(WsseFreshnessTest, ExpiredTokenRejected) {
+  WsseCredentials credentials{"u", "p"};
+  WsseVerifier::Options options;
+  options.freshness_window = std::chrono::seconds(300);
+  WsseVerifier verifier(credentials, options);
+  WsseTokenFactory factory(credentials, 7);
+
+  xml::Element fresh = parse_block(factory.make_header_block(kCreated));
+  EXPECT_TRUE(verifier.verify(fresh, "2006-09-25T12:04:59Z").ok());
+
+  xml::Element stale = parse_block(factory.make_header_block(kCreated));
+  Status status = verifier.verify(stale, "2006-09-25T12:05:01Z");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message().find("expired"), std::string::npos);
+}
+
+TEST(WsseFreshnessTest, FutureTokenRejected) {
+  WsseCredentials credentials{"u", "p"};
+  WsseVerifier::Options options;
+  options.freshness_window = std::chrono::seconds(300);
+  WsseVerifier verifier(credentials, options);
+  WsseTokenFactory factory(credentials, 7);
+  xml::Element block = parse_block(factory.make_header_block(kCreated));
+  EXPECT_FALSE(verifier.verify(block, "2006-09-25T11:00:00Z").ok());
+}
+
+TEST(WsseNonceCacheTest, EvictionAllowsOldNonceAgain) {
+  WsseCredentials credentials{"u", "p"};
+  WsseVerifier::Options options;
+  options.nonce_cache_size = 2;
+  WsseVerifier verifier(credentials, options);
+  WsseTokenFactory factory(credentials, 7);
+
+  std::string first = factory.make_header_block(kCreated);
+  EXPECT_TRUE(verifier.verify(parse_block(first), kCreated).ok());
+  // Two more tokens evict the first nonce from the LRU cache.
+  EXPECT_TRUE(
+      verifier.verify(parse_block(factory.make_header_block(kCreated)),
+                      kCreated)
+          .ok());
+  EXPECT_TRUE(
+      verifier.verify(parse_block(factory.make_header_block(kCreated)),
+                      kCreated)
+          .ok());
+  // The evicted nonce replays successfully (bounded-memory tradeoff).
+  EXPECT_TRUE(verifier.verify(parse_block(first), kCreated).ok());
+}
+
+}  // namespace
+}  // namespace spi::soap

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "xml/parser.hpp"
+
+namespace spi::xml {
+namespace {
+
+TEST(DomTest, BuildsTree) {
+  auto doc = parse_document(
+      R"(<root a="1"><child>one</child><child>two</child><other/></root>)");
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  const Element& root = doc.value().root;
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.attribute("a"), "1");
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(root.children[0].text, "one");
+  EXPECT_EQ(root.children[1].text, "two");
+}
+
+TEST(DomTest, LocalNameStripsPrefix) {
+  auto doc = parse_document("<SOAP-ENV:Body><spi:Call/></SOAP-ENV:Body>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.local_name(), "Body");
+  EXPECT_EQ(doc.value().root.children[0].local_name(), "Call");
+}
+
+TEST(DomTest, FirstChildMatchesByLocalName) {
+  auto doc = parse_document("<r><ns:a/><b/><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  const Element* a = doc.value().root.first_child("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "ns:a");  // first match in document order
+  EXPECT_EQ(doc.value().root.first_child("zzz"), nullptr);
+}
+
+TEST(DomTest, ChildrenNamedReturnsAllMatches) {
+  auto doc = parse_document("<r><x/><y/><ns:x/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.children_named("x").size(), 2u);
+  EXPECT_EQ(doc.value().root.children_named("y").size(), 1u);
+}
+
+TEST(DomTest, MixedTextIsConcatenated) {
+  auto doc = parse_document("<r>one<e/>two</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.text, "onetwo");
+}
+
+TEST(DomTest, TextTrimmedStripsWhitespace) {
+  auto doc = parse_document("<r>\n   padded   \n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.text_trimmed(), "padded");
+}
+
+TEST(DomTest, CommentsAndPisAreDropped) {
+  auto doc = parse_document("<r><!-- c --><?pi?><e/></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.children.size(), 1u);
+}
+
+TEST(DomTest, DeepNesting) {
+  std::string input, closers;
+  for (int i = 0; i < 200; ++i) {
+    input += "<d" + std::to_string(i) + ">";
+    closers = "</d" + std::to_string(i) + ">" + closers;
+  }
+  auto doc = parse_document(input + closers);
+  ASSERT_TRUE(doc.ok());
+  const Element* cursor = &doc.value().root;
+  int depth = 1;
+  while (!cursor->children.empty()) {
+    cursor = &cursor->children.front();
+    ++depth;
+  }
+  EXPECT_EQ(depth, 200);
+}
+
+TEST(DomTest, ManySiblingsPreserveOrder) {
+  std::string input = "<r>";
+  for (int i = 0; i < 500; ++i) {
+    input += "<c>" + std::to_string(i) + "</c>";
+  }
+  input += "</r>";
+  auto doc = parse_document(input);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().root.children.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(doc.value().root.children[i].text, std::to_string(i));
+  }
+}
+
+TEST(DomTest, ToStringReserializes) {
+  std::string input = R"(<r a="1"><b>x&amp;y</b><c/></r>)";
+  auto doc = parse_document(input);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root.to_string(), input);
+}
+
+// Property: parse(serialize(parse(x))) == parse(x) for generated trees.
+Element random_element(SplitMix64& rng, int depth) {
+  Element element;
+  element.name = "e" + std::to_string(rng.next_below(50));
+  size_t attrs = rng.next_below(3);
+  for (size_t a = 0; a < attrs; ++a) {
+    std::string name = "a" + std::to_string(a);
+    element.attributes.push_back(
+        Attribute{name, rng.ascii_string(rng.next_below(10))});
+  }
+  if (depth > 0 && rng.next_below(2) == 0) {
+    size_t kids = 1 + rng.next_below(4);
+    for (size_t k = 0; k < kids; ++k) {
+      element.children.push_back(random_element(rng, depth - 1));
+    }
+  } else {
+    element.text = rng.ascii_string(rng.next_below(20));
+  }
+  return element;
+}
+
+TEST(DomPropertyTest, SerializeParseRoundTrip) {
+  SplitMix64 rng(0xD0);
+  for (int round = 0; round < 50; ++round) {
+    Element original = random_element(rng, 4);
+    auto reparsed = parse_document(original.to_string());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+    EXPECT_EQ(reparsed.value().root, original) << "round " << round;
+  }
+}
+
+TEST(DomPropertyTest, RoundTripWithSpecialCharacters) {
+  Element element;
+  element.name = "payload";
+  element.text = "a<b>&c\"d'e &#x; &amp;";
+  element.attributes.push_back(Attribute{"attr", "<>&\"'\t\n"});
+  auto reparsed = parse_document(element.to_string());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed.value().root, element);
+}
+
+}  // namespace
+}  // namespace spi::xml

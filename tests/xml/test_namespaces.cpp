@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "soap/envelope.hpp"
+#include "xml/namespaces.hpp"
+
+namespace spi::xml {
+namespace {
+
+TEST(NamespaceScopeTest, RootScopeBindsOnlyXml) {
+  NamespaceScope scope;
+  EXPECT_TRUE(scope.uri_for("xml").has_value());
+  EXPECT_FALSE(scope.uri_for("").has_value());
+  EXPECT_FALSE(scope.uri_for("soap").has_value());
+}
+
+TEST(NamespaceScopeTest, EnterPicksUpDeclarations) {
+  auto doc = parse_document(
+      R"(<root xmlns="urn:default" xmlns:a="urn:a"><child xmlns:b="urn:b"/></root>)");
+  ASSERT_TRUE(doc.ok());
+  NamespaceScope root = NamespaceScope().enter(doc.value().root);
+  EXPECT_EQ(root.uri_for(""), "urn:default");
+  EXPECT_EQ(root.uri_for("a"), "urn:a");
+  EXPECT_FALSE(root.uri_for("b").has_value());
+
+  NamespaceScope child = root.enter(doc.value().root.children[0]);
+  EXPECT_EQ(child.uri_for("b"), "urn:b");
+  EXPECT_EQ(child.uri_for("a"), "urn:a");  // inherited
+}
+
+TEST(NamespaceScopeTest, InnerDeclarationShadowsOuter) {
+  auto doc = parse_document(
+      R"(<r xmlns:p="urn:outer"><c xmlns:p="urn:inner"/></r>)");
+  ASSERT_TRUE(doc.ok());
+  NamespaceScope outer = NamespaceScope().enter(doc.value().root);
+  NamespaceScope inner = outer.enter(doc.value().root.children[0]);
+  EXPECT_EQ(outer.uri_for("p"), "urn:outer");
+  EXPECT_EQ(inner.uri_for("p"), "urn:inner");
+}
+
+TEST(NamespaceScopeTest, ResolveQualifiedNames) {
+  auto doc = parse_document(R"(<r xmlns="urn:d" xmlns:p="urn:p"/>)");
+  ASSERT_TRUE(doc.ok());
+  NamespaceScope scope = NamespaceScope().enter(doc.value().root);
+
+  auto prefixed = scope.resolve("p:Element");
+  ASSERT_TRUE(prefixed.ok());
+  EXPECT_EQ(prefixed.value(), (QName{"urn:p", "Element"}));
+
+  auto defaulted = scope.resolve("Bare");
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted.value(), (QName{"urn:d", "Bare"}));
+}
+
+TEST(NamespaceScopeTest, UnprefixedWithoutDefaultHasNoNamespace) {
+  NamespaceScope scope;
+  auto resolved = scope.resolve("plain");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value(), (QName{"", "plain"}));
+}
+
+TEST(NamespaceScopeTest, ResolveFailsOnUnboundOrMalformed) {
+  NamespaceScope scope;
+  EXPECT_FALSE(scope.resolve("nope:Element").ok());
+  EXPECT_FALSE(scope.resolve(":Element").ok());
+  EXPECT_FALSE(scope.resolve("p:").ok());
+  EXPECT_FALSE(scope.resolve("a:b:c").ok());
+}
+
+TEST(NamespaceScopeTest, SoapEnvelopeResolvesCanonically) {
+  // Our own envelopes must resolve to the canonical SOAP 1.1 URIs.
+  std::string wire = soap::build_envelope("<spi:Parallel_Method/>");
+  auto doc = parse_document(wire);
+  ASSERT_TRUE(doc.ok());
+  NamespaceScope scope = NamespaceScope().enter(doc.value().root);
+
+  EXPECT_TRUE(element_is(doc.value().root, scope, soap::kEnvelopeNs,
+                         "Envelope"));
+  const Element& body = doc.value().root.children[0];
+  NamespaceScope body_scope = scope.enter(body);
+  EXPECT_TRUE(element_is(body, body_scope, soap::kEnvelopeNs, "Body"));
+  EXPECT_TRUE(element_is(body.children[0], body_scope.enter(body.children[0]),
+                         soap::kSpiNs, "Parallel_Method"));
+}
+
+TEST(NamespaceScopeTest, ElementIsRejectsWrongNamespaceSameLocal) {
+  auto doc = parse_document(
+      R"(<f:Envelope xmlns:f="urn:fake-soap"><f:Body/></f:Envelope>)");
+  ASSERT_TRUE(doc.ok());
+  NamespaceScope scope = NamespaceScope().enter(doc.value().root);
+  // Same local name "Envelope" but the wrong namespace: strict consumers
+  // must not accept it.
+  EXPECT_FALSE(element_is(doc.value().root, scope, soap::kEnvelopeNs,
+                          "Envelope"));
+}
+
+}  // namespace
+}  // namespace spi::xml

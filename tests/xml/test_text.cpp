@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "xml/text.hpp"
+
+namespace spi::xml {
+namespace {
+
+TEST(EscapeTextTest, EscapesMarkupCharacters) {
+  EXPECT_EQ(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(escape_text("no markup"), "no markup");
+  EXPECT_EQ(escape_text(""), "");
+  // Quotes are legal in character data.
+  EXPECT_EQ(escape_text("\"quoted\" 'single'"), "\"quoted\" 'single'");
+}
+
+TEST(EscapeAttributeTest, EscapesQuotesAndWhitespace) {
+  EXPECT_EQ(escape_attribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(escape_attribute("a<b>&"), "a&lt;b&gt;&amp;");
+  EXPECT_EQ(escape_attribute("tab\there"), "tab&#9;here");
+  EXPECT_EQ(escape_attribute("line\nbreak"), "line&#10;break");
+}
+
+TEST(UnescapeTest, ExpandsNamedEntities) {
+  EXPECT_EQ(unescape("&amp;&lt;&gt;&quot;&apos;").value(), "&<>\"'");
+  EXPECT_EQ(unescape("plain").value(), "plain");
+}
+
+TEST(UnescapeTest, ExpandsNumericReferences) {
+  EXPECT_EQ(unescape("&#65;&#66;").value(), "AB");
+  EXPECT_EQ(unescape("&#x41;&#x42;").value(), "AB");
+  EXPECT_EQ(unescape("&#x4E2D;").value(), "中");
+  EXPECT_EQ(unescape("&#128169;").value(), "\xF0\x9F\x92\xA9");
+}
+
+TEST(UnescapeTest, RejectsMalformedEntities) {
+  EXPECT_FALSE(unescape("&amp").ok());       // unterminated
+  EXPECT_FALSE(unescape("&bogus;").ok());    // unknown
+  EXPECT_FALSE(unescape("&#;").ok());        // empty numeric
+  EXPECT_FALSE(unescape("&#x;").ok());       // empty hex
+  EXPECT_FALSE(unescape("&#xG;").ok());      // bad hex digit
+  EXPECT_FALSE(unescape("&#12a;").ok());     // bad decimal digit
+  EXPECT_FALSE(unescape("&#1114112;").ok()); // > U+10FFFF
+  EXPECT_FALSE(unescape("&#xD800;").ok());   // surrogate
+}
+
+TEST(EscapeUnescapeTest, RoundTripProperty) {
+  for (std::string_view sample :
+       {"a<b>&c\"d'e", "", "&&&", "<<<>>>", "mixed & <tags> everywhere",
+        "unicode 中文 ok"}) {
+    auto back = unescape(escape_text(sample));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), sample);
+  }
+}
+
+TEST(IsValidNameTest, AcceptsXmlNames) {
+  EXPECT_TRUE(is_valid_name("element"));
+  EXPECT_TRUE(is_valid_name("SOAP-ENV:Body"));
+  EXPECT_TRUE(is_valid_name("_private"));
+  EXPECT_TRUE(is_valid_name("a1-b2.c3"));
+  EXPECT_TRUE(is_valid_name("中文"));
+}
+
+TEST(IsValidNameTest, RejectsInvalidNames) {
+  EXPECT_FALSE(is_valid_name(""));
+  EXPECT_FALSE(is_valid_name("1abc"));
+  EXPECT_FALSE(is_valid_name("-abc"));
+  EXPECT_FALSE(is_valid_name("has space"));
+  EXPECT_FALSE(is_valid_name("lt<"));
+}
+
+TEST(AppendUtf8Test, EncodesBoundaryCodePoints) {
+  auto encode = [](std::uint32_t cp) {
+    std::string out;
+    EXPECT_TRUE(append_utf8(out, cp));
+    return out;
+  };
+  EXPECT_EQ(encode(0x24), "\x24");
+  EXPECT_EQ(encode(0x7F), "\x7F");
+  EXPECT_EQ(encode(0x80), "\xC2\x80");
+  EXPECT_EQ(encode(0x7FF), "\xDF\xBF");
+  EXPECT_EQ(encode(0x800), "\xE0\xA0\x80");
+  EXPECT_EQ(encode(0xFFFF), "\xEF\xBF\xBF");
+  EXPECT_EQ(encode(0x10000), "\xF0\x90\x80\x80");
+  EXPECT_EQ(encode(0x10FFFF), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(AppendUtf8Test, RejectsInvalidCodePoints) {
+  std::string out;
+  EXPECT_FALSE(append_utf8(out, 0xD800));
+  EXPECT_FALSE(append_utf8(out, 0xDFFF));
+  EXPECT_FALSE(append_utf8(out, 0x110000));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace spi::xml

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "xml/trie.hpp"
+
+namespace spi::xml {
+namespace {
+
+TEST(TagTrieTest, InsertAssignsDenseIds) {
+  TagTrie trie;
+  EXPECT_EQ(trie.insert("Body"), 0);
+  EXPECT_EQ(trie.insert("Header"), 1);
+  EXPECT_EQ(trie.insert("Fault"), 2);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(TagTrieTest, ReinsertReturnsExistingId) {
+  TagTrie trie;
+  int id = trie.insert("Call");
+  EXPECT_EQ(trie.insert("Call"), id);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(TagTrieTest, FindExact) {
+  TagTrie trie;
+  trie.insert("Envelope");
+  trie.insert("Env");  // prefix of another tag
+  EXPECT_EQ(trie.find("Envelope"), 0);
+  EXPECT_EQ(trie.find("Env"), 1);
+  EXPECT_EQ(trie.find("Enve"), TagTrie::kNotFound);   // interior node
+  EXPECT_EQ(trie.find("Envelopes"), TagTrie::kNotFound);
+  EXPECT_EQ(trie.find("X"), TagTrie::kNotFound);
+  EXPECT_EQ(trie.find(""), TagTrie::kNotFound);
+}
+
+TEST(TagTrieTest, FindLocalStripsPrefix) {
+  TagTrie trie;
+  trie.insert("Body");
+  EXPECT_EQ(trie.find_local("SOAP-ENV:Body"), 0);
+  EXPECT_EQ(trie.find_local("Body"), 0);
+  EXPECT_EQ(trie.find_local("ns:other:Body"), 0);  // last colon wins
+  EXPECT_EQ(trie.find_local("SOAP-ENV:Fault"), TagTrie::kNotFound);
+}
+
+TEST(TagTrieTest, AgreesWithLinearMatcherOnRandomTags) {
+  TagTrie trie;
+  LinearTagMatcher linear;
+  SplitMix64 rng(0x7817);
+  std::vector<std::string> tags;
+  for (int i = 0; i < 200; ++i) {
+    tags.push_back(rng.ascii_string(1 + rng.next_below(12)));
+  }
+  for (const auto& tag : tags) {
+    int a = trie.insert(tag);
+    int b = linear.insert(tag);
+    EXPECT_EQ(a, b) << tag;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    std::string probe = rng.next_below(2) == 0
+                            ? tags[rng.next_below(tags.size())]
+                            : rng.ascii_string(1 + rng.next_below(12));
+    EXPECT_EQ(trie.find(probe), linear.find(probe)) << probe;
+  }
+}
+
+TEST(TagTrieTest, NodeCountGrowsSublinearlyOnSharedPrefixes) {
+  TagTrie shared;
+  shared.insert("ConfirmReservation");
+  size_t base = shared.node_count();
+  shared.insert("ConfirmPayment");  // shares "Confirm"
+  // Only the divergent suffix adds nodes.
+  EXPECT_LT(shared.node_count() - base, std::string("ConfirmPayment").size());
+}
+
+TEST(LinearTagMatcherTest, BasicBehaviour) {
+  LinearTagMatcher matcher;
+  EXPECT_EQ(matcher.insert("a"), 0);
+  EXPECT_EQ(matcher.insert("b"), 1);
+  EXPECT_EQ(matcher.insert("a"), 0);
+  EXPECT_EQ(matcher.find("b"), 1);
+  EXPECT_EQ(matcher.find("c"), -1);
+  EXPECT_EQ(matcher.find_local("ns:b"), 1);
+}
+
+}  // namespace
+}  // namespace spi::xml
