@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_keepalive"
+  "../bench/bench_ablation_keepalive.pdb"
+  "CMakeFiles/bench_ablation_keepalive.dir/bench_ablation_keepalive.cpp.o"
+  "CMakeFiles/bench_ablation_keepalive.dir/bench_ablation_keepalive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

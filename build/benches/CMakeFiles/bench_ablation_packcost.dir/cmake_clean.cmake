@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_packcost"
+  "../bench/bench_ablation_packcost.pdb"
+  "CMakeFiles/bench_ablation_packcost.dir/bench_ablation_packcost.cpp.o"
+  "CMakeFiles/bench_ablation_packcost.dir/bench_ablation_packcost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_packcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

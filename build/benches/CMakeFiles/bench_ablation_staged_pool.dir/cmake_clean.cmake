@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_staged_pool"
+  "../bench/bench_ablation_staged_pool.pdb"
+  "CMakeFiles/bench_ablation_staged_pool.dir/bench_ablation_staged_pool.cpp.o"
+  "CMakeFiles/bench_ablation_staged_pool.dir/bench_ablation_staged_pool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staged_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

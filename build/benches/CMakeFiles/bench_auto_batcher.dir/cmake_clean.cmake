@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_auto_batcher"
+  "../bench/bench_auto_batcher.pdb"
+  "CMakeFiles/bench_auto_batcher.dir/bench_auto_batcher.cpp.o"
+  "CMakeFiles/bench_auto_batcher.dir/bench_auto_batcher.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auto_batcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_pack10b"
+  "../bench/bench_fig5_pack10b.pdb"
+  "CMakeFiles/bench_fig5_pack10b.dir/bench_fig5_pack10b.cpp.o"
+  "CMakeFiles/bench_fig5_pack10b.dir/bench_fig5_pack10b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pack10b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

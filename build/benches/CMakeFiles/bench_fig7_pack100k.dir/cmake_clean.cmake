@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_pack100k"
+  "../bench/bench_fig7_pack100k.pdb"
+  "CMakeFiles/bench_fig7_pack100k.dir/bench_fig7_pack100k.cpp.o"
+  "CMakeFiles/bench_fig7_pack100k.dir/bench_fig7_pack100k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pack100k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_m1_overhead"
+  "../bench/bench_m1_overhead.pdb"
+  "CMakeFiles/bench_m1_overhead.dir/bench_m1_overhead.cpp.o"
+  "CMakeFiles/bench_m1_overhead.dir/bench_m1_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

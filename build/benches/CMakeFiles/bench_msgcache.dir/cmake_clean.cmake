@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_msgcache"
+  "../bench/bench_msgcache.pdb"
+  "CMakeFiles/bench_msgcache.dir/bench_msgcache.cpp.o"
+  "CMakeFiles/bench_msgcache.dir/bench_msgcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_remote_exec"
+  "../bench/bench_remote_exec.pdb"
+  "CMakeFiles/bench_remote_exec.dir/bench_remote_exec.cpp.o"
+  "CMakeFiles/bench_remote_exec.dir/bench_remote_exec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

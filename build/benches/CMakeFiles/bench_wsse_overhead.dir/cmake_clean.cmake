@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wsse_overhead"
+  "../bench/bench_wsse_overhead.pdb"
+  "CMakeFiles/bench_wsse_overhead.dir/bench_wsse_overhead.cpp.o"
+  "CMakeFiles/bench_wsse_overhead.dir/bench_wsse_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wsse_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_xml_trie"
+  "../bench/bench_xml_trie.pdb"
+  "CMakeFiles/bench_xml_trie.dir/bench_xml_trie.cpp.o"
+  "CMakeFiles/bench_xml_trie.dir/bench_xml_trie.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_echo.dir/secure_echo.cpp.o"
+  "CMakeFiles/secure_echo.dir/secure_echo.cpp.o.d"
+  "secure_echo"
+  "secure_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_suite_tour.dir/spi_suite_tour.cpp.o"
+  "CMakeFiles/spi_suite_tour.dir/spi_suite_tour.cpp.o.d"
+  "spi_suite_tour"
+  "spi_suite_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_suite_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_agent_demo.dir/travel_agent_demo.cpp.o"
+  "CMakeFiles/travel_agent_demo.dir/travel_agent_demo.cpp.o.d"
+  "travel_agent_demo"
+  "travel_agent_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_agent_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

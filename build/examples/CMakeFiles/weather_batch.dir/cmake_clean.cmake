@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_batch.dir/weather_batch.cpp.o"
+  "CMakeFiles/weather_batch.dir/weather_batch.cpp.o.d"
+  "weather_batch"
+  "weather_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_benchsupport.dir/harness.cpp.o"
+  "CMakeFiles/spi_benchsupport.dir/harness.cpp.o.d"
+  "CMakeFiles/spi_benchsupport.dir/histogram.cpp.o"
+  "CMakeFiles/spi_benchsupport.dir/histogram.cpp.o.d"
+  "CMakeFiles/spi_benchsupport.dir/workload.cpp.o"
+  "CMakeFiles/spi_benchsupport.dir/workload.cpp.o.d"
+  "libspi_benchsupport.a"
+  "libspi_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/byte_buffer.cpp" "src/common/CMakeFiles/spi_common.dir/byte_buffer.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/spi_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/codec.cpp" "src/common/CMakeFiles/spi_common.dir/codec.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/codec.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/spi_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/spi_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/spi_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/spi_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/spi_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/spi_common.dir/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

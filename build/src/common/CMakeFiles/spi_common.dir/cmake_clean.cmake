@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_common.dir/byte_buffer.cpp.o"
+  "CMakeFiles/spi_common.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/spi_common.dir/clock.cpp.o"
+  "CMakeFiles/spi_common.dir/clock.cpp.o.d"
+  "CMakeFiles/spi_common.dir/codec.cpp.o"
+  "CMakeFiles/spi_common.dir/codec.cpp.o.d"
+  "CMakeFiles/spi_common.dir/config.cpp.o"
+  "CMakeFiles/spi_common.dir/config.cpp.o.d"
+  "CMakeFiles/spi_common.dir/error.cpp.o"
+  "CMakeFiles/spi_common.dir/error.cpp.o.d"
+  "CMakeFiles/spi_common.dir/logging.cpp.o"
+  "CMakeFiles/spi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/spi_common.dir/random.cpp.o"
+  "CMakeFiles/spi_common.dir/random.cpp.o.d"
+  "CMakeFiles/spi_common.dir/string_util.cpp.o"
+  "CMakeFiles/spi_common.dir/string_util.cpp.o.d"
+  "libspi_common.a"
+  "libspi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/spi_concurrency.dir/thread_pool.cpp.o.d"
+  "libspi_concurrency.a"
+  "libspi_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assembler.cpp" "src/core/CMakeFiles/spi_core.dir/assembler.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/core/auto_batcher.cpp" "src/core/CMakeFiles/spi_core.dir/auto_batcher.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/auto_batcher.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/spi_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/core/CMakeFiles/spi_core.dir/dispatcher.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/core/handlers.cpp" "src/core/CMakeFiles/spi_core.dir/handlers.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/handlers.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/spi_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/remote_plan.cpp" "src/core/CMakeFiles/spi_core.dir/remote_plan.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/remote_plan.cpp.o.d"
+  "/root/repo/src/core/request_cache.cpp" "src/core/CMakeFiles/spi_core.dir/request_cache.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/request_cache.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/spi_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/spi_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/spi_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/spi_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/spi_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/spi_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/spi_soap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_core.dir/assembler.cpp.o"
+  "CMakeFiles/spi_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/spi_core.dir/auto_batcher.cpp.o"
+  "CMakeFiles/spi_core.dir/auto_batcher.cpp.o.d"
+  "CMakeFiles/spi_core.dir/client.cpp.o"
+  "CMakeFiles/spi_core.dir/client.cpp.o.d"
+  "CMakeFiles/spi_core.dir/dispatcher.cpp.o"
+  "CMakeFiles/spi_core.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/spi_core.dir/handlers.cpp.o"
+  "CMakeFiles/spi_core.dir/handlers.cpp.o.d"
+  "CMakeFiles/spi_core.dir/registry.cpp.o"
+  "CMakeFiles/spi_core.dir/registry.cpp.o.d"
+  "CMakeFiles/spi_core.dir/remote_plan.cpp.o"
+  "CMakeFiles/spi_core.dir/remote_plan.cpp.o.d"
+  "CMakeFiles/spi_core.dir/request_cache.cpp.o"
+  "CMakeFiles/spi_core.dir/request_cache.cpp.o.d"
+  "CMakeFiles/spi_core.dir/server.cpp.o"
+  "CMakeFiles/spi_core.dir/server.cpp.o.d"
+  "CMakeFiles/spi_core.dir/wire.cpp.o"
+  "CMakeFiles/spi_core.dir/wire.cpp.o.d"
+  "libspi_core.a"
+  "libspi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

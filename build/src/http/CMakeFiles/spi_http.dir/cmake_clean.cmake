@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_http.dir/client.cpp.o"
+  "CMakeFiles/spi_http.dir/client.cpp.o.d"
+  "CMakeFiles/spi_http.dir/connection_pool.cpp.o"
+  "CMakeFiles/spi_http.dir/connection_pool.cpp.o.d"
+  "CMakeFiles/spi_http.dir/message.cpp.o"
+  "CMakeFiles/spi_http.dir/message.cpp.o.d"
+  "CMakeFiles/spi_http.dir/parser.cpp.o"
+  "CMakeFiles/spi_http.dir/parser.cpp.o.d"
+  "CMakeFiles/spi_http.dir/server.cpp.o"
+  "CMakeFiles/spi_http.dir/server.cpp.o.d"
+  "libspi_http.a"
+  "libspi_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

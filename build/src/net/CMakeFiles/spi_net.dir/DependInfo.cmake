@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/endpoint.cpp" "src/net/CMakeFiles/spi_net.dir/endpoint.cpp.o" "gcc" "src/net/CMakeFiles/spi_net.dir/endpoint.cpp.o.d"
+  "/root/repo/src/net/sim_transport.cpp" "src/net/CMakeFiles/spi_net.dir/sim_transport.cpp.o" "gcc" "src/net/CMakeFiles/spi_net.dir/sim_transport.cpp.o.d"
+  "/root/repo/src/net/simlink.cpp" "src/net/CMakeFiles/spi_net.dir/simlink.cpp.o" "gcc" "src/net/CMakeFiles/spi_net.dir/simlink.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/net/CMakeFiles/spi_net.dir/tcp_transport.cpp.o" "gcc" "src/net/CMakeFiles/spi_net.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/spi_concurrency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

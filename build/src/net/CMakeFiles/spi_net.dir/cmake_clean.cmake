@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_net.dir/endpoint.cpp.o"
+  "CMakeFiles/spi_net.dir/endpoint.cpp.o.d"
+  "CMakeFiles/spi_net.dir/sim_transport.cpp.o"
+  "CMakeFiles/spi_net.dir/sim_transport.cpp.o.d"
+  "CMakeFiles/spi_net.dir/simlink.cpp.o"
+  "CMakeFiles/spi_net.dir/simlink.cpp.o.d"
+  "CMakeFiles/spi_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/spi_net.dir/tcp_transport.cpp.o.d"
+  "libspi_net.a"
+  "libspi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

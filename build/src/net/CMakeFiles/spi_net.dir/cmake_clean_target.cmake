@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspi_net.a"
+)

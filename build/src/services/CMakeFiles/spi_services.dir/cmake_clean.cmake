@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_services.dir/airline.cpp.o"
+  "CMakeFiles/spi_services.dir/airline.cpp.o.d"
+  "CMakeFiles/spi_services.dir/creditcard.cpp.o"
+  "CMakeFiles/spi_services.dir/creditcard.cpp.o.d"
+  "CMakeFiles/spi_services.dir/echo.cpp.o"
+  "CMakeFiles/spi_services.dir/echo.cpp.o.d"
+  "CMakeFiles/spi_services.dir/hotel.cpp.o"
+  "CMakeFiles/spi_services.dir/hotel.cpp.o.d"
+  "CMakeFiles/spi_services.dir/travel_agent.cpp.o"
+  "CMakeFiles/spi_services.dir/travel_agent.cpp.o.d"
+  "CMakeFiles/spi_services.dir/weather.cpp.o"
+  "CMakeFiles/spi_services.dir/weather.cpp.o.d"
+  "libspi_services.a"
+  "libspi_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soap/envelope.cpp" "src/soap/CMakeFiles/spi_soap.dir/envelope.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/envelope.cpp.o.d"
+  "/root/repo/src/soap/serializer.cpp" "src/soap/CMakeFiles/spi_soap.dir/serializer.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/serializer.cpp.o.d"
+  "/root/repo/src/soap/streaming.cpp" "src/soap/CMakeFiles/spi_soap.dir/streaming.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/streaming.cpp.o.d"
+  "/root/repo/src/soap/value.cpp" "src/soap/CMakeFiles/spi_soap.dir/value.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/value.cpp.o.d"
+  "/root/repo/src/soap/wsdl.cpp" "src/soap/CMakeFiles/spi_soap.dir/wsdl.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/wsdl.cpp.o.d"
+  "/root/repo/src/soap/wsse.cpp" "src/soap/CMakeFiles/spi_soap.dir/wsse.cpp.o" "gcc" "src/soap/CMakeFiles/spi_soap.dir/wsse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/spi_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_soap.dir/envelope.cpp.o"
+  "CMakeFiles/spi_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/spi_soap.dir/serializer.cpp.o"
+  "CMakeFiles/spi_soap.dir/serializer.cpp.o.d"
+  "CMakeFiles/spi_soap.dir/streaming.cpp.o"
+  "CMakeFiles/spi_soap.dir/streaming.cpp.o.d"
+  "CMakeFiles/spi_soap.dir/value.cpp.o"
+  "CMakeFiles/spi_soap.dir/value.cpp.o.d"
+  "CMakeFiles/spi_soap.dir/wsdl.cpp.o"
+  "CMakeFiles/spi_soap.dir/wsdl.cpp.o.d"
+  "CMakeFiles/spi_soap.dir/wsse.cpp.o"
+  "CMakeFiles/spi_soap.dir/wsse.cpp.o.d"
+  "libspi_soap.a"
+  "libspi_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

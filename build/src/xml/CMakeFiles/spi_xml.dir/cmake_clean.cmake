@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spi_xml.dir/namespaces.cpp.o"
+  "CMakeFiles/spi_xml.dir/namespaces.cpp.o.d"
+  "CMakeFiles/spi_xml.dir/parser.cpp.o"
+  "CMakeFiles/spi_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/spi_xml.dir/text.cpp.o"
+  "CMakeFiles/spi_xml.dir/text.cpp.o.d"
+  "CMakeFiles/spi_xml.dir/trie.cpp.o"
+  "CMakeFiles/spi_xml.dir/trie.cpp.o.d"
+  "CMakeFiles/spi_xml.dir/writer.cpp.o"
+  "CMakeFiles/spi_xml.dir/writer.cpp.o.d"
+  "libspi_xml.a"
+  "libspi_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spi_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

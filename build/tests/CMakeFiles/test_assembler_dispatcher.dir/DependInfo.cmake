@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_assembler_dispatcher.cpp" "tests/CMakeFiles/test_assembler_dispatcher.dir/core/test_assembler_dispatcher.cpp.o" "gcc" "tests/CMakeFiles/test_assembler_dispatcher.dir/core/test_assembler_dispatcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchsupport/CMakeFiles/spi_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/spi_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/spi_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/spi_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/spi_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/spi_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler_dispatcher.dir/core/test_assembler_dispatcher.cpp.o"
+  "CMakeFiles/test_assembler_dispatcher.dir/core/test_assembler_dispatcher.cpp.o.d"
+  "test_assembler_dispatcher"
+  "test_assembler_dispatcher.pdb"
+  "test_assembler_dispatcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_batcher.dir/core/test_auto_batcher.cpp.o"
+  "CMakeFiles/test_auto_batcher.dir/core/test_auto_batcher.cpp.o.d"
+  "test_auto_batcher"
+  "test_auto_batcher.pdb"
+  "test_auto_batcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_batcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking_queue.dir/concurrency/test_blocking_queue.cpp.o"
+  "CMakeFiles/test_blocking_queue.dir/concurrency/test_blocking_queue.cpp.o.d"
+  "test_blocking_queue"
+  "test_blocking_queue.pdb"
+  "test_blocking_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_booking_services.dir/services/test_booking_services.cpp.o"
+  "CMakeFiles/test_booking_services.dir/services/test_booking_services.cpp.o.d"
+  "test_booking_services"
+  "test_booking_services.pdb"
+  "test_booking_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_booking_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

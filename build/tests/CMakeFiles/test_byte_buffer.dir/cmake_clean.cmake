@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byte_buffer.dir/common/test_byte_buffer.cpp.o"
+  "CMakeFiles/test_byte_buffer.dir/common/test_byte_buffer.cpp.o.d"
+  "test_byte_buffer"
+  "test_byte_buffer.pdb"
+  "test_byte_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byte_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connection_pool.dir/http/test_connection_pool.cpp.o"
+  "CMakeFiles/test_connection_pool.dir/http/test_connection_pool.cpp.o.d"
+  "test_connection_pool"
+  "test_connection_pool.pdb"
+  "test_connection_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connection_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_echo_weather.dir/services/test_echo_weather.cpp.o"
+  "CMakeFiles/test_echo_weather.dir/services/test_echo_weather.cpp.o.d"
+  "test_echo_weather"
+  "test_echo_weather.pdb"
+  "test_echo_weather[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_echo_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

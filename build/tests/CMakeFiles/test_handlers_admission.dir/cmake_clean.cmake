@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handlers_admission.dir/core/test_handlers_admission.cpp.o"
+  "CMakeFiles/test_handlers_admission.dir/core/test_handlers_admission.cpp.o.d"
+  "test_handlers_admission"
+  "test_handlers_admission.pdb"
+  "test_handlers_admission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handlers_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

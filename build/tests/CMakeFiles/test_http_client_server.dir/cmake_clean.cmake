@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_client_server.dir/http/test_client_server.cpp.o"
+  "CMakeFiles/test_http_client_server.dir/http/test_client_server.cpp.o.d"
+  "test_http_client_server"
+  "test_http_client_server.pdb"
+  "test_http_client_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_client_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

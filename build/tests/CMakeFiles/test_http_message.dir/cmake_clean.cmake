@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_message.dir/http/test_message.cpp.o"
+  "CMakeFiles/test_http_message.dir/http/test_message.cpp.o.d"
+  "test_http_message"
+  "test_http_message.pdb"
+  "test_http_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

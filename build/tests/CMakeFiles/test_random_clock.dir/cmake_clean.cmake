@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_clock.dir/common/test_random_clock.cpp.o"
+  "CMakeFiles/test_random_clock.dir/common/test_random_clock.cpp.o.d"
+  "test_random_clock"
+  "test_random_clock.pdb"
+  "test_random_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

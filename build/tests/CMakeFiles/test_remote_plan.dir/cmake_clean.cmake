@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_plan.dir/core/test_remote_plan.cpp.o"
+  "CMakeFiles/test_remote_plan.dir/core/test_remote_plan.cpp.o.d"
+  "test_remote_plan"
+  "test_remote_plan.pdb"
+  "test_remote_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

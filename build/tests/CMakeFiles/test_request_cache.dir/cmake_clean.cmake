@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_cache.dir/core/test_request_cache.cpp.o"
+  "CMakeFiles/test_request_cache.dir/core/test_request_cache.cpp.o.d"
+  "test_request_cache"
+  "test_request_cache.pdb"
+  "test_request_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

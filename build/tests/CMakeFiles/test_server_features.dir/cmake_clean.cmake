@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_features.dir/core/test_server_features.cpp.o"
+  "CMakeFiles/test_server_features.dir/core/test_server_features.cpp.o.d"
+  "test_server_features"
+  "test_server_features.pdb"
+  "test_server_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

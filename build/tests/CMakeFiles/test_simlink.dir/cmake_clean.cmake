@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlink.dir/net/test_simlink.cpp.o"
+  "CMakeFiles/test_simlink.dir/net/test_simlink.cpp.o.d"
+  "test_simlink"
+  "test_simlink.pdb"
+  "test_simlink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap_envelope.dir/soap/test_envelope.cpp.o"
+  "CMakeFiles/test_soap_envelope.dir/soap/test_envelope.cpp.o.d"
+  "test_soap_envelope"
+  "test_soap_envelope.pdb"
+  "test_soap_envelope[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap_serializer.dir/soap/test_serializer.cpp.o"
+  "CMakeFiles/test_soap_serializer.dir/soap/test_serializer.cpp.o.d"
+  "test_soap_serializer"
+  "test_soap_serializer.pdb"
+  "test_soap_serializer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap_serializer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap_value.dir/soap/test_value.cpp.o"
+  "CMakeFiles/test_soap_value.dir/soap/test_value.cpp.o.d"
+  "test_soap_value"
+  "test_soap_value.pdb"
+  "test_soap_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap_wsdl.dir/soap/test_wsdl.cpp.o"
+  "CMakeFiles/test_soap_wsdl.dir/soap/test_wsdl.cpp.o.d"
+  "test_soap_wsdl"
+  "test_soap_wsdl.pdb"
+  "test_soap_wsdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

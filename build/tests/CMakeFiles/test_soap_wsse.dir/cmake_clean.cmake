@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soap_wsse.dir/soap/test_wsse.cpp.o"
+  "CMakeFiles/test_soap_wsse.dir/soap/test_wsse.cpp.o.d"
+  "test_soap_wsse"
+  "test_soap_wsse.pdb"
+  "test_soap_wsse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soap_wsse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

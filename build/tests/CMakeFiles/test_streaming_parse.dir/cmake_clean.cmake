@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_parse.dir/core/test_streaming_parse.cpp.o"
+  "CMakeFiles/test_streaming_parse.dir/core/test_streaming_parse.cpp.o.d"
+  "test_streaming_parse"
+  "test_streaming_parse.pdb"
+  "test_streaming_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeouts.dir/core/test_timeouts.cpp.o"
+  "CMakeFiles/test_timeouts.dir/core/test_timeouts.cpp.o.d"
+  "test_timeouts"
+  "test_timeouts.pdb"
+  "test_timeouts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

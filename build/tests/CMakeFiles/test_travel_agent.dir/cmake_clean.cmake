@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_travel_agent.dir/services/test_travel_agent.cpp.o"
+  "CMakeFiles/test_travel_agent.dir/services/test_travel_agent.cpp.o.d"
+  "test_travel_agent"
+  "test_travel_agent.pdb"
+  "test_travel_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_travel_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

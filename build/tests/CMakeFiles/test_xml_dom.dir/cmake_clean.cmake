@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_dom.dir/xml/test_dom.cpp.o"
+  "CMakeFiles/test_xml_dom.dir/xml/test_dom.cpp.o.d"
+  "test_xml_dom"
+  "test_xml_dom.pdb"
+  "test_xml_dom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_dom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_namespaces.dir/xml/test_namespaces.cpp.o"
+  "CMakeFiles/test_xml_namespaces.dir/xml/test_namespaces.cpp.o.d"
+  "test_xml_namespaces"
+  "test_xml_namespaces.pdb"
+  "test_xml_namespaces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_namespaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_parser.dir/xml/test_parser.cpp.o"
+  "CMakeFiles/test_xml_parser.dir/xml/test_parser.cpp.o.d"
+  "test_xml_parser"
+  "test_xml_parser.pdb"
+  "test_xml_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_text.dir/xml/test_text.cpp.o"
+  "CMakeFiles/test_xml_text.dir/xml/test_text.cpp.o.d"
+  "test_xml_text"
+  "test_xml_text.pdb"
+  "test_xml_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_trie.dir/xml/test_trie.cpp.o"
+  "CMakeFiles/test_xml_trie.dir/xml/test_trie.cpp.o.d"
+  "test_xml_trie"
+  "test_xml_trie.pdb"
+  "test_xml_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
