@@ -1,0 +1,67 @@
+// MonotonicArena — chunked bump allocator backing the zero-copy XML DOM.
+// Byte storage only (no alignment guarantees beyond char). Chunks are
+// separately heap-allocated, so string_views into interned bytes stay
+// valid when the arena object itself is moved; they die with the arena.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace spi {
+
+class MonotonicArena {
+ public:
+  MonotonicArena() = default;
+  /// `first_chunk_bytes` sizes the first chunk (for callers that know the
+  /// payload up front); later chunks grow geometrically regardless.
+  explicit MonotonicArena(size_t first_chunk_bytes);
+
+  MonotonicArena(MonotonicArena&&) noexcept = default;
+  MonotonicArena& operator=(MonotonicArena&&) noexcept = default;
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Uninitialized storage for `bytes` bytes, valid for the arena's
+  /// lifetime. allocate(0) returns a non-null sentinel without consuming
+  /// space.
+  char* allocate(size_t bytes);
+
+  /// Copies `text` into the arena and returns a view of the stable copy.
+  std::string_view intern(std::string_view text);
+
+  /// Two-phase write for producers that know an upper bound but not the
+  /// final size (entity expansion never grows text): begin_write reserves
+  /// `max_bytes` of contiguous space and returns its start; commit_write
+  /// keeps the first `used_bytes` of it and returns them as a view.
+  /// No allocate/intern/begin_write may intervene between the two calls.
+  char* begin_write(size_t max_bytes);
+  std::string_view commit_write(size_t used_bytes);
+
+  /// Drops all contents, keeping the largest chunk for reuse. Views into
+  /// the arena are invalidated.
+  void reset();
+
+  size_t bytes_used() const { return total_used_; }
+  size_t bytes_reserved() const;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+  };
+
+  /// Makes the current chunk have at least `bytes` free.
+  void ensure(size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t used_in_current_ = 0;  // bytes used in chunks_.back()
+  size_t total_used_ = 0;
+  size_t next_chunk_bytes_ = kDefaultChunkBytes;
+
+  static constexpr size_t kDefaultChunkBytes = 4096;
+  static constexpr size_t kMaxChunkBytes = 256 * 1024;
+};
+
+}  // namespace spi

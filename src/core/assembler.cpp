@@ -2,7 +2,22 @@
 
 namespace spi::core {
 
-std::string Assembler::finish_envelope(std::string body_inner) {
+namespace {
+
+/// One Writer per thread, reused across messages: after the first few
+/// envelopes its buffers reach high-water capacity and the pack path does
+/// no per-message allocation beyond the returned envelope string.
+/// thread_local because an Assembler is shared across client threads.
+xml::Writer& scratch_writer(size_t capacity_hint) {
+  thread_local xml::Writer writer;
+  writer.reset();
+  writer.reserve(capacity_hint);
+  return writer;
+}
+
+}  // namespace
+
+std::string Assembler::finish_envelope(std::string_view body_inner) {
   envelopes_.fetch_add(1, std::memory_order_relaxed);
   if (wsse_) {
     std::vector<std::string> headers;
@@ -33,12 +48,16 @@ std::string Assembler::assemble_request(std::span<const ServiceCall> calls,
   calls_.fetch_add(calls.size(), std::memory_order_relaxed);
   if (packed) {
     packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
-    std::string envelope =
-        finish_envelope(wire::serialize_packed_request(calls));
+    xml::Writer& writer = scratch_writer(wire::estimate_request_bytes(calls));
+    wire::write_packed_request(writer, calls);
+    std::string envelope = finish_envelope(writer.str());
     pack_cost_.charge(envelope.size(), calls.size());
     return envelope;
   }
-  return finish_envelope(wire::serialize_single_request(calls.front()));
+  xml::Writer& writer =
+      scratch_writer(wire::estimate_request_bytes(calls.subspan(0, 1)));
+  wire::write_single_request(writer, calls.front());
+  return finish_envelope(writer.str());
 }
 
 std::string Assembler::assemble_plan(const RemotePlan& plan) {
@@ -61,8 +80,10 @@ std::string Assembler::assemble_response(
   calls_.fetch_add(outcomes.size(), std::memory_order_relaxed);
   if (packed) {
     packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
-    std::string envelope =
-        finish_envelope(wire::serialize_packed_response(outcomes));
+    xml::Writer& writer =
+        scratch_writer(wire::estimate_response_bytes(outcomes));
+    wire::write_packed_response(writer, outcomes);
+    std::string envelope = finish_envelope(writer.str());
     pack_cost_.charge(envelope.size(), outcomes.size());
     return envelope;
   }
@@ -70,8 +91,10 @@ std::string Assembler::assemble_response(
     throw SpiError(ErrorCode::kInvalidArgument,
                    "traditional response with multiple outcomes");
   }
-  return finish_envelope(
-      wire::serialize_single_response(single_call, outcomes.front().outcome));
+  xml::Writer& writer =
+      scratch_writer(wire::estimate_response_bytes(outcomes.subspan(0, 1)));
+  wire::write_single_response(writer, single_call, outcomes.front().outcome);
+  return finish_envelope(writer.str());
 }
 
 Assembler::Stats Assembler::stats() const {

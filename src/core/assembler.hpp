@@ -61,7 +61,7 @@ class Assembler {
   Stats stats() const;
 
  private:
-  std::string finish_envelope(std::string body_inner);
+  std::string finish_envelope(std::string_view body_inner);
 
   soap::WsseTokenFactory* wsse_;
   PackCostModel pack_cost_;

@@ -28,9 +28,9 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
 
   if (verifier_) {
     const xml::Element* security = nullptr;
-    for (const xml::Element& block : envelope.value().header_blocks) {
-      if (block.local_name() == "Security") {
-        security = &block;
+    for (const xml::Element* block : envelope.value().header_blocks) {
+      if (block->local_name() == "Security") {
+        security = block;
         break;
       }
     }

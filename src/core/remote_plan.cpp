@@ -134,14 +134,16 @@ std::string serialize_plan(const RemotePlan& plan) {
 Result<RemotePlan> parse_plan(const xml::Element& element) {
   if (element.local_name() != "Remote_Execution") {
     return Error(ErrorCode::kProtocolError,
-                 "not a Remote_Execution element: <" + element.name + ">");
+                 "not a Remote_Execution element: <" +
+                     std::string(element.name) + ">");
   }
   RemotePlan plan;
   std::uint32_t expected_id = 0;
   for (const xml::Element& step_el : element.children) {
     if (step_el.local_name() != "Step") {
       return Error(ErrorCode::kProtocolError,
-                   "unexpected <" + step_el.name + "> in Remote_Execution");
+                   "unexpected <" + std::string(step_el.name) +
+                       "> in Remote_Execution");
     }
     auto id = step_el.attribute("id");
     auto parsed_id = id ? parse_u64(*id) : std::nullopt;
@@ -164,7 +166,7 @@ Result<RemotePlan> parse_plan(const xml::Element& element) {
     for (const xml::Element& arg_el : step_el.children) {
       if (arg_el.local_name() != "Arg") {
         return Error(ErrorCode::kProtocolError,
-                     "unexpected <" + arg_el.name + "> in Step");
+                     "unexpected <" + std::string(arg_el.name) + "> in Step");
       }
       auto name = arg_el.attribute("name");
       if (!name || name->empty()) {

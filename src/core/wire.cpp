@@ -21,7 +21,7 @@ Result<soap::Struct> read_params(const xml::Element& element) {
   for (const xml::Element& child : element.children) {
     auto value = soap::read_value(child);
     if (!value.ok()) {
-      return value.wrap_error("parameter '" + child.name + "'");
+      return value.wrap_error("parameter '" + std::string(child.name) + "'");
     }
     params.emplace_back(std::string(child.local_name()),
                         std::move(value).value());
@@ -73,7 +73,7 @@ void write_outcome(xml::Writer& writer, const CallOutcome& outcome) {
   if (outcome.ok()) {
     soap::write_value(writer, "return", outcome.value());
   } else {
-    writer.raw(soap::Fault::from_error(outcome.error()).to_xml());
+    soap::Fault::from_error(outcome.error()).write_xml(writer);
   }
 }
 
@@ -97,22 +97,42 @@ Result<CallOutcome> read_outcome(const xml::Element& container) {
 
 }  // namespace
 
-std::string serialize_single_request(const ServiceCall& call) {
-  xml::Writer writer;
+void write_single_request(xml::Writer& writer, const ServiceCall& call) {
   writer.start_element("spi:" + call.operation);
   writer.attribute("spi:service", call.service);
   write_params(writer, call.params);
   writer.end_element();
-  return writer.take();
 }
 
-std::string serialize_packed_request(std::span<const ServiceCall> calls) {
-  xml::Writer writer;
+void write_packed_request(xml::Writer& writer,
+                          std::span<const ServiceCall> calls) {
   writer.start_element("spi:Parallel_Method");
   for (size_t i = 0; i < calls.size(); ++i) {
     write_call(writer, IndexedCall{static_cast<std::uint32_t>(i), calls[i]});
   }
   writer.end_element();
+}
+
+size_t estimate_request_bytes(std::span<const ServiceCall> calls) {
+  size_t bytes = 64;  // Parallel_Method wrapper
+  for (const ServiceCall& call : calls) {
+    bytes += 64 + call.service.size() + call.operation.size();
+    for (const auto& [name, value] : call.params) {
+      bytes += 2 * name.size() + 48 + value.payload_bytes();
+    }
+  }
+  return bytes;
+}
+
+std::string serialize_single_request(const ServiceCall& call) {
+  xml::Writer writer;
+  write_single_request(writer, call);
+  return writer.take();
+}
+
+std::string serialize_packed_request(std::span<const ServiceCall> calls) {
+  xml::Writer writer(false, estimate_request_bytes(calls));
+  write_packed_request(writer, calls);
   return writer.take();
 }
 
@@ -124,7 +144,7 @@ Result<ParsedRequest> parse_request(const soap::Envelope& envelope) {
     return Error(ErrorCode::kProtocolError,
                  "request body must contain exactly one entry");
   }
-  const xml::Element& entry = envelope.body_entries.front();
+  const xml::Element& entry = *envelope.body_entries.front();
 
   ParsedRequest parsed;
   if (entry.local_name() == "Remote_Execution") {
@@ -142,7 +162,8 @@ Result<ParsedRequest> parse_request(const soap::Envelope& envelope) {
     for (const xml::Element& call_el : entry.children) {
       if (call_el.local_name() != "Call") {
         return Error(ErrorCode::kProtocolError,
-                     "unexpected <" + call_el.name + "> in Parallel_Method");
+                     "unexpected <" + std::string(call_el.name) +
+                         "> in Parallel_Method");
       }
       auto call = read_call(call_el);
       if (!call.ok()) return call.error();
@@ -244,7 +265,8 @@ Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml) {
   }
   if (token_local(envelope) != "Envelope") {
     return Error(ErrorCode::kProtocolError,
-                 "root element is <" + envelope.name + ">, expected Envelope");
+                 "root element is <" + std::string(envelope.name) +
+                     ">, expected Envelope");
   }
 
   // Children of Envelope: skip Header subtree(s), find Body.
@@ -304,7 +326,7 @@ Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml) {
         if (token.value().type != xml::TokenType::kStartElement) continue;
         if (token_local(token.value()) != "Call") {
           return Error(ErrorCode::kProtocolError,
-                       "unexpected <" + token.value().name +
+                       "unexpected <" + std::string(token.value().name) +
                            "> in Parallel_Method");
         }
         IndexedCall indexed;
@@ -356,22 +378,20 @@ Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml) {
   return parsed;
 }
 
-std::string serialize_single_response(const ServiceCall& call,
-                                      const CallOutcome& outcome) {
+void write_single_response(xml::Writer& writer, const ServiceCall& call,
+                           const CallOutcome& outcome) {
   if (!outcome.ok()) {
     // Traditional SOAP: a failed call's body is a bare Fault entry.
-    return soap::Fault::from_error(outcome.error()).to_xml();
+    soap::Fault::from_error(outcome.error()).write_xml(writer);
+    return;
   }
-  xml::Writer writer;
   writer.start_element("spi:" + call.operation + "Response");
   write_outcome(writer, outcome);
   writer.end_element();
-  return writer.take();
 }
 
-std::string serialize_packed_response(
-    std::span<const IndexedOutcome> outcomes) {
-  xml::Writer writer;
+void write_packed_response(xml::Writer& writer,
+                           std::span<const IndexedOutcome> outcomes) {
   writer.start_element("spi:Parallel_Response");
   for (const IndexedOutcome& indexed : outcomes) {
     writer.start_element("spi:CallResponse");
@@ -382,6 +402,36 @@ std::string serialize_packed_response(
     writer.end_element();
   }
   writer.end_element();
+}
+
+size_t estimate_response_bytes(std::span<const IndexedOutcome> outcomes) {
+  size_t bytes = 64;  // Parallel_Response wrapper
+  for (const IndexedOutcome& indexed : outcomes) {
+    bytes += 80;
+    if (indexed.outcome.ok()) {
+      bytes += indexed.outcome.value().payload_bytes();
+    } else {
+      bytes += indexed.outcome.error().message().size() + 128;
+    }
+  }
+  return bytes;
+}
+
+std::string serialize_single_response(const ServiceCall& call,
+                                      const CallOutcome& outcome) {
+  if (!outcome.ok()) {
+    // Traditional SOAP: a failed call's body is a bare Fault entry.
+    return soap::Fault::from_error(outcome.error()).to_xml();
+  }
+  xml::Writer writer;
+  write_single_response(writer, call, outcome);
+  return writer.take();
+}
+
+std::string serialize_packed_response(
+    std::span<const IndexedOutcome> outcomes) {
+  xml::Writer writer(false, estimate_response_bytes(outcomes));
+  write_packed_response(writer, outcomes);
   return writer.take();
 }
 
@@ -390,7 +440,7 @@ Result<ParsedResponse> parse_response(const soap::Envelope& envelope) {
     return Error(ErrorCode::kProtocolError,
                  "response body must contain exactly one entry");
   }
-  const xml::Element& entry = envelope.body_entries.front();
+  const xml::Element& entry = *envelope.body_entries.front();
 
   ParsedResponse parsed;
   if (entry.local_name() == "Parallel_Response") {
@@ -399,7 +449,7 @@ Result<ParsedResponse> parse_response(const soap::Envelope& envelope) {
     for (const xml::Element& response_el : entry.children) {
       if (response_el.local_name() != "CallResponse") {
         return Error(ErrorCode::kProtocolError,
-                     "unexpected <" + response_el.name +
+                     "unexpected <" + std::string(response_el.name) +
                          "> in Parallel_Response");
       }
       auto id = response_el.attribute("id");

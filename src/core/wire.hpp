@@ -28,6 +28,7 @@
 #include "core/call.hpp"
 #include "core/remote_plan.hpp"
 #include "soap/envelope.hpp"
+#include "xml/writer.hpp"
 
 namespace spi::core::wire {
 
@@ -38,6 +39,16 @@ std::string serialize_single_request(const ServiceCall& call);
 
 /// Serializes calls[i] with id=i into one Parallel_Method body entry.
 std::string serialize_packed_request(std::span<const ServiceCall> calls);
+
+/// Appending variants for callers that reuse one Writer across messages
+/// (Assembler steady state): identical output, no fresh buffer per call.
+void write_single_request(xml::Writer& writer, const ServiceCall& call);
+void write_packed_request(xml::Writer& writer,
+                          std::span<const ServiceCall> calls);
+
+/// Capacity estimate for the serialized request body (names + payload
+/// bytes + markup overhead) — a Writer reserve() hint, not a bound.
+size_t estimate_request_bytes(std::span<const ServiceCall> calls);
 
 /// What a server found in a request envelope body.
 struct ParsedRequest {
@@ -81,6 +92,13 @@ std::string serialize_single_response(const ServiceCall& call,
 /// Serializes outcomes into one Parallel_Response body entry. Outcomes
 /// must carry the ids of the requests they answer.
 std::string serialize_packed_response(std::span<const IndexedOutcome> outcomes);
+
+/// Appending variants + capacity estimate, mirroring the request side.
+void write_single_response(xml::Writer& writer, const ServiceCall& call,
+                           const CallOutcome& outcome);
+void write_packed_response(xml::Writer& writer,
+                           std::span<const IndexedOutcome> outcomes);
+size_t estimate_response_bytes(std::span<const IndexedOutcome> outcomes);
 
 struct ParsedResponse {
   bool packed = false;

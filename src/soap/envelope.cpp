@@ -44,27 +44,36 @@ std::string build_envelope(
 Result<Envelope> Envelope::parse(std::string_view text) {
   auto document = xml::parse_document(text);
   if (!document.ok()) return document.wrap_error("SOAP envelope");
-  xml::Element& root = document.value().root;
+
+  Envelope envelope;
+  envelope.document = std::move(document).value();
+  const xml::Element& root = envelope.document.root;
 
   if (root.local_name() != "Envelope") {
     return Error(ErrorCode::kProtocolError,
-                 "root element is <" + root.name + ">, expected Envelope");
+                 "root element is <" + std::string(root.name) +
+                     ">, expected Envelope");
   }
 
-  Envelope envelope;
   bool seen_body = false;
-  for (xml::Element& child : root.children) {
+  for (const xml::Element& child : root.children) {
     if (child.local_name() == "Header") {
       if (seen_body) {
         return Error(ErrorCode::kProtocolError, "Header after Body");
       }
-      envelope.header_blocks = std::move(child.children);
+      envelope.header_blocks.reserve(child.children.size());
+      for (const xml::Element& block : child.children) {
+        envelope.header_blocks.push_back(&block);
+      }
     } else if (child.local_name() == "Body") {
       if (seen_body) {
         return Error(ErrorCode::kProtocolError, "multiple Body elements");
       }
       seen_body = true;
-      envelope.body_entries = std::move(child.children);
+      envelope.body_entries.reserve(child.children.size());
+      for (const xml::Element& entry : child.children) {
+        envelope.body_entries.push_back(&entry);
+      }
     }
     // Other envelope children are ignored (lax processing, like Axis).
   }
@@ -74,8 +83,7 @@ Result<Envelope> Envelope::parse(std::string_view text) {
   return envelope;
 }
 
-std::string Fault::to_xml() const {
-  xml::Writer writer;
+void Fault::write_xml(xml::Writer& writer) const {
   writer.start_element("SOAP-ENV:Fault");
   writer.text_element("faultcode", faultcode);
   writer.text_element("faultstring", faultstring);
@@ -85,6 +93,12 @@ std::string Fault::to_xml() const {
     writer.text_element("spi:message", detail);
     writer.end_element();
   }
+  writer.end_element();
+}
+
+std::string Fault::to_xml() const {
+  xml::Writer writer;
+  write_xml(writer);
   return writer.take();
 }
 
@@ -95,16 +109,16 @@ std::optional<Fault> Fault::from_element(const xml::Element& entry) {
     fault.faultcode = std::string(code->text_trimmed());
   }
   if (const xml::Element* text = entry.first_child("faultstring")) {
-    fault.faultstring = text->text;
+    fault.faultstring = std::string(text->text);
   }
   if (const xml::Element* actor = entry.first_child("faultactor")) {
     fault.faultactor = std::string(actor->text_trimmed());
   }
   if (const xml::Element* detail_el = entry.first_child("detail")) {
     if (const xml::Element* message = detail_el->first_child("message")) {
-      fault.detail = message->text;
+      fault.detail = std::string(message->text);
     } else {
-      fault.detail = detail_el->text;
+      fault.detail = std::string(detail_el->text);
     }
   }
   return fault;

@@ -12,6 +12,10 @@
 #include "common/error.hpp"
 #include "xml/parser.hpp"
 
+namespace spi::xml {
+class Writer;
+}
+
 namespace spi::soap {
 
 /// Canonical namespace URIs (SOAP 1.1).
@@ -31,12 +35,19 @@ inline constexpr std::string_view kSpiNs = "http://spi.example.org/2006/spi";
 std::string build_envelope(std::string_view body_inner_xml,
                            const std::vector<std::string>& header_blocks_xml = {});
 
-/// A received envelope, parsed to DOM.
+/// A received envelope, parsed to DOM. The Document owns the arena every
+/// element view borrows from; header/body entries point into it, so an
+/// Envelope is self-contained (parse copies the input) and move-only.
+/// Entry pointers target children-vector storage and stay valid across
+/// moves of the Envelope.
 struct Envelope {
+  /// The parsed document (kept for ownership; consumers use the entry
+  /// pointers below).
+  xml::Document document;
   /// Header element children (empty when no Header block was present).
-  std::vector<xml::Element> header_blocks;
+  std::vector<const xml::Element*> header_blocks;
   /// Body element children (operation request/response elements).
-  std::vector<xml::Element> body_entries;
+  std::vector<const xml::Element*> body_entries;
 
   /// Parses and validates Envelope/Header?/Body structure.
   static Result<Envelope> parse(std::string_view text);
@@ -51,6 +62,9 @@ struct Fault {
 
   /// Serializes as a <SOAP-ENV:Fault> body entry fragment.
   std::string to_xml() const;
+
+  /// Appends the same fragment into an existing writer (buffer reuse).
+  void write_xml(xml::Writer& writer) const;
 
   /// Recognizes a Fault body entry; nullopt if `entry` is not a Fault.
   static std::optional<Fault> from_element(const xml::Element& entry);

@@ -58,6 +58,16 @@ Result<Value> ValueStreamReader::decode(const xml::Token& start) {
   std::string text;
   Struct children;  // local name -> decoded value, in document order
 
+  // Read the start tag's attributes before consuming children: the
+  // attribute span aliases parser storage that the next next() reuses.
+  bool is_nil = false;
+  if (auto nil = attribute_of(start, "xsi:nil"); nil && *nil == "true") {
+    is_nil = true;
+  }
+  // The value views point into the input buffer or scratch arena (both
+  // parser-lifetime), so keeping the view is safe; only the span is not.
+  std::string_view type = attribute_of(start, "xsi:type").value_or("");
+
   // Gather this element's direct text and decode children recursively.
   while (true) {
     auto token = parser_.next();
@@ -88,10 +98,9 @@ Result<Value> ValueStreamReader::decode(const xml::Token& start) {
   }
 
   // Interpretation mirrors soap::read_value exactly.
-  if (auto nil = attribute_of(start, "xsi:nil"); nil && *nil == "true") {
+  if (is_nil) {
     return Value();
   }
-  std::string_view type = attribute_of(start, "xsi:type").value_or("");
   if (size_t colon = type.rfind(':'); colon != std::string_view::npos) {
     type = type.substr(colon + 1);
   }

@@ -114,7 +114,7 @@ Result<ServiceDescription> parse_wsdl(std::string_view wsdl_xml) {
   const xml::Element& root = document.value().root;
   if (root.local_name() != "definitions") {
     return Error(ErrorCode::kProtocolError,
-                 "not a WSDL document: root is <" + root.name + ">");
+                 "not a WSDL document: root is <" + std::string(root.name) + ">");
   }
 
   ServiceDescription description;

@@ -126,7 +126,8 @@ Status WsseVerifier::verify(const xml::Element& security_block,
                             std::string_view now) {
   if (security_block.local_name() != "Security") {
     return Error(ErrorCode::kInvalidArgument,
-                 "not a wsse:Security block: <" + security_block.name + ">");
+                 "not a wsse:Security block: <" +
+                     std::string(security_block.name) + ">");
   }
   const xml::Element* token = security_block.first_child("UsernameToken");
   if (!token) {

@@ -19,7 +19,7 @@ NamespaceScope NamespaceScope::enter(const Element& element) const {
     if (attribute.name == "xmlns") {
       child.bindings_["" ] = attribute.value;
     } else if (starts_with(attribute.name, "xmlns:")) {
-      std::string prefix = attribute.name.substr(6);
+      std::string prefix(attribute.name.substr(6));
       if (!prefix.empty()) {
         child.bindings_[prefix] = attribute.value;
       }

@@ -1,5 +1,7 @@
 #include "xml/parser.hpp"
 
+#include <cstring>
+
 #include "common/string_util.hpp"
 #include "xml/text.hpp"
 #include "xml/writer.hpp"
@@ -24,7 +26,20 @@ std::string_view token_type_name(TokenType type) {
   return "?";
 }
 
-PullParser::PullParser(std::string_view input) : input_(input) {}
+OwnedToken::OwnedToken(const Token& token)
+    : type(token.type),
+      name(token.name),
+      text(token.text),
+      self_closing(token.self_closing) {
+  attributes.reserve(token.attributes.size());
+  for (const Attribute& attr : token.attributes) {
+    attributes.push_back(
+        OwnedAttribute{std::string(attr.name), std::string(attr.value)});
+  }
+}
+
+PullParser::PullParser(std::string_view input, MonotonicArena* scratch)
+    : input_(input), scratch_(scratch ? scratch : &own_scratch_) {}
 
 Error PullParser::err(std::string message) const {
   message += " at offset ";
@@ -36,18 +51,30 @@ void PullParser::skip_whitespace() {
   while (pos_ < input_.size() && is_ws(input_[pos_])) ++pos_;
 }
 
-Result<std::string> PullParser::read_name() {
+Result<std::string_view> PullParser::read_name() {
   size_t start = pos_;
   while (pos_ < input_.size()) {
     char c = input_[pos_];
     if (is_ws(c) || c == '>' || c == '/' || c == '=' || c == '?') break;
     ++pos_;
   }
-  std::string name(input_.substr(start, pos_ - start));
+  std::string_view name = input_.substr(start, pos_ - start);
   if (!is_valid_name(name)) {
-    return err("invalid name '" + name + "'");
+    return err("invalid name '" + std::string(name) + "'");
   }
   return name;
+}
+
+Result<std::string_view> PullParser::expand(std::string_view raw,
+                                            const char* context) {
+  // Lazy path: a run with no '&' needs no expansion and no copy; this is
+  // the overwhelmingly common case for SOAP payloads.
+  if (raw.find('&') == std::string_view::npos) return raw;
+  // Expansion never grows (see unescape_to), so one reservation suffices.
+  char* out = scratch_->begin_write(raw.size());
+  auto written = unescape_to(raw, out);
+  if (!written.ok()) return written.wrap_error(context);
+  return scratch_->commit_write(written.value());
 }
 
 Result<Token> PullParser::next() {
@@ -55,13 +82,14 @@ Result<Token> PullParser::next() {
     pending_end_ = false;
     Token token;
     token.type = TokenType::kEndElement;
-    token.name = std::move(pending_end_name_);
+    token.name = pending_end_name_;
     return token;
   }
 
   if (pos_ >= input_.size()) {
     if (!open_.empty()) {
-      return err("unexpected end of input; unclosed <" + open_.back() + ">");
+      return err("unexpected end of input; unclosed <" +
+                 std::string(open_.back()) + ">");
     }
     if (!seen_root_) return err("document has no root element");
     Token token;
@@ -88,11 +116,11 @@ Result<Token> PullParser::parse_text() {
     return next();
   }
 
-  auto unescaped = unescape(raw);
-  if (!unescaped.ok()) return unescaped.wrap_error("character data");
+  auto text = expand(raw, "character data");
+  if (!text.ok()) return text.error();
   Token token;
   token.type = TokenType::kText;
-  token.text = std::move(unescaped).value();
+  token.text = text.value();
   return token;
 }
 
@@ -116,9 +144,11 @@ Result<Token> PullParser::parse_start_or_empty() {
 
   Token token;
   token.type = TokenType::kStartElement;
-  token.name = std::move(name).value();
+  token.name = name.value();
 
-  // Attributes.
+  // Attributes accumulate in the pool reused across tokens; the returned
+  // span aliases it, which is why it is only valid until the next next().
+  attribute_pool_.clear();
   while (true) {
     skip_whitespace();
     if (pos_ >= input_.size()) return err("truncated start tag");
@@ -139,7 +169,8 @@ Result<Token> PullParser::parse_start_or_empty() {
     if (!attr_name.ok()) return attr_name.error();
     skip_whitespace();
     if (pos_ >= input_.size() || input_[pos_] != '=') {
-      return err("attribute '" + attr_name.value() + "' missing '='");
+      return err("attribute '" + std::string(attr_name.value()) +
+                 "' missing '='");
     }
     ++pos_;
     skip_whitespace();
@@ -159,16 +190,17 @@ Result<Token> PullParser::parse_start_or_empty() {
       return err("'<' in attribute value");
     }
     pos_ = value_end + 1;
-    auto value = unescape(raw_value);
-    if (!value.ok()) return value.wrap_error("attribute value");
-    for (const Attribute& existing : token.attributes) {
+    auto value = expand(raw_value, "attribute value");
+    if (!value.ok()) return value.error();
+    for (const Attribute& existing : attribute_pool_) {
       if (existing.name == attr_name.value()) {
-        return err("duplicate attribute '" + attr_name.value() + "'");
+        return err("duplicate attribute '" + std::string(attr_name.value()) +
+                   "'");
       }
     }
-    token.attributes.push_back(
-        Attribute{std::move(attr_name).value(), std::move(value).value()});
+    attribute_pool_.push_back(Attribute{attr_name.value(), value.value()});
   }
+  token.attributes = attribute_pool_;
 
   seen_root_ = true;
   if (token.self_closing) {
@@ -190,16 +222,17 @@ Result<Token> PullParser::parse_end_tag() {
   }
   ++pos_;
   if (open_.empty()) {
-    return err("end tag </" + name.value() + "> with no open element");
+    return err("end tag </" + std::string(name.value()) +
+               "> with no open element");
   }
   if (open_.back() != name.value()) {
-    return err("mismatched end tag: expected </" + open_.back() + ">, got </" +
-               name.value() + ">");
+    return err("mismatched end tag: expected </" + std::string(open_.back()) +
+               ">, got </" + std::string(name.value()) + ">");
   }
   open_.pop_back();
   Token token;
   token.type = TokenType::kEndElement;
-  token.name = std::move(name).value();
+  token.name = name.value();
   return token;
 }
 
@@ -215,7 +248,7 @@ Result<Token> PullParser::parse_bang() {
     pos_ = end + 3;
     Token token;
     token.type = TokenType::kComment;
-    token.text = std::string(body);
+    token.text = body;
     return token;
   }
   if (input_.substr(pos_, 9) == "<![CDATA[") {
@@ -224,7 +257,7 @@ Result<Token> PullParser::parse_bang() {
     if (end == std::string_view::npos) return err("unterminated CDATA");
     Token token;
     token.type = TokenType::kCData;
-    token.text = std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+    token.text = input_.substr(pos_ + 9, end - pos_ - 9);
     pos_ = end + 3;
     return token;
   }
@@ -248,9 +281,11 @@ Result<Token> PullParser::parse_pi() {
   token.type = is_decl ? TokenType::kDeclaration
                        : TokenType::kProcessingInstruction;
   size_t space = body.find_first_of(" \t\r\n");
-  token.name = std::string(body.substr(0, space));
+  token.name = body.substr(0, space == std::string_view::npos
+                                  ? body.size()
+                                  : space);
   if (space != std::string_view::npos) {
-    token.text = std::string(trim(body.substr(space)));
+    token.text = trim(body.substr(space));
   }
   return token;
 }
@@ -260,9 +295,7 @@ Result<Token> PullParser::parse_pi() {
 
 std::string_view Element::local_name() const {
   size_t colon = name.rfind(':');
-  return colon == std::string::npos
-             ? std::string_view(name)
-             : std::string_view(name).substr(colon + 1);
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
 }
 
 const Element* Element::first_child(std::string_view local) const {
@@ -291,7 +324,7 @@ std::vector<const Element*> Element::children_named(
 std::optional<std::string_view> Element::attribute(
     std::string_view name) const {
   for (const Attribute& attr : attributes) {
-    if (attr.name == name) return std::string_view(attr.value);
+    if (attr.name == name) return attr.value;
   }
   return std::nullopt;
 }
@@ -310,6 +343,21 @@ void write_element(Writer& writer, const Element& element) {
   }
   writer.end_element();
 }
+
+/// Concatenates adjacent text/CDATA runs into the document arena. Rare
+/// (mixed content or split CDATA); the single-run case stays zero-copy.
+void append_text(Element& element, std::string_view run,
+                 MonotonicArena& arena) {
+  if (element.text.empty()) {
+    element.text = run;
+    return;
+  }
+  if (run.empty()) return;
+  char* merged = arena.allocate(element.text.size() + run.size());
+  std::memcpy(merged, element.text.data(), element.text.size());
+  std::memcpy(merged + element.text.size(), run.data(), run.size());
+  element.text = std::string_view(merged, element.text.size() + run.size());
+}
 }  // namespace
 
 std::string Element::to_string(bool pretty) const {
@@ -326,8 +374,13 @@ std::string Document::to_string(bool pretty) const {
 }
 
 Result<Document> parse_document(std::string_view input) {
-  PullParser parser(input);
   Document document;
+  // Interning the input first makes the Document self-contained: every
+  // view in the DOM points into the arena, never at caller memory, so a
+  // Document safely outlives a temporary input buffer.
+  document.arena = MonotonicArena(input.size() + 64);
+  std::string_view stable_input = document.arena.intern(input);
+  PullParser parser(stable_input, &document.arena);
   std::vector<Element*> stack;
   bool have_root = false;
 
@@ -337,8 +390,9 @@ Result<Document> parse_document(std::string_view input) {
     switch (token.value().type) {
       case TokenType::kStartElement: {
         Element element;
-        element.name = std::move(token.value().name);
-        element.attributes = std::move(token.value().attributes);
+        element.name = token.value().name;
+        element.attributes.assign(token.value().attributes.begin(),
+                                  token.value().attributes.end());
         if (stack.empty()) {
           if (have_root) {
             return Error(ErrorCode::kParseError, "multiple root elements");
@@ -361,7 +415,9 @@ Result<Document> parse_document(std::string_view input) {
         break;
       case TokenType::kText:
       case TokenType::kCData:
-        if (!stack.empty()) stack.back()->text += token.value().text;
+        if (!stack.empty()) {
+          append_text(*stack.back(), token.value().text, document.arena);
+        }
         break;
       case TokenType::kComment:
       case TokenType::kProcessingInstruction:

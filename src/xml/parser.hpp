@@ -6,21 +6,32 @@
 // Covers the subset SOAP 1.1 needs: elements, attributes, character data,
 // CDATA, comments, PIs, the XML declaration, and the five predefined plus
 // numeric entities. No DTDs (SOAP forbids them).
+//
+// Zero-copy contract: tokens and DOM nodes hold std::string_view, never
+// owning strings. A Token's views borrow from the parser's input buffer,
+// or — when a run needed entity expansion — from the parser's scratch
+// arena; both live as long as the parser. A Document's views borrow from
+// the arena owned by that Document (parse_document interns the input, so
+// the Document is self-contained and safely outlives the input buffer).
+// Consumers that need data beyond those lifetimes copy explicitly
+// (OwnedToken, std::string(view)).
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace spi::xml {
 
 struct Attribute {
-  std::string name;
-  std::string value;
+  std::string_view name;
+  std::string_view value;
   friend bool operator==(const Attribute&, const Attribute&) = default;
 };
 
@@ -39,18 +50,50 @@ std::string_view token_type_name(TokenType type);
 
 struct Token {
   TokenType type = TokenType::kEndOfDocument;
-  std::string name;                    // element/PI name
-  std::vector<Attribute> attributes;   // start elements only
-  std::string text;                    // text/cdata/comment content
+  std::string_view name;               // element/PI name
+  std::span<const Attribute> attributes;  // start elements only; the span's
+                                          // storage is reused by the next
+                                          // next() call — read it first
+  std::string_view text;               // text/cdata/comment content
   bool self_closing = false;           // <name/>
+};
+
+/// Deep-copying snapshot of a Token for consumers that outlive the parse
+/// (tests, tooling). Hot paths read the Token views directly.
+struct OwnedAttribute {
+  std::string name;
+  std::string value;
+  friend bool operator==(const OwnedAttribute&, const OwnedAttribute&) =
+      default;
+};
+
+struct OwnedToken {
+  TokenType type = TokenType::kEndOfDocument;
+  std::string name;
+  std::vector<OwnedAttribute> attributes;
+  std::string text;
+  bool self_closing = false;
+
+  OwnedToken() = default;
+  explicit OwnedToken(const Token& token);
 };
 
 /// Tokenizer + well-formedness checker. next() returns tokens until
 /// kEndOfDocument; a self-closing element yields kStartElement
 /// (self_closing=true) followed by a synthesized kEndElement.
+///
+/// Token name/text views stay valid for the parser's lifetime (they point
+/// into the input or the scratch arena); Token::attributes is only valid
+/// until the next next() call. Passing an external `scratch` arena makes
+/// expanded text live as long as that arena instead (parse_document hands
+/// in the Document's arena so DOM text needs no second copy).
 class PullParser {
  public:
-  explicit PullParser(std::string_view input);
+  explicit PullParser(std::string_view input,
+                      MonotonicArena* scratch = nullptr);
+
+  PullParser(const PullParser&) = delete;
+  PullParser& operator=(const PullParser&) = delete;
 
   Result<Token> next();
 
@@ -69,25 +112,33 @@ class PullParser {
   Result<Token> parse_pi();    // <?...?> incl. xml declaration
   Error err(std::string message) const;
   void skip_whitespace();
-  Result<std::string> read_name();
+  Result<std::string_view> read_name();
+  /// Lazy expansion: returns `raw` itself when it has no '&', otherwise
+  /// the expanded copy written into the scratch arena.
+  Result<std::string_view> expand(std::string_view raw,
+                                  const char* context);
 
   std::string_view input_;
   size_t pos_ = 0;
-  std::vector<std::string> open_;  // open element stack
+  std::vector<std::string_view> open_;  // open element stack
+  std::vector<Attribute> attribute_pool_;  // reused per start tag
+  MonotonicArena own_scratch_;
+  MonotonicArena* scratch_;  // == &own_scratch_ unless caller-provided
   bool seen_root_ = false;
   bool pending_end_ = false;       // synthesized end for self-closing
-  std::string pending_end_name_;
+  std::string_view pending_end_name_;
 };
 
 /// DOM node. Children are element nodes; direct character data is
 /// concatenated into `text` (sufficient for SOAP, where mixed content
-/// does not carry meaning).
+/// does not carry meaning). Name/text/attribute views borrow from the
+/// owning Document's arena.
 class Element {
  public:
-  std::string name;                   // qualified name as written
+  std::string_view name;              // qualified name as written
   std::vector<Attribute> attributes;
   std::vector<Element> children;
-  std::string text;
+  std::string_view text;
 
   /// Name without its namespace prefix: "SOAP-ENV:Body" -> "Body".
   std::string_view local_name() const;
@@ -111,20 +162,33 @@ class Element {
   friend bool operator==(const Element&, const Element&) = default;
 };
 
+/// The DOM plus the arena every view in it borrows from. parse_document
+/// interns the input into the arena first, so a Document never dangles
+/// into caller memory; it is movable (arena chunks are stable under move)
+/// but not copyable.
 struct Document {
   Element root;
+  MonotonicArena arena;
+
+  Document() = default;
+  Document(Document&&) noexcept = default;
+  Document& operator=(Document&&) noexcept = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
   std::string to_string(bool pretty = false) const;
 };
 
 /// Parses a complete document into a DOM. Comments/PIs are dropped.
 Result<Document> parse_document(std::string_view input);
 
-/// SAX-style callbacks. Default implementations ignore events.
+/// SAX-style callbacks. Default implementations ignore events. Views are
+/// only guaranteed for the duration of the callback.
 class SaxHandler {
  public:
   virtual ~SaxHandler() = default;
   virtual void on_start_element(std::string_view name,
-                                const std::vector<Attribute>& attributes) {
+                                std::span<const Attribute> attributes) {
     (void)name;
     (void)attributes;
   }

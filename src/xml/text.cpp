@@ -1,5 +1,7 @@
 #include "xml/text.hpp"
 
+#include <cstring>
+
 namespace spi::xml {
 
 namespace {
@@ -69,37 +71,48 @@ std::string escape_attribute(std::string_view value) {
   return out;
 }
 
-bool append_utf8(std::string& out, std::uint32_t cp) {
-  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+size_t encode_utf8(char* out, std::uint32_t cp) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return 0;
   if (cp < 0x80) {
-    out.push_back(static_cast<char>(cp));
-  } else if (cp < 0x800) {
-    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  } else if (cp < 0x10000) {
-    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  } else {
-    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    out[0] = static_cast<char>(cp);
+    return 1;
   }
+  if (cp < 0x800) {
+    out[0] = static_cast<char>(0xC0 | (cp >> 6));
+    out[1] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 2;
+  }
+  if (cp < 0x10000) {
+    out[0] = static_cast<char>(0xE0 | (cp >> 12));
+    out[1] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out[2] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 3;
+  }
+  out[0] = static_cast<char>(0xF0 | (cp >> 18));
+  out[1] = static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+  out[2] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+  out[3] = static_cast<char>(0x80 | (cp & 0x3F));
+  return 4;
+}
+
+bool append_utf8(std::string& out, std::uint32_t cp) {
+  char buf[4];
+  size_t n = encode_utf8(buf, cp);
+  if (n == 0) return false;
+  out.append(buf, n);
   return true;
 }
 
-Result<std::string> unescape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
+Result<size_t> unescape_to(std::string_view text, char* out) {
+  char* cursor = out;
   size_t i = 0;
   while (i < text.size()) {
-    char c = text[i];
-    if (c != '&') {
+    if (text[i] != '&') {
       // Copy the run up to the next entity in one shot.
       size_t amp = text.find('&', i);
       if (amp == std::string_view::npos) amp = text.size();
-      out.append(text, i, amp - i);
+      std::memcpy(cursor, text.data() + i, amp - i);
+      cursor += amp - i;
       i = amp;
       continue;
     }
@@ -109,15 +122,15 @@ Result<std::string> unescape(std::string_view text) {
     }
     std::string_view entity = text.substr(i + 1, semi - i - 1);
     if (entity == "amp") {
-      out.push_back('&');
+      *cursor++ = '&';
     } else if (entity == "lt") {
-      out.push_back('<');
+      *cursor++ = '<';
     } else if (entity == "gt") {
-      out.push_back('>');
+      *cursor++ = '>';
     } else if (entity == "quot") {
-      out.push_back('"');
+      *cursor++ = '"';
     } else if (entity == "apos") {
-      out.push_back('\'');
+      *cursor++ = '\'';
     } else if (!entity.empty() && entity[0] == '#') {
       std::uint32_t cp = 0;
       bool ok = false;
@@ -142,17 +155,28 @@ Result<std::string> unescape(std::string_view text) {
           ok = true;
         }
       }
-      if (!ok || !append_utf8(out, cp)) {
+      size_t encoded = ok ? encode_utf8(cursor, cp) : 0;
+      if (encoded == 0) {
         return Error(ErrorCode::kParseError,
                      "invalid character reference '&" + std::string(entity) +
                          ";'");
       }
+      cursor += encoded;
     } else {
       return Error(ErrorCode::kParseError,
                    "unknown entity '&" + std::string(entity) + ";'");
     }
     i = semi + 1;
   }
+  return static_cast<size_t>(cursor - out);
+}
+
+Result<std::string> unescape(std::string_view text) {
+  std::string out;
+  out.resize(text.size());
+  auto written = unescape_to(text, out.data());
+  if (!written.ok()) return written.error();
+  out.resize(written.value());
   return out;
 }
 

@@ -24,6 +24,11 @@ std::string escape_attribute(std::string_view value);
 /// Fails on malformed or unknown entities.
 Result<std::string> unescape(std::string_view text);
 
+/// unescape() into caller-provided storage of at least `text.size()` bytes
+/// (expansion never grows: every entity form is >= 4 source chars and
+/// yields <= 4 UTF-8 bytes). Returns the number of bytes written.
+Result<size_t> unescape_to(std::string_view text, char* out);
+
 /// True if `name` is a valid XML element/attribute name (ASCII subset plus
 /// pass-through of multi-byte UTF-8; sufficient for SOAP envelopes).
 bool is_valid_name(std::string_view name);
@@ -31,5 +36,9 @@ bool is_valid_name(std::string_view name);
 /// Appends a Unicode code point as UTF-8. Returns false for invalid
 /// code points (surrogates, > U+10FFFF).
 bool append_utf8(std::string& out, std::uint32_t code_point);
+
+/// Encodes a code point as UTF-8 into `out` (needs up to 4 bytes free).
+/// Returns bytes written, or 0 for invalid code points.
+size_t encode_utf8(char* out, std::uint32_t code_point);
 
 }  // namespace spi::xml

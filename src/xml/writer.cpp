@@ -28,8 +28,8 @@ Writer& Writer::start_element(std::string_view name) {
     out_ += '\n';
   }
   out_ += '<';
+  open_elements_.push_back(OpenTag{out_.size(), name.size()});
   out_.append(name);
-  open_elements_.emplace_back(name);
   start_tag_open_ = true;
   element_has_text_ = false;
   return *this;
@@ -100,7 +100,7 @@ Writer& Writer::end_element() {
     throw SpiError(ErrorCode::kInvalidArgument,
                    "end_element() with no open element");
   }
-  std::string name = std::move(open_elements_.back());
+  OpenTag tag = open_elements_.back();
   open_elements_.pop_back();
   if (start_tag_open_) {
     out_ += "/>";
@@ -110,8 +110,11 @@ Writer& Writer::end_element() {
       out_ += '\n';
       indent();
     }
+    // The name is appended out of out_ itself; reserve first so the data
+    // pointer cannot move mid-append.
+    out_.reserve(out_.size() + tag.name_length + 3);
     out_ += "</";
-    out_ += name;
+    out_.append(out_.data() + tag.name_offset, tag.name_length);
     out_ += '>';
   }
   element_has_text_ = false;

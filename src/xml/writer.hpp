@@ -1,6 +1,8 @@
 // Streaming XML writer. Serialization (client Assembler, server response
 // Assembler) appends into one growing string; no intermediate tree is built,
 // which keeps the pack path to a single pass over the payload (Per.14).
+// Reusable: reset() keeps the output and tag-stack capacity, so a
+// long-lived Writer reaches a steady state of zero allocations per message.
 #pragma once
 
 #include <string>
@@ -15,7 +17,12 @@ class Writer {
  public:
   /// `pretty` inserts newlines + two-space indentation (examples/docs);
   /// benchmarks use compact output like real SOAP stacks.
-  explicit Writer(bool pretty = false) : pretty_(pretty) { out_.reserve(256); }
+  /// `capacity_hint` sizes the output buffer up front — callers that can
+  /// estimate the serialized size (Assembler::pack) avoid regrowth.
+  explicit Writer(bool pretty = false, size_t capacity_hint = 256)
+      : pretty_(pretty) {
+    out_.reserve(capacity_hint);
+  }
 
   /// Writes the <?xml version="1.0" encoding="UTF-8"?> declaration.
   /// Must precede the first element.
@@ -57,17 +64,42 @@ class Writer {
   const std::string& str() const& { return out_; }
 
   /// Closes any elements still open (finish()) and moves the document out.
+  /// Surrenders the buffer; callers reusing the Writer pair str() with
+  /// reset() instead, which keeps the allocated capacity.
   std::string take() {
     finish();
     return std::move(out_);
   }
 
+  /// Clears all state for the next document, retaining buffer capacity.
+  Writer& reset() {
+    out_.clear();
+    open_elements_.clear();
+    start_tag_open_ = false;
+    element_has_text_ = false;
+    return *this;
+  }
+
+  /// Grows the output buffer to at least `capacity` bytes.
+  Writer& reserve(size_t capacity) {
+    out_.reserve(capacity);
+    return *this;
+  }
+
  private:
+  /// Open tags are remembered as (offset, length) of the name already
+  /// written into out_ — no per-element string copy, and offsets survive
+  /// buffer reallocation.
+  struct OpenTag {
+    size_t name_offset;
+    size_t name_length;
+  };
+
   void close_start_tag();
   void indent();
 
   std::string out_;
-  std::vector<std::string> open_elements_;
+  std::vector<OpenTag> open_elements_;
   bool pretty_;
   bool start_tag_open_ = false;   // "<name" emitted, '>' pending
   bool element_has_text_ = false; // suppress pretty newline before </name>

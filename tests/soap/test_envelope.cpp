@@ -33,10 +33,10 @@ TEST(EnvelopeParseTest, RoundTripsBuildOutput) {
   auto envelope = Envelope::parse(wire);
   ASSERT_TRUE(envelope.ok()) << envelope.error().to_string();
   ASSERT_EQ(envelope.value().header_blocks.size(), 1u);
-  EXPECT_EQ(envelope.value().header_blocks[0].name, "h");
+  EXPECT_EQ(envelope.value().header_blocks[0]->name, "h");
   ASSERT_EQ(envelope.value().body_entries.size(), 1u);
-  EXPECT_EQ(envelope.value().body_entries[0].name, "op");
-  EXPECT_EQ(envelope.value().body_entries[0].children[0].text, "1");
+  EXPECT_EQ(envelope.value().body_entries[0]->name, "op");
+  EXPECT_EQ(envelope.value().body_entries[0]->children[0].text, "1");
 }
 
 TEST(EnvelopeParseTest, AcceptsMissingHeader) {
@@ -105,7 +105,7 @@ TEST(FaultTest, RoundTripsThroughEnvelope) {
   auto envelope = Envelope::parse(build_envelope(fault.to_xml()));
   ASSERT_TRUE(envelope.ok());
   ASSERT_EQ(envelope.value().body_entries.size(), 1u);
-  auto parsed = Fault::from_element(envelope.value().body_entries[0]);
+  auto parsed = Fault::from_element(*envelope.value().body_entries[0]);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->faultcode, "SOAP-ENV:Server");
   EXPECT_EQ(parsed->faultstring, "it broke");

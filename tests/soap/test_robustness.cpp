@@ -107,7 +107,7 @@ TEST(EnvelopeFuzzTest, NestedBombsAreBounded) {
   wide += "</op></Body></Envelope>";
   auto envelope = Envelope::parse(wide);
   ASSERT_TRUE(envelope.ok());
-  EXPECT_EQ(envelope.value().body_entries[0].children.size(), 20'000u);
+  EXPECT_EQ(envelope.value().body_entries[0]->children.size(), 20'000u);
 }
 
 }  // namespace

@@ -9,10 +9,12 @@ namespace {
 
 constexpr std::string_view kCreated = "2006-09-25T12:00:00Z";
 
-xml::Element parse_block(const std::string& fragment) {
+// Returns the whole Document: the root's views point into the Document's
+// arena, so returning the Element alone would leave them dangling.
+xml::Document parse_block(const std::string& fragment) {
   auto doc = xml::parse_document(fragment);
   EXPECT_TRUE(doc.ok()) << doc.error().to_string();
-  return doc.ok() ? doc.value().root : xml::Element{};
+  return doc.ok() ? std::move(doc).value() : xml::Document{};
 }
 
 TEST(PasswordDigestTest, MatchesFormula) {
@@ -55,13 +57,15 @@ class WsseRoundTripTest : public ::testing::Test {
 };
 
 TEST_F(WsseRoundTripTest, FactoryOutputVerifies) {
-  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+  xml::Element& block = doc.root;
   EXPECT_EQ(block.local_name(), "Security");
   EXPECT_TRUE(verifier_.verify(block, kCreated).ok());
 }
 
 TEST_F(WsseRoundTripTest, HeaderContainsExpectedStructure) {
-  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+  xml::Element& block = doc.root;
   const xml::Element* token = block.first_child("UsernameToken");
   ASSERT_NE(token, nullptr);
   EXPECT_NE(token->first_child("Username"), nullptr);
@@ -76,7 +80,8 @@ TEST_F(WsseRoundTripTest, HeaderContainsExpectedStructure) {
 }
 
 TEST_F(WsseRoundTripTest, ReplayedNonceRejected) {
-  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+  xml::Element& block = doc.root;
   EXPECT_TRUE(verifier_.verify(block, kCreated).ok());
   Status replay = verifier_.verify(block, kCreated);
   ASSERT_FALSE(replay.ok());
@@ -85,36 +90,38 @@ TEST_F(WsseRoundTripTest, ReplayedNonceRejected) {
 
 TEST_F(WsseRoundTripTest, FreshNoncesKeepVerifying) {
   for (int i = 0; i < 10; ++i) {
-    xml::Element block = parse_block(factory_.make_header_block(kCreated));
-    EXPECT_TRUE(verifier_.verify(block, kCreated).ok()) << i;
+    xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+    EXPECT_TRUE(verifier_.verify(doc.root, kCreated).ok()) << i;
   }
 }
 
 TEST_F(WsseRoundTripTest, WrongUserRejected) {
   WsseTokenFactory other(WsseCredentials{"intruder", "s3cret"}, 1);
-  xml::Element block = parse_block(other.make_header_block(kCreated));
-  Status status = verifier_.verify(block, kCreated);
+  xml::Document doc = parse_block(other.make_header_block(kCreated));
+  Status status = verifier_.verify(doc.root, kCreated);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.error().message().find("unknown user"), std::string::npos);
 }
 
 TEST_F(WsseRoundTripTest, WrongPasswordRejected) {
   WsseTokenFactory other(WsseCredentials{"grid-user", "guess"}, 1);
-  xml::Element block = parse_block(other.make_header_block(kCreated));
-  Status status = verifier_.verify(block, kCreated);
+  xml::Document doc = parse_block(other.make_header_block(kCreated));
+  Status status = verifier_.verify(doc.root, kCreated);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.error().message().find("digest"), std::string::npos);
 }
 
 TEST_F(WsseRoundTripTest, TamperedCreatedRejected) {
-  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+  xml::Element& block = doc.root;
   xml::Element* token = block.first_child("UsernameToken");
   token->first_child("Created")->text = "2007-01-01T00:00:00Z";
   EXPECT_FALSE(verifier_.verify(block, kCreated).ok());
 }
 
 TEST_F(WsseRoundTripTest, IncompleteTokenRejected) {
-  xml::Element block = parse_block(factory_.make_header_block(kCreated));
+  xml::Document doc = parse_block(factory_.make_header_block(kCreated));
+  xml::Element& block = doc.root;
   xml::Element* token = block.first_child("UsernameToken");
   std::erase_if(token->children, [](const xml::Element& child) {
     return child.local_name() == "Nonce";
@@ -137,11 +144,11 @@ TEST(WsseFreshnessTest, ExpiredTokenRejected) {
   WsseVerifier verifier(credentials, options);
   WsseTokenFactory factory(credentials, 7);
 
-  xml::Element fresh = parse_block(factory.make_header_block(kCreated));
-  EXPECT_TRUE(verifier.verify(fresh, "2006-09-25T12:04:59Z").ok());
+  xml::Document fresh = parse_block(factory.make_header_block(kCreated));
+  EXPECT_TRUE(verifier.verify(fresh.root, "2006-09-25T12:04:59Z").ok());
 
-  xml::Element stale = parse_block(factory.make_header_block(kCreated));
-  Status status = verifier.verify(stale, "2006-09-25T12:05:01Z");
+  xml::Document stale = parse_block(factory.make_header_block(kCreated));
+  Status status = verifier.verify(stale.root, "2006-09-25T12:05:01Z");
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.error().message().find("expired"), std::string::npos);
 }
@@ -152,8 +159,8 @@ TEST(WsseFreshnessTest, FutureTokenRejected) {
   options.freshness_window = std::chrono::seconds(300);
   WsseVerifier verifier(credentials, options);
   WsseTokenFactory factory(credentials, 7);
-  xml::Element block = parse_block(factory.make_header_block(kCreated));
-  EXPECT_FALSE(verifier.verify(block, "2006-09-25T11:00:00Z").ok());
+  xml::Document doc = parse_block(factory.make_header_block(kCreated));
+  EXPECT_FALSE(verifier.verify(doc.root, "2006-09-25T11:00:00Z").ok());
 }
 
 TEST(WsseNonceCacheTest, EvictionAllowsOldNonceAgain) {
@@ -164,18 +171,18 @@ TEST(WsseNonceCacheTest, EvictionAllowsOldNonceAgain) {
   WsseTokenFactory factory(credentials, 7);
 
   std::string first = factory.make_header_block(kCreated);
-  EXPECT_TRUE(verifier.verify(parse_block(first), kCreated).ok());
+  EXPECT_TRUE(verifier.verify(parse_block(first).root, kCreated).ok());
   // Two more tokens evict the first nonce from the LRU cache.
   EXPECT_TRUE(
-      verifier.verify(parse_block(factory.make_header_block(kCreated)),
+      verifier.verify(parse_block(factory.make_header_block(kCreated)).root,
                       kCreated)
           .ok());
   EXPECT_TRUE(
-      verifier.verify(parse_block(factory.make_header_block(kCreated)),
+      verifier.verify(parse_block(factory.make_header_block(kCreated)).root,
                       kCreated)
           .ok());
   // The evicted nonce replays successfully (bounded-memory tradeoff).
-  EXPECT_TRUE(verifier.verify(parse_block(first), kCreated).ok());
+  EXPECT_TRUE(verifier.verify(parse_block(first).root, kCreated).ok());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/arena.hpp"
 #include "common/random.hpp"
 #include "xml/parser.hpp"
 
@@ -98,22 +99,25 @@ TEST(DomTest, ToStringReserializes) {
 }
 
 // Property: parse(serialize(parse(x))) == parse(x) for generated trees.
-Element random_element(SplitMix64& rng, int depth) {
+// Element fields are views, so generated strings are interned into a
+// test-owned arena that outlives the tree.
+Element random_element(SplitMix64& rng, int depth, MonotonicArena& arena) {
   Element element;
-  element.name = "e" + std::to_string(rng.next_below(50));
+  element.name = arena.intern("e" + std::to_string(rng.next_below(50)));
   size_t attrs = rng.next_below(3);
   for (size_t a = 0; a < attrs; ++a) {
     std::string name = "a" + std::to_string(a);
     element.attributes.push_back(
-        Attribute{name, rng.ascii_string(rng.next_below(10))});
+        Attribute{arena.intern(name),
+                  arena.intern(rng.ascii_string(rng.next_below(10)))});
   }
   if (depth > 0 && rng.next_below(2) == 0) {
     size_t kids = 1 + rng.next_below(4);
     for (size_t k = 0; k < kids; ++k) {
-      element.children.push_back(random_element(rng, depth - 1));
+      element.children.push_back(random_element(rng, depth - 1, arena));
     }
   } else {
-    element.text = rng.ascii_string(rng.next_below(20));
+    element.text = arena.intern(rng.ascii_string(rng.next_below(20)));
   }
   return element;
 }
@@ -121,7 +125,8 @@ Element random_element(SplitMix64& rng, int depth) {
 TEST(DomPropertyTest, SerializeParseRoundTrip) {
   SplitMix64 rng(0xD0);
   for (int round = 0; round < 50; ++round) {
-    Element original = random_element(rng, 4);
+    MonotonicArena arena;
+    Element original = random_element(rng, 4, arena);
     auto reparsed = parse_document(original.to_string());
     ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
     EXPECT_EQ(reparsed.value().root, original) << "round " << round;

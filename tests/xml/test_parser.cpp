@@ -5,14 +5,16 @@
 namespace spi::xml {
 namespace {
 
-std::vector<Token> tokenize(std::string_view input) {
+// Tokens borrow from parser-owned storage, so tests that outlive the
+// parse collect deep-copied OwnedTokens.
+std::vector<OwnedToken> tokenize(std::string_view input) {
   PullParser parser(input);
-  std::vector<Token> tokens;
+  std::vector<OwnedToken> tokens;
   while (true) {
     auto token = parser.next();
     EXPECT_TRUE(token.ok()) << token.error().to_string();
     if (!token.ok() || token.value().type == TokenType::kEndOfDocument) break;
-    tokens.push_back(std::move(token).value());
+    tokens.emplace_back(token.value());
   }
   return tokens;
 }
@@ -52,9 +54,9 @@ TEST(PullParserTest, AttributesBothQuoteStyles) {
   auto tokens = tokenize(R"(<e a="1" b='2' c = "three"/>)");
   ASSERT_GE(tokens.size(), 1u);
   ASSERT_EQ(tokens[0].attributes.size(), 3u);
-  EXPECT_EQ(tokens[0].attributes[0], (Attribute{"a", "1"}));
-  EXPECT_EQ(tokens[0].attributes[1], (Attribute{"b", "2"}));
-  EXPECT_EQ(tokens[0].attributes[2], (Attribute{"c", "three"}));
+  EXPECT_EQ(tokens[0].attributes[0], (OwnedAttribute{"a", "1"}));
+  EXPECT_EQ(tokens[0].attributes[1], (OwnedAttribute{"b", "2"}));
+  EXPECT_EQ(tokens[0].attributes[2], (OwnedAttribute{"c", "three"}));
 }
 
 TEST(PullParserTest, AttributeEntitiesExpanded) {
@@ -175,9 +177,11 @@ TEST(PullParserErrorTest, DeclarationNotFirst) {
 class RecordingHandler : public SaxHandler {
  public:
   void on_start_element(std::string_view name,
-                        const std::vector<Attribute>& attributes) override {
+                        std::span<const Attribute> attributes) override {
     log += "<" + std::string(name);
-    for (const auto& [k, v] : attributes) log += " " + k + "=" + v;
+    for (const auto& [k, v] : attributes) {
+      log += " " + std::string(k) + "=" + std::string(v);
+    }
     log += ">";
   }
   void on_end_element(std::string_view name) override {
