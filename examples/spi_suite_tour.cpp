@@ -110,6 +110,35 @@ int main() {
     }
   }
 
+  // --- 4. telemetry: /healthz + a /metrics scrape ------------------------------
+  std::printf("\n== telemetry from the running container ==\n");
+  http::Request health_request;
+  health_request.method = "GET";
+  health_request.target = "/healthz";
+  auto health = http.send(std::move(health_request));
+  if (health.ok()) {
+    std::printf("GET /healthz -> %d %s\n", health.value().status,
+                health.value().body.c_str());
+  }
+  http::Request metrics_request;
+  metrics_request.method = "GET";
+  metrics_request.target = "/metrics";
+  auto metrics = http.send(std::move(metrics_request));
+  if (metrics.ok()) {
+    // The full scrape is long; elide the per-bucket histogram lines.
+    std::printf("GET /metrics (histogram buckets elided):\n");
+    std::string_view body = metrics.value().body;
+    while (!body.empty()) {
+      size_t newline = body.find('\n');
+      std::string_view line = body.substr(0, newline);
+      body = newline == std::string_view::npos ? std::string_view{}
+                                               : body.substr(newline + 1);
+      if (line.starts_with('#')) continue;
+      if (line.find("_bucket") != std::string_view::npos) continue;
+      std::printf("  %.*s\n", static_cast<int>(line.size()), line.data());
+    }
+  }
+
   server.stop();
   return 0;
 }

@@ -1,87 +1,12 @@
-// Log-bucketed latency histogram: constant memory, cheap record(), and
-// percentile estimation good to ~4% (the bucket growth factor). Benches
-// use it for per-call latency distributions where keeping every sample
-// (run_repeated's approach for per-batch timings) would be wasteful.
+// Compatibility shim: LatencyHistogram moved to common/histogram.hpp so
+// the telemetry subsystem and the bench harness share one implementation.
+// Benches keep spelling spi::bench::LatencyHistogram.
 #pragma once
 
-#include <array>
-#include <atomic>
-#include <cmath>
-#include <cstdint>
-#include <string>
+#include "common/histogram.hpp"
 
 namespace spi::bench {
 
-class LatencyHistogram {
- public:
-  /// Buckets span [1us, ~100s) growing by kGrowth per bucket.
-  static constexpr double kMinUs = 1.0;
-  static constexpr double kGrowth = 1.04;
-  static constexpr size_t kBuckets = 512;
-
-  void record_us(double us) {
-    size_t bucket = bucket_for(us);
-    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    // total in nanoseconds to keep integer precision.
-    total_ns_.fetch_add(static_cast<std::uint64_t>(us * 1e3),
-                        std::memory_order_relaxed);
-  }
-  void record_ms(double ms) { record_us(ms * 1e3); }
-
-  std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-
-  double mean_us() const {
-    std::uint64_t n = count();
-    return n == 0 ? 0.0
-                  : static_cast<double>(
-                        total_ns_.load(std::memory_order_relaxed)) /
-                        1e3 / static_cast<double>(n);
-  }
-
-  /// Estimated value at quantile q in [0,1] (bucket upper bound).
-  double quantile_us(double q) const {
-    std::uint64_t n = count();
-    if (n == 0) return 0.0;
-    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
-    std::uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-      seen += counts_[i].load(std::memory_order_relaxed);
-      if (seen > rank) return bucket_upper_us(i);
-    }
-    return bucket_upper_us(kBuckets - 1);
-  }
-
-  double p50_us() const { return quantile_us(0.50); }
-  double p95_us() const { return quantile_us(0.95); }
-  double p99_us() const { return quantile_us(0.99); }
-
-  void reset() {
-    for (auto& bucket : counts_) bucket.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    total_ns_.store(0, std::memory_order_relaxed);
-  }
-
-  /// "n=1000 mean=2.41ms p50=2.31ms p95=4.10ms p99=6.63ms"
-  std::string summary() const;
-
-  static size_t bucket_for(double us) {
-    if (us <= kMinUs) return 0;
-    auto bucket = static_cast<size_t>(std::log(us / kMinUs) /
-                                      std::log(kGrowth));
-    return bucket >= kBuckets ? kBuckets - 1 : bucket;
-  }
-
-  static double bucket_upper_us(size_t bucket) {
-    return kMinUs * std::pow(kGrowth, static_cast<double>(bucket) + 1.0);
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_ns_{0};
-};
+using LatencyHistogram = spi::LatencyHistogram;
 
 }  // namespace spi::bench

@@ -1,8 +1,8 @@
-#include "benchsupport/histogram.hpp"
+#include "common/histogram.hpp"
 
 #include <cstdio>
 
-namespace spi::bench {
+namespace spi {
 
 std::string LatencyHistogram::summary() const {
   char buf[160];
@@ -13,4 +13,4 @@ std::string LatencyHistogram::summary() const {
   return buf;
 }
 
-}  // namespace spi::bench
+}  // namespace spi

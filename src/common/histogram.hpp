@@ -1,0 +1,104 @@
+// Log-bucketed latency histogram: constant memory, cheap record(), and
+// percentile estimation good to ~4% (the bucket growth factor). Shared by
+// the benchmark harness (per-call latency distributions) and the telemetry
+// subsystem (per-stage span histograms exposed at /metrics), so both see
+// one implementation. Recording is lock-free: relaxed atomic adds only.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace spi {
+
+class LatencyHistogram {
+ public:
+  /// Buckets span [1us, ~100s) growing by kGrowth per bucket.
+  static constexpr double kMinUs = 1.0;
+  static constexpr double kGrowth = 1.04;
+  static constexpr size_t kBuckets = 512;
+
+  void record_us(double us) {
+    size_t bucket = bucket_for(us);
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // total in nanoseconds to keep integer precision.
+    total_ns_.fetch_add(static_cast<std::uint64_t>(us * 1e3),
+                        std::memory_order_relaxed);
+  }
+  void record_ms(double ms) { record_us(ms * 1e3); }
+
+  /// Dimensionless observations (e.g. fan-out widths) ride on the same
+  /// bucket ladder; the exposition layer decides the unit.
+  void observe(double value) { record_us(value); }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of recorded values, in the nanosecond fixed-point the recorder
+  /// keeps (record_us(x) adds x*1e3). Exposition divides by the unit.
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Raw per-bucket count (telemetry exposition folds these into its
+  /// coarser cumulative `le` ladder).
+  std::uint64_t bucket_count(size_t bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+
+  double mean_us() const {
+    std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        total_ns_.load(std::memory_order_relaxed)) /
+                        1e3 / static_cast<double>(n);
+  }
+
+  /// Estimated value at quantile q in [0,1] (bucket upper bound).
+  double quantile_us(double q) const {
+    std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i].load(std::memory_order_relaxed);
+      if (seen > rank) return bucket_upper_us(i);
+    }
+    return bucket_upper_us(kBuckets - 1);
+  }
+
+  double p50_us() const { return quantile_us(0.50); }
+  double p95_us() const { return quantile_us(0.95); }
+  double p99_us() const { return quantile_us(0.99); }
+
+  void reset() {
+    for (auto& bucket : counts_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// "n=1000 mean=2.41ms p50=2.31ms p95=4.10ms p99=6.63ms"
+  std::string summary() const;
+
+  static size_t bucket_for(double us) {
+    if (us <= kMinUs) return 0;
+    auto bucket = static_cast<size_t>(std::log(us / kMinUs) /
+                                      std::log(kGrowth));
+    return bucket >= kBuckets ? kBuckets - 1 : bucket;
+  }
+
+  static double bucket_upper_us(size_t bucket) {
+    return kMinUs * std::pow(kGrowth, static_cast<double>(bucket) + 1.0);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+}  // namespace spi

@@ -90,12 +90,20 @@ class Stage {
   }
 
   size_t backlog() const { return queue_.size(); }
+  /// Queue depth (events accepted, not yet picked up); telemetry alias of
+  /// backlog(). Returns to 0 once the stage drains.
+  size_t queue_depth() const { return backlog(); }
+  /// Workers currently inside the handler (0..thread_count()).
+  size_t active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
   size_t thread_count() const { return workers_.size(); }
   const std::string& name() const { return name_; }
 
  private:
   void run() {
     while (auto event = queue_.pop()) {
+      active_.fetch_add(1, std::memory_order_relaxed);
       try {
         handler_(std::move(*event));
       } catch (const std::exception& e) {
@@ -103,6 +111,7 @@ class Stage {
         SPI_LOG(kError, "concurrency.stage")
             << name_ << ": handler threw: " << e.what();
       }
+      active_.fetch_sub(1, std::memory_order_relaxed);
       processed_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -111,6 +120,7 @@ class Stage {
   BlockingQueue<Event> queue_;
   Handler handler_;
   std::vector<std::jthread> workers_;
+  std::atomic<size_t> active_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> rejected_{0};

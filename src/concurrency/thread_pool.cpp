@@ -20,7 +20,14 @@ ThreadPool::ThreadPool(size_t threads, std::string name, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-bool ThreadPool::submit(Task task) { return queue_.push(std::move(task)); }
+bool ThreadPool::submit(Task task) {
+  Item item{std::move(task), {}, false};
+  if (wait_histogram_.load(std::memory_order_acquire) != nullptr) {
+    item.enqueued = std::chrono::steady_clock::now();
+    item.timed = true;
+  }
+  return queue_.push(std::move(item));
+}
 
 void ThreadPool::shutdown() {
   queue_.close();
@@ -30,15 +37,25 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::worker_loop() {
-  while (auto task = queue_.pop()) {
+  while (auto item = queue_.pop()) {
+    if (item->timed) {
+      if (LatencyHistogram* histogram =
+              wait_histogram_.load(std::memory_order_acquire)) {
+        auto waited = std::chrono::steady_clock::now() - item->enqueued;
+        histogram->record_us(
+            std::chrono::duration<double, std::micro>(waited).count());
+      }
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
     try {
-      (*task)();
+      (item->task)();
     } catch (const std::exception& e) {
       // A task must not take down its worker; log and keep serving. Tasks
       // that need error propagation use submit_with_result().
       SPI_LOG(kError, "concurrency.pool")
           << name_ << ": task threw: " << e.what();
     }
+    active_.fetch_sub(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }

@@ -3,12 +3,15 @@
 // the paper's "staged independent thread pool" (§3.3).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "concurrency/blocking_queue.hpp"
 
 namespace spi {
@@ -50,7 +53,17 @@ class ThreadPool {
   void shutdown();
 
   size_t thread_count() const { return workers_.size(); }
-  size_t queued_tasks() const { return queue_.size(); }
+
+  /// Tasks enqueued but not yet picked up by a worker (stage queue depth;
+  /// returns to 0 once the pool drains).
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queued_tasks() const { return queue_depth(); }  // legacy spelling
+
+  /// Workers currently executing a task (0..thread_count()).
+  size_t active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   const std::string& name() const { return name_; }
 
   /// Total tasks executed (telemetry for stage benches).
@@ -58,13 +71,28 @@ class ThreadPool {
     return completed_.load(std::memory_order_relaxed);
   }
 
+  /// Telemetry hook: when set (unowned; must outlive the pool), each
+  /// task's queue wait — submit() to worker pickup — is recorded into the
+  /// histogram. Null (the default) skips the clock reads entirely.
+  void set_wait_histogram(LatencyHistogram* histogram) {
+    wait_histogram_.store(histogram, std::memory_order_release);
+  }
+
  private:
+  struct Item {
+    Task task;
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   void worker_loop();
 
   std::string name_;
-  BlockingQueue<Task> queue_;
+  BlockingQueue<Item> queue_;
   std::vector<std::jthread> workers_;
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<size_t> active_{0};
+  std::atomic<LatencyHistogram*> wait_histogram_{nullptr};
 };
 
 }  // namespace spi

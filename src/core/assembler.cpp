@@ -1,5 +1,7 @@
 #include "core/assembler.hpp"
 
+#include "telemetry/trace.hpp"
+
 namespace spi::core {
 
 namespace {
@@ -19,9 +21,16 @@ xml::Writer& scratch_writer(size_t capacity_hint) {
 
 std::string Assembler::finish_envelope(std::string_view body_inner) {
   envelopes_.fetch_add(1, std::memory_order_relaxed);
-  if (wsse_) {
+  // The thread's active trace (telemetry/trace.hpp) rides along as a
+  // spi:Trace header block: clients inject it, servers echo it.
+  const telemetry::TraceContext* trace = telemetry::current_trace();
+  if (trace && !trace->valid()) trace = nullptr;
+  if (wsse_ || trace) {
     std::vector<std::string> headers;
-    headers.push_back(wsse_->make_header_block(soap::iso8601_now()));
+    if (wsse_) {
+      headers.push_back(wsse_->make_header_block(soap::iso8601_now()));
+    }
+    if (trace) headers.push_back(trace->to_header_block());
     return soap::build_envelope(body_inner, headers);
   }
   return soap::build_envelope(body_inner);
@@ -103,6 +112,28 @@ Assembler::Stats Assembler::stats() const {
   s.packed_envelopes = packed_envelopes_.load(std::memory_order_relaxed);
   s.calls = calls_.load(std::memory_order_relaxed);
   return s;
+}
+
+void Assembler::bind_metrics(telemetry::MetricsRegistry& registry,
+                             std::string_view side) {
+  std::string labels = "side=\"" + std::string(side) + "\"";
+  auto view = [](const std::atomic<std::uint64_t>& counter) {
+    return [&counter]() -> double {
+      return static_cast<double>(counter.load(std::memory_order_relaxed));
+    };
+  };
+  registry.add_callback("spi_assembler_envelopes_total",
+                        "Envelopes assembled",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(envelopes_));
+  registry.add_callback("spi_assembler_packed_envelopes_total",
+                        "Of which packed (Parallel_Method/Response)",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(packed_envelopes_));
+  registry.add_callback("spi_assembler_calls_total",
+                        "Call payloads carried in assembled envelopes",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(calls_));
 }
 
 }  // namespace spi::core

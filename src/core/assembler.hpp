@@ -14,6 +14,7 @@
 #include "core/pack_cost.hpp"
 #include "core/wire.hpp"
 #include "soap/wsse.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spi::core {
 
@@ -59,6 +60,11 @@ class Assembler {
                                 const ServiceCall& single_call, bool packed);
 
   Stats stats() const;
+
+  /// Registers scrape-time views of this assembler's counters into
+  /// `registry` (spi_assembler_*_total{side=...}).
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view side);
 
  private:
   std::string finish_envelope(std::string_view body_inner);

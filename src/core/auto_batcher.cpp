@@ -83,18 +83,22 @@ void AutoBatcher::send_batch(std::vector<PendingCall> batch,
   std::vector<CallOutcome> outcomes =
       client_.call_packed(calls, PackMode::kAuto);
 
+  // Count the batch BEFORE fulfilling the promises: a caller woken by
+  // future.get() must already see this flush in stats().
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.batches;
+    if (timer_triggered) {
+      ++stats_.timer_flushes;
+    } else {
+      ++stats_.full_flushes;
+    }
+    stats_.largest_batch = std::max(stats_.largest_batch, batch.size());
+  }
+
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].promise.set_value(std::move(outcomes[i]));
   }
-
-  std::lock_guard lock(mutex_);
-  ++stats_.batches;
-  if (timer_triggered) {
-    ++stats_.timer_flushes;
-  } else {
-    ++stats_.full_flushes;
-  }
-  stats_.largest_batch = std::max(stats_.largest_batch, batch.size());
 }
 
 void AutoBatcher::flusher_loop() {
@@ -132,6 +136,36 @@ void AutoBatcher::flusher_loop() {
 
     if (stopping && pending_.empty()) return;
   }
+}
+
+void AutoBatcher::bind_metrics(telemetry::MetricsRegistry& registry) {
+  auto field = [this](std::uint64_t Stats::*member) {
+    return [this, member]() -> double {
+      return static_cast<double>(stats().*member);
+    };
+  };
+  registry.add_callback("spi_batcher_calls_total",
+                        "Calls accepted by the automatic batcher",
+                        telemetry::CallbackKind::kCounter, {},
+                        field(&Stats::calls));
+  registry.add_callback("spi_batcher_batches_total",
+                        "Packed messages shipped by the batcher",
+                        telemetry::CallbackKind::kCounter, {},
+                        field(&Stats::batches));
+  registry.add_callback("spi_batcher_full_flushes_total",
+                        "Flushes triggered by max_batch",
+                        telemetry::CallbackKind::kCounter, {},
+                        field(&Stats::full_flushes));
+  registry.add_callback("spi_batcher_timer_flushes_total",
+                        "Flushes triggered by max_delay or flush()",
+                        telemetry::CallbackKind::kCounter, {},
+                        field(&Stats::timer_flushes));
+  registry.add_callback("spi_batcher_pending_calls",
+                        "Calls waiting for the next batch",
+                        telemetry::CallbackKind::kGauge, {},
+                        [this]() -> double {
+                          return static_cast<double>(pending());
+                        });
 }
 
 }  // namespace spi::core

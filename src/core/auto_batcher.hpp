@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/client.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spi::core {
 
@@ -62,6 +63,10 @@ class AutoBatcher {
 
   Stats stats() const;
   size_t pending() const;
+
+  /// Registers scrape-time views (spi_batcher_*) into `registry`. The
+  /// batcher must outlive the registry's last scrape.
+  void bind_metrics(telemetry::MetricsRegistry& registry);
 
  private:
   struct PendingCall {

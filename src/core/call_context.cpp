@@ -1,0 +1,20 @@
+#include "core/call_context.hpp"
+
+namespace spi::core {
+
+namespace {
+thread_local const CallContext* g_current_call_context = nullptr;
+}
+
+const CallContext* current_call_context() { return g_current_call_context; }
+
+CallContextScope::CallContextScope(const CallContext& context)
+    : previous_(g_current_call_context) {
+  g_current_call_context = &context;
+}
+
+CallContextScope::~CallContextScope() {
+  g_current_call_context = previous_;
+}
+
+}  // namespace spi::core

@@ -1,0 +1,48 @@
+// Per-call execution context, visible to operation handlers without
+// changing their signature (the paper's "no change to services code"
+// requirement, §3.2): the Dispatcher installs a thread-local CallContext
+// around each handler invocation, so a handler — or anything it calls —
+// can ask current_call_context() for the message's trace id, its own call
+// id, and the fan-out width of the packed message it arrived in.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "telemetry/trace.hpp"
+
+namespace spi::core {
+
+struct CallContext {
+  /// Trace carried by the enclosing message (empty trace_id if none).
+  telemetry::TraceContext trace;
+  /// This call's id within its packed message (0 for traditional calls).
+  std::uint32_t call_id = 0;
+  /// Number of calls the carrying message fanned out (M; 1 if single).
+  size_t fanout = 1;
+  /// Names of the operation being executed (borrowed from the dispatch
+  /// frame; valid only while the handler runs).
+  std::string_view service;
+  std::string_view operation;
+};
+
+/// The context of the call the current thread is executing, or nullptr
+/// outside a dispatch (e.g. on a thread that never ran a handler).
+const CallContext* current_call_context();
+
+/// RAII installer, used by the Dispatcher around handler invocation.
+/// Scopes nest (a handler that dispatches nested work restores its own
+/// context afterwards).
+class CallContextScope {
+ public:
+  explicit CallContextScope(const CallContext& context);
+  ~CallContextScope();
+
+  CallContextScope(const CallContextScope&) = delete;
+  CallContextScope& operator=(const CallContextScope&) = delete;
+
+ private:
+  const CallContext* previous_;
+};
+
+}  // namespace spi::core

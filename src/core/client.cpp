@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "telemetry/trace.hpp"
 
 namespace spi::core {
 
@@ -43,6 +44,12 @@ SpiClient::~SpiClient() = default;
 Result<std::vector<CallOutcome>> SpiClient::exchange(
     std::span<const ServiceCall> calls, PackMode mode,
     http::HttpClient& http) {
+  // One trace per message: every packed sibling shares the trace-id the
+  // Assembler injects from this scope; the server echoes it back.
+  telemetry::TraceContext trace;
+  if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
+  telemetry::TraceScope trace_scope(trace);
+
   std::string envelope = assembler_.assemble_request(calls, mode);
 
   http::Headers headers;
@@ -145,6 +152,10 @@ Result<std::vector<CallOutcome>> SpiClient::execute_plan(
   if (Status valid = plan.validate(); !valid.ok()) {
     return valid.error();
   }
+  telemetry::TraceContext trace;
+  if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
+  telemetry::TraceScope trace_scope(trace);
+
   std::string envelope = assembler_.assemble_plan(plan);
 
   http::HttpClient http(transport_, server_, make_http_options(options_));

@@ -42,6 +42,11 @@ struct ClientOptions {
   /// Bound on each response read (zero = forever); surfaces as kTimeout.
   Duration receive_timeout{0};
 
+  /// Inject a fresh spi:Trace header block (trace-id/parent-id) into
+  /// every outbound message; the server propagates it into handler
+  /// CallContexts and echoes it in the response (telemetry/trace.hpp).
+  bool trace_propagation = true;
+
   http::ParserLimits http_limits;
 };
 

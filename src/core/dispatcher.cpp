@@ -1,6 +1,7 @@
 #include "core/dispatcher.hpp"
 
 #include "concurrency/wait_group.hpp"
+#include "core/call_context.hpp"
 
 namespace spi::core {
 
@@ -51,6 +52,10 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
       packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
       pack_cost_.charge(envelope_xml.size(), parsed.value().calls.size());
     }
+    if (auto trace = telemetry::TraceContext::from_header_blocks(
+            envelope.value().header_blocks)) {
+      parsed.value().trace = std::move(*trace);
+    }
   }
   return parsed;
 }
@@ -67,21 +72,41 @@ std::vector<IndexedOutcome> Dispatcher::execute(
   std::vector<std::optional<CallOutcome>> slots(n);
 
   if (pool == nullptr) {
-    // Coupled mode (Figure 1): everything runs on the protocol thread.
+    // Coupled mode (Figure 1): everything runs on the protocol thread, so
+    // one stack CallContext (and one scope install) serves every call —
+    // handlers reach it through current_call_context().
+    CallContext context;
+    context.trace = request.trace;
+    context.fanout = n;
+    CallContextScope scope(context);
     for (size_t i = 0; i < n; ++i) {
+      context.call_id = request.calls[i].id;
+      context.service = request.calls[i].call.service;
+      context.operation = request.calls[i].call.operation;
       slots[i] = registry.invoke(request.calls[i].call);
     }
   } else {
     // Staged mode (Figure 2): one application-stage worker per call; the
     // protocol thread sleeps on the WaitGroup until the last one lands.
+    // Each worker needs its own stable CallContext to install.
+    std::vector<CallContext> contexts(n);
+    for (size_t i = 0; i < n; ++i) {
+      contexts[i].trace = request.trace;
+      contexts[i].call_id = request.calls[i].id;
+      contexts[i].fanout = n;
+      contexts[i].service = request.calls[i].call.service;
+      contexts[i].operation = request.calls[i].call.operation;
+    }
     WaitGroup pending;
     pending.add(n);
     for (size_t i = 0; i < n; ++i) {
       const ServiceCall& call = request.calls[i].call;
-      bool accepted = pool->submit([&registry, &call, &slots, &pending, i] {
-        slots[i] = registry.invoke(call);
-        pending.done();
-      });
+      bool accepted =
+          pool->submit([&registry, &call, &slots, &pending, &contexts, i] {
+            CallContextScope scope(contexts[i]);
+            slots[i] = registry.invoke(call);
+            pending.done();
+          });
       if (!accepted) {
         slots[i] = CallOutcome(
             Error(ErrorCode::kShutdown, "application stage is shut down"));
@@ -110,9 +135,14 @@ std::vector<IndexedOutcome> Dispatcher::execute_plan_request(
   const size_t n = request.plan.steps.size();
   calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
 
+  CallContext context;
+  context.trace = request.trace;
+  context.fanout = n;
+
   std::vector<IndexedOutcome> outcomes;
   if (pool == nullptr) {
     // Coupled mode: the chain runs on the protocol thread.
+    CallContextScope scope(context);
     outcomes = execute_plan(request.plan, registry);
   } else {
     // Staged mode: a plan is inherently sequential, so it occupies ONE
@@ -120,6 +150,7 @@ std::vector<IndexedOutcome> Dispatcher::execute_plan_request(
     WaitGroup pending;
     pending.add(1);
     bool accepted = pool->submit([&] {
+      CallContextScope scope(context);
       outcomes = execute_plan(request.plan, registry);
       pending.done();
     });
@@ -153,6 +184,10 @@ Result<wire::ParsedResponse> Dispatcher::parse_response(
     if (parsed.value().packed) {
       packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
       pack_cost_.charge(envelope_xml.size(), parsed.value().outcomes.size());
+    }
+    if (auto trace = telemetry::TraceContext::from_header_blocks(
+            envelope.value().header_blocks)) {
+      parsed.value().trace = std::move(*trace);
     }
   }
   return parsed;
@@ -206,6 +241,32 @@ Dispatcher::Stats Dispatcher::stats() const {
   s.calls_dispatched = calls_dispatched_.load(std::memory_order_relaxed);
   s.faults_produced = faults_produced_.load(std::memory_order_relaxed);
   return s;
+}
+
+void Dispatcher::bind_metrics(telemetry::MetricsRegistry& registry,
+                              std::string_view side) {
+  std::string labels = "side=\"" + std::string(side) + "\"";
+  auto view = [](const std::atomic<std::uint64_t>& counter) {
+    return [&counter]() -> double {
+      return static_cast<double>(counter.load(std::memory_order_relaxed));
+    };
+  };
+  registry.add_callback("spi_dispatcher_envelopes_total",
+                        "Envelopes parsed by the dispatcher",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(envelopes_));
+  registry.add_callback("spi_dispatcher_packed_envelopes_total",
+                        "Of which packed (Parallel_Method/Response)",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(packed_envelopes_));
+  registry.add_callback("spi_dispatcher_calls_total",
+                        "Calls fanned out to the application stage",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(calls_dispatched_));
+  registry.add_callback("spi_dispatcher_faults_total",
+                        "Per-call faults produced by handler execution",
+                        telemetry::CallbackKind::kCounter, labels,
+                        view(faults_produced_));
 }
 
 }  // namespace spi::core

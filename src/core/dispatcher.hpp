@@ -13,6 +13,7 @@
 #include "core/registry.hpp"
 #include "core/wire.hpp"
 #include "soap/wsse.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spi::core {
 
@@ -58,6 +59,12 @@ class Dispatcher {
                                          size_t expected_calls);
 
   Stats stats() const;
+
+  /// Registers scrape-time views of this dispatcher's counters into
+  /// `registry` (spi_dispatcher_*_total{side=...}). The dispatcher must
+  /// outlive the registry's last scrape.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view side);
 
  private:
   std::vector<IndexedOutcome> execute_plan_request(

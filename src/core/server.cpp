@@ -3,6 +3,8 @@
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
 #include "soap/wsdl.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace.hpp"
 
 namespace spi::core {
 
@@ -10,23 +12,59 @@ SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
                      const ServiceRegistry& registry, ServerOptions options)
     : registry_(registry),
       options_(options),
+      owned_metrics_(options_.metrics
+                         ? nullptr
+                         : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(options_.metrics ? options_.metrics : owned_metrics_.get()),
       verifier_(options_.wsse ? std::make_unique<soap::WsseVerifier>(
                                     *options_.wsse)
                               : nullptr),
       dispatcher_(verifier_.get(), options_.pack_cost,
                   options_.streaming_parse),
       assembler_(nullptr, options_.pack_cost) {
+  telemetry::MetricsRegistry& reg = *metrics_;
+  admission_rejections_ =
+      &reg.counter("spi_server_admission_rejections_total",
+                   "Messages rejected at the concurrency limit (HTTP 503)");
+  span_parse_ = &reg.histogram(
+      "spi_server_stage_seconds",
+      "Per-message time in each lifecycle stage (Figure 2 span points)",
+      "stage=\"parse\"");
+  span_execute_ = &reg.histogram(
+      "spi_server_stage_seconds",
+      "Per-message time in each lifecycle stage (Figure 2 span points)",
+      "stage=\"execute\"");
+  span_assemble_ = &reg.histogram(
+      "spi_server_stage_seconds",
+      "Per-message time in each lifecycle stage (Figure 2 span points)",
+      "stage=\"assemble\"");
+  fanout_width_ = &reg.histogram(
+      "spi_server_fanout_width",
+      "Calls carried per message (packed Parallel_Method width)", {},
+      telemetry::HistogramUnit::kNone);
+  http_read_ = &reg.histogram(
+      "spi_http_read_seconds",
+      "First byte to complete HTTP request (protocol-stage read span)");
+  application_wait_ = &reg.histogram(
+      "spi_pool_task_wait_seconds",
+      "Queue wait from submit to worker pickup",
+      "pool=\"application\"");
+
   if (options_.staged) {
     application_pool_ = std::make_unique<ThreadPool>(
         options_.application_threads, "spi-application");
+    application_pool_->set_wait_histogram(application_wait_);
   }
   http::ServerOptions http_options;
   http_options.protocol_threads = options_.protocol_threads;
   http_options.limits = options_.http_limits;
+  http_options.read_latency = http_read_;
   http_server_ = std::make_unique<http::HttpServer>(
       transport, std::move(at),
       [this](const http::Request& request) { return handle(request); },
       http_options);
+
+  register_instruments(transport);
 }
 
 SpiServer::~SpiServer() { stop(); }
@@ -41,10 +79,133 @@ void SpiServer::stop() {
 
 net::Endpoint SpiServer::endpoint() const { return http_server_->endpoint(); }
 
+void SpiServer::register_instruments(net::Transport& transport) {
+  telemetry::MetricsRegistry& reg = *metrics_;
+  dispatcher_.bind_metrics(reg, "server");
+  assembler_.bind_metrics(reg, "server");
+
+  reg.add_callback("spi_server_in_flight",
+                   "Messages currently being executed",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return static_cast<double>(
+                         in_flight_.load(std::memory_order_relaxed));
+                   });
+  reg.add_callback("spi_http_requests_total",
+                   "HTTP requests served by the protocol stage",
+                   telemetry::CallbackKind::kCounter, {}, [this]() -> double {
+                     return static_cast<double>(
+                         http_server_->requests_served());
+                   });
+
+  struct PoolView {
+    const char* label;
+    std::function<const ThreadPool*()> pool;
+  };
+  const PoolView views[] = {
+      {"pool=\"application\"",
+       [this]() -> const ThreadPool* { return application_pool_.get(); }},
+      {"pool=\"http-protocol\"",
+       [this]() -> const ThreadPool* {
+         return http_server_->protocol_pool();
+       }},
+  };
+  for (const PoolView& view : views) {
+    reg.add_callback("spi_pool_queue_depth",
+                     "Tasks enqueued but not yet picked up by a worker",
+                     telemetry::CallbackKind::kGauge, view.label,
+                     [pool = view.pool]() -> double {
+                       const ThreadPool* p = pool();
+                       return p ? static_cast<double>(p->queue_depth()) : 0.0;
+                     });
+    reg.add_callback("spi_pool_active_workers",
+                     "Workers currently executing a task",
+                     telemetry::CallbackKind::kGauge, view.label,
+                     [pool = view.pool]() -> double {
+                       const ThreadPool* p = pool();
+                       return p ? static_cast<double>(p->active_workers())
+                                : 0.0;
+                     });
+    reg.add_callback("spi_pool_tasks_completed_total",
+                     "Tasks executed to completion",
+                     telemetry::CallbackKind::kCounter, view.label,
+                     [pool = view.pool]() -> double {
+                       const ThreadPool* p = pool();
+                       return p ? static_cast<double>(p->completed_tasks())
+                                : 0.0;
+                     });
+  }
+
+  reg.add_callback("spi_net_bytes_sent_total", "Bytes written to the wire",
+                   telemetry::CallbackKind::kCounter, {},
+                   [&transport]() -> double {
+                     return static_cast<double>(transport.stats().bytes_sent);
+                   });
+  reg.add_callback("spi_net_bytes_received_total", "Bytes read from the wire",
+                   telemetry::CallbackKind::kCounter, {},
+                   [&transport]() -> double {
+                     return static_cast<double>(
+                         transport.stats().bytes_received);
+                   });
+  reg.add_callback("spi_net_connections_total", "Connections opened",
+                   telemetry::CallbackKind::kCounter, {},
+                   [&transport]() -> double {
+                     return static_cast<double>(
+                         transport.stats().connections_opened);
+                   });
+}
+
+bool SpiServer::admission_saturated() const {
+  return options_.max_concurrent_messages > 0 &&
+         in_flight_.load(std::memory_order_relaxed) >=
+             options_.max_concurrent_messages;
+}
+
+http::Response SpiServer::handle_metrics() {
+  return http::Response::make(200, "OK", metrics_->expose(),
+                              "text/plain; version=0.0.4");
+}
+
+http::Response SpiServer::handle_healthz() {
+  // Liveness + admission state. 503 while the server is at its concurrency
+  // limit so load balancers stop routing here (SEDA well-conditioning made
+  // observable); otherwise 200 with the stage-pool vitals.
+  const bool saturated = admission_saturated();
+  const ThreadPool* protocol = http_server_->protocol_pool();
+  std::string body = "{\"status\":\"";
+  body += saturated ? "overloaded" : "ok";
+  body += "\",\"staged\":";
+  body += options_.staged ? "true" : "false";
+  body += ",\"in_flight\":";
+  body += std::to_string(in_flight_.load(std::memory_order_relaxed));
+  body += ",\"max_concurrent_messages\":";
+  body += std::to_string(options_.max_concurrent_messages);
+  body += ",\"admission_rejections\":";
+  body += std::to_string(admission_rejections_->value());
+  body += ",\"protocol_pool\":{\"threads\":";
+  body += std::to_string(protocol ? protocol->thread_count() : 0);
+  body += ",\"active\":";
+  body += std::to_string(protocol ? protocol->active_workers() : 0);
+  body += "},\"application_pool\":{\"threads\":";
+  body += std::to_string(
+      application_pool_ ? application_pool_->thread_count() : 0);
+  body += ",\"active\":";
+  body += std::to_string(
+      application_pool_ ? application_pool_->active_workers() : 0);
+  body += ",\"queue_depth\":";
+  body += std::to_string(
+      application_pool_ ? application_pool_->queue_depth() : 0);
+  body += "}}";
+  const int status = saturated ? 503 : 200;
+  return http::Response::make(status, http::default_reason(status),
+                              std::move(body), "application/json");
+}
+
 http::Response SpiServer::handle(const http::Request& request) {
-  // Service descriptions: GET /{service}?wsdl, like 2006 containers.
-  if (request.method == "GET" && ends_with(request.target, "?wsdl")) {
-    return handle_wsdl(request);
+  if (request.method == "GET") {
+    if (request.target == "/metrics") return handle_metrics();
+    if (request.target == "/healthz") return handle_healthz();
+    // Service descriptions: GET /{service}?wsdl, like 2006 containers.
+    if (ends_with(request.target, "?wsdl")) return handle_wsdl(request);
   }
   if (request.method != "POST") {
     return http::Response::make(405, "Method Not Allowed",
@@ -60,11 +221,25 @@ http::Response SpiServer::handle(const http::Request& request) {
                                 std::move(body), "text/xml");
   };
 
+  telemetry::ScopedSpan parse_span(span_parse_);
   auto parsed = dispatcher_.parse_request(request.body);
+  parse_span.stop();
   if (!parsed.ok()) {
     SPI_LOG(kDebug, "spi.server")
         << "rejecting request: " << parsed.error().to_string();
     return respond_fault(parsed.error(), 400);
+  }
+  fanout_width_->observe(static_cast<double>(parsed.value().call_count()));
+
+  // The incoming trace (if the client injected one) scopes execution and
+  // assembly: handlers see it in their CallContext, the Assembler echoes
+  // it in the response envelope.
+  std::optional<telemetry::TraceScope> trace_scope;
+  if (parsed.value().trace.valid()) {
+    trace_scope.emplace(parsed.value().trace);
+    SPI_LOG(kDebug, "spi.server")
+        << "message trace=" << parsed.value().trace.trace_id
+        << " calls=" << parsed.value().call_count();
   }
 
   // Admission control: bound concurrently-executing messages (SEDA
@@ -73,7 +248,7 @@ http::Response SpiServer::handle(const http::Request& request) {
     size_t current = in_flight_.fetch_add(1, std::memory_order_acq_rel);
     if (current >= options_.max_concurrent_messages) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+      admission_rejections_->inc();
       return respond_fault(Error(ErrorCode::kCapacityExceeded,
                                  "server is at its concurrency limit"),
                            503);
@@ -98,13 +273,16 @@ http::Response SpiServer::handle(const http::Request& request) {
     return respond_fault(vetoed.error(), status);
   }
 
+  telemetry::ScopedSpan execute_span(span_execute_);
   std::vector<IndexedOutcome> outcomes =
       dispatcher_.execute(parsed.value(), registry_, application_pool_.get());
+  execute_span.stop();
 
   // Handler chain, response phase (reverse order).
   context.outcomes = &outcomes;
   handler_chain_.run_response(context);
 
+  telemetry::ScopedSpan assemble_span(span_assemble_);
   // Packed requests (Parallel_Method / Remote_Execution) get packed
   // responses; the single call is only consulted for traditional framing.
   static const ServiceCall kNoCall{};
@@ -113,6 +291,7 @@ http::Response SpiServer::handle(const http::Request& request) {
                                        : parsed.value().calls.front().call;
   std::string body = assembler_.assemble_response(outcomes, single_call,
                                                   parsed.value().packed);
+  assemble_span.stop();
 
   // Per-call faults ride inside a 200 for packed messages; a traditional
   // single-call fault surfaces as HTTP 500 like classic SOAP stacks.
@@ -156,8 +335,7 @@ SpiServer::Stats SpiServer::stats() const {
   s.http_requests = http_server_ ? http_server_->requests_served() : 0;
   s.application_tasks =
       application_pool_ ? application_pool_->completed_tasks() : 0;
-  s.admission_rejections =
-      admission_rejections_.load(std::memory_order_relaxed);
+  s.admission_rejections = admission_rejections_->value();
   return s;
 }
 

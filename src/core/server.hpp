@@ -11,6 +11,14 @@
 //
 // The staged/coupled switch reproduces the ablation between Figure 2 and
 // Figure 1 (application work on the protocol thread itself).
+//
+// Telemetry (DESIGN.md §9): every lifecycle point above is a span
+// recorded into the server's MetricsRegistry — spi_http_read_seconds,
+// spi_server_stage_seconds{stage="parse"|"execute"|"assemble"} — plus
+// fan-out width, queue depths, admission state, and wire byte counters.
+// `GET /metrics` exposes the registry as Prometheus text; `GET /healthz`
+// reports stage-pool liveness and admission saturation (503 when the
+// server is at its concurrency limit).
 #pragma once
 
 #include <memory>
@@ -20,6 +28,7 @@
 #include "core/dispatcher.hpp"
 #include "core/registry.hpp"
 #include "http/server.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spi::core {
 
@@ -48,6 +57,13 @@ struct ServerOptions {
   /// concurrently beyond this bound are rejected with HTTP 503 + a Server
   /// fault instead of queuing unboundedly. 0 = unlimited.
   size_t max_concurrent_messages = 0;
+
+  /// Shared metrics registry to record into (unowned; must outlive the
+  /// server). Null: the server creates and owns its own. Either way the
+  /// registry is what GET /metrics exposes and metrics() returns, so
+  /// other components (a client-side ConnectionPool, an AutoBatcher) can
+  /// bind into the same scrape.
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   http::ParserLimits http_limits;
 };
@@ -81,18 +97,34 @@ class SpiServer {
   net::Endpoint endpoint() const;
   Stats stats() const;
 
+  /// The metrics registry this server records into (its own unless
+  /// ServerOptions.metrics supplied one). What GET /metrics serves.
+  telemetry::MetricsRegistry& metrics() { return *metrics_; }
+
  private:
   http::Response handle(const http::Request& request);
   http::Response handle_wsdl(const http::Request& request);
+  http::Response handle_metrics();
+  http::Response handle_healthz();
+  void register_instruments(net::Transport& transport);
+  bool admission_saturated() const;
 
   const ServiceRegistry& registry_;
   ServerOptions options_;
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<soap::WsseVerifier> verifier_;
   Dispatcher dispatcher_;
   Assembler assembler_;
   HandlerChain handler_chain_;
   std::atomic<size_t> in_flight_{0};
-  std::atomic<std::uint64_t> admission_rejections_{0};
+  telemetry::Counter* admission_rejections_ = nullptr;  // registry-owned
+  telemetry::Histogram* span_parse_ = nullptr;          // registry-owned
+  telemetry::Histogram* span_execute_ = nullptr;
+  telemetry::Histogram* span_assemble_ = nullptr;
+  telemetry::Histogram* fanout_width_ = nullptr;
+  telemetry::Histogram* http_read_ = nullptr;
+  telemetry::Histogram* application_wait_ = nullptr;
   std::unique_ptr<ThreadPool> application_pool_;
   std::unique_ptr<http::HttpServer> http_server_;
 };

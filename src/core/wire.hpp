@@ -28,6 +28,7 @@
 #include "core/call.hpp"
 #include "core/remote_plan.hpp"
 #include "soap/envelope.hpp"
+#include "telemetry/trace.hpp"
 #include "xml/writer.hpp"
 
 namespace spi::core::wire {
@@ -61,6 +62,11 @@ struct ParsedRequest {
   bool packed = false;  // kind != kSingle (responses use packed framing)
   std::vector<IndexedCall> calls;  // kSingle: 1 entry; kPacked: M; kPlan: empty
   RemotePlan plan;                 // kPlan only
+
+  /// Trace context from the request's spi:Trace header block, if any
+  /// (telemetry/trace.hpp). Extracted by Dispatcher::parse_request; the
+  /// streaming parser skips headers, so it stays empty on that path.
+  telemetry::TraceContext trace;
 
   /// Number of operations this request will execute.
   size_t call_count() const {
@@ -103,6 +109,9 @@ size_t estimate_response_bytes(std::span<const IndexedOutcome> outcomes);
 struct ParsedResponse {
   bool packed = false;
   std::vector<IndexedOutcome> outcomes;  // exactly 1 when !packed
+
+  /// Trace context echoed in the response's spi:Trace header, if any.
+  telemetry::TraceContext trace;
 };
 
 /// Parses a response body (packed, traditional, or a bare Fault).

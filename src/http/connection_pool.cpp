@@ -93,4 +93,30 @@ size_t ConnectionPool::idle_count(const net::Endpoint& endpoint) const {
   return it == idle_.end() ? 0 : it->second.size();
 }
 
+void ConnectionPool::bind_metrics(telemetry::MetricsRegistry& registry,
+                                  std::string_view pool_label) {
+  std::string labels = "pool=\"" + std::string(pool_label) + "\"";
+  auto field = [this](std::uint64_t Stats::*member) {
+    return [this, member]() -> double {
+      return static_cast<double>(stats().*member);
+    };
+  };
+  registry.add_callback("spi_httppool_created_total",
+                        "New transport connections opened by the pool",
+                        telemetry::CallbackKind::kCounter, labels,
+                        field(&Stats::created));
+  registry.add_callback("spi_httppool_reused_total",
+                        "Acquisitions served from an idle pooled connection",
+                        telemetry::CallbackKind::kCounter, labels,
+                        field(&Stats::reused));
+  registry.add_callback("spi_httppool_returned_total",
+                        "Leases returned to the pool healthy",
+                        telemetry::CallbackKind::kCounter, labels,
+                        field(&Stats::returned));
+  registry.add_callback("spi_httppool_discarded_total",
+                        "Connections evicted: poisoned or over the idle bound",
+                        telemetry::CallbackKind::kCounter, labels,
+                        field(&Stats::discarded));
+}
+
 }  // namespace spi::http

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace spi::http {
 
@@ -77,6 +78,12 @@ class ConnectionPool {
 
   Stats stats() const;
   size_t idle_count(const net::Endpoint& endpoint) const;
+
+  /// Registers scrape-time views of this pool's counters into `registry`
+  /// as spi_httppool_{created,reused,returned,discarded}_total{pool=...}.
+  /// The pool must outlive the registry's last scrape.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view pool_label);
 
  private:
   friend class PooledConnection;

@@ -1,5 +1,8 @@
 #include "http/server.hpp"
 
+#include <chrono>
+#include <optional>
+
 #include "common/logging.hpp"
 
 namespace spi::http {
@@ -93,6 +96,8 @@ void HttpServer::serve_connection(
   } live_guard{this, connection.get()};
 
   MessageParser parser(MessageParser::Mode::kRequest, options_.limits);
+  // HTTP-read span: first received byte of a request -> framing complete.
+  std::optional<std::chrono::steady_clock::time_point> read_start;
   while (true) {
     std::optional<Request> request = parser.poll_request();
     if (!request) {
@@ -116,9 +121,19 @@ void HttpServer::serve_connection(
         connection->close();
         return;
       }
+      if (options_.read_latency && !read_start) {
+        read_start = std::chrono::steady_clock::now();
+      }
       parser.feed(bytes.value());
       continue;
     }
+
+    if (options_.read_latency && read_start) {
+      auto elapsed = std::chrono::steady_clock::now() - *read_start;
+      options_.read_latency->record_us(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+    read_start.reset();
 
     bool keep = request->keep_alive();
     Response response;

@@ -13,6 +13,7 @@
 #include <set>
 #include <thread>
 
+#include "common/histogram.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "http/message.hpp"
 #include "http/parser.hpp"
@@ -24,6 +25,11 @@ struct ServerOptions {
   /// Protocol-stage pool size: concurrent connections being served.
   size_t protocol_threads = 8;
   ParserLimits limits;
+
+  /// Telemetry span for the HTTP-read lifecycle point (unowned; must
+  /// outlive the server): wall time from the first received byte of a
+  /// request until its framing parses complete. Null = off.
+  spi::LatencyHistogram* read_latency = nullptr;
 };
 
 class HttpServer {
@@ -54,6 +60,10 @@ class HttpServer {
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+
+  /// The protocol-stage pool, for telemetry views (queue depth, active
+  /// workers). Null before start() and after stop().
+  const ThreadPool* protocol_pool() const { return connection_pool_.get(); }
 
  private:
   void accept_loop();

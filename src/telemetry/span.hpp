@@ -1,0 +1,40 @@
+// Per-stage span timing: a ScopedSpan brackets one of the four lifecycle
+// points of a message (paper Figure 2) — HTTP read, envelope
+// parse/dispatch, application execution, assemble/respond — and records
+// the elapsed wall time into a telemetry Histogram on destruction.
+// Overhead when disabled (null histogram): one branch, no clock read.
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+
+namespace spi::telemetry {
+
+class ScopedSpan {
+ public:
+  /// Starts timing immediately. A null histogram disables the span.
+  explicit ScopedSpan(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records now instead of at scope exit (idempotent).
+  void stop() {
+    if (!histogram_) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record_us(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    histogram_ = nullptr;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spi::telemetry

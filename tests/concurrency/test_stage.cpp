@@ -60,6 +60,11 @@ TEST(StageTest, HandlerExceptionsAreCountedNotFatal) {
   stage.accept(1);
   stage.accept(2);
   pending.wait();
+  // processed ticks after the handler returns (the guard fires inside it),
+  // so give the worker a beat to finish the accounting.
+  for (int i = 0; i < 5000 && stage.stats().processed < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   auto stats = stage.stats();
   EXPECT_EQ(stats.processed, 3u);
   EXPECT_EQ(stats.handler_errors, 1u);
@@ -99,6 +104,31 @@ TEST(StageTest, EventsFanOutAcrossWorkers) {
   for (int i = 0; i < 4; ++i) stage.accept(i);
   EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
   EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST(StageTest, QueueDepthAndActiveWorkersSettleToZero) {
+  CountdownLatch release(1);
+  WaitGroup pending;
+  pending.add(5);
+  Stage<int> stage("telemetry", 1, [&](int) {
+    release.wait();
+    pending.done();
+  });
+  for (int i = 0; i < 5; ++i) stage.accept(i);
+  // The single worker parks on the latch with the rest queued behind it.
+  while (stage.active_workers() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stage.queue_depth(), 4u);
+  EXPECT_EQ(stage.active_workers(), 1u);
+
+  release.count_down();
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(stage.queue_depth(), 0u);
+  while (stage.active_workers() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stage.stats().processed, 5u);
 }
 
 TEST(StageTest, MoveOnlyEventsSupported) {

@@ -79,6 +79,11 @@ TEST(ThreadPoolTest, TaskExceptionDoesNotKillWorker) {
   });
   EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
   EXPECT_TRUE(ran.load());
+  // completed_tasks ticks after the task body returns (the WaitGroup fires
+  // inside it), so give the worker a beat to finish the accounting.
+  for (int i = 0; i < 5000 && pool.completed_tasks() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(pool.completed_tasks(), 2u);
 }
 
@@ -105,6 +110,64 @@ TEST(ThreadPoolTest, ReportsThreadCountAndName) {
   ThreadPool pool(3, "named");
   EXPECT_EQ(pool.thread_count(), 3u);
   EXPECT_EQ(pool.name(), "named");
+}
+
+TEST(ThreadPoolTest, QueueDepthReturnsToZeroAfterDrain) {
+  ThreadPool pool(1, "depth");
+  CountdownLatch release(1);
+  WaitGroup pending;
+  pending.add(9);
+  pool.submit([&] {
+    release.wait();
+    pending.done();
+  });
+  // Wait until the worker holds the blocker so the backlog count is exact.
+  while (pool.active_workers() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] { pending.done(); });
+  }
+  EXPECT_EQ(pool.queue_depth(), 8u);
+  EXPECT_EQ(pool.active_workers(), 1u);
+
+  release.count_down();
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+  // Drained: depth back to 0, the worker goes idle.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  while (pool.active_workers() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.completed_tasks(), 9u);
+}
+
+TEST(ThreadPoolTest, WaitHistogramRecordsQueueWait) {
+  ThreadPool pool(1, "waits");
+  LatencyHistogram waits;
+  pool.set_wait_histogram(&waits);
+
+  CountdownLatch release(1);
+  WaitGroup pending;
+  pending.add(5);
+  pool.submit([&] {
+    release.wait();
+    pending.done();
+  });
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] { pending.done(); });
+  }
+  release.count_down();
+  EXPECT_TRUE(pending.wait_for(std::chrono::seconds(5)));
+  // Every task submitted while the histogram was bound got a wait sample.
+  EXPECT_EQ(waits.count(), 5u);
+
+  // Unbinding stops the clock reads; counts stay put.
+  pool.set_wait_histogram(nullptr);
+  WaitGroup last;
+  last.add(1);
+  pool.submit([&] { last.done(); });
+  EXPECT_TRUE(last.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(waits.count(), 5u);
 }
 
 TEST(WaitGroupTest, DoneWithoutAddThrows) {

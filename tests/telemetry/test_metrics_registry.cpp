@@ -1,0 +1,158 @@
+// MetricsRegistry: registration semantics and the Prometheus text
+// exposition format (version 0.0.4) that GET /metrics serves.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace spi::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, CounterExposition) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("spi_test_hits_total", "Hits observed");
+  hits.inc();
+  hits.inc(2);
+  EXPECT_EQ(hits.value(), 3u);
+
+  std::string text = registry.expose();
+  EXPECT_NE(text.find("# HELP spi_test_hits_total Hits observed\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE spi_test_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_hits_total 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeWithLabels) {
+  MetricsRegistry registry;
+  Gauge& depth =
+      registry.gauge("spi_test_depth", "Queue depth", "pool=\"app\"");
+  depth.set(5);
+  depth.sub(7);
+  std::string text = registry.expose();
+  EXPECT_NE(text.find("# TYPE spi_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("spi_test_depth{pool=\"app\"} -2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("spi_test_total", "h");
+  Counter& b = registry.counter("spi_test_total", "h");
+  EXPECT_EQ(&a, &b);
+  // A different label set is a different series of the same family.
+  Counter& c = registry.counter("spi_test_total", "h", "side=\"x\"");
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.series_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchAndBadNamesThrow) {
+  MetricsRegistry registry;
+  registry.counter("spi_test_total", "h");
+  EXPECT_THROW(registry.gauge("spi_test_total", "h"), SpiError);
+  EXPECT_THROW(registry.counter("0bad", "h"), SpiError);
+  EXPECT_THROW(registry.counter("has space", "h"), SpiError);
+  EXPECT_THROW(registry.counter("", "h"), SpiError);
+}
+
+TEST(MetricsRegistryTest, HelpAndTypeEmittedOncePerFamily) {
+  MetricsRegistry registry;
+  registry.histogram("spi_test_seconds", "Stage time", "stage=\"a\"");
+  registry.histogram("spi_test_seconds", "Stage time", "stage=\"b\"");
+  std::string text = registry.expose();
+  size_t first = text.find("# TYPE spi_test_seconds histogram");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE spi_test_seconds histogram", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DimensionlessHistogramLadder) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("spi_test_width", "Fan-out widths", {},
+                                    HistogramUnit::kNone);
+  h.observe(1);
+  h.observe(3);
+  h.observe(400);
+
+  std::string text = registry.expose();
+  // Cumulative 1-2-5 ladder in native units: the log bucket holding each
+  // observation lands at the first bound >= its upper edge.
+  EXPECT_NE(text.find("spi_test_width_bucket{le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_width_bucket{le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_width_bucket{le=\"500\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_width_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_width_sum 404\n"), std::string::npos);
+  EXPECT_NE(text.find("spi_test_width_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MicrosecondHistogramExposedInSeconds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("spi_test_latency_seconds", "Latency");
+  h.record_us(1000);  // 1ms
+
+  std::string text = registry.expose();
+  // Bounds scale to seconds: the 1us..10s ladder becomes 1e-06..10.
+  EXPECT_NE(text.find("spi_test_latency_seconds_bucket{le=\"1e-06\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_latency_seconds_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_latency_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  // _sum is in seconds too.
+  EXPECT_NE(text.find("spi_test_latency_seconds_sum 0.001\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_latency_seconds_count 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CallbackSeriesComputedAtScrape) {
+  MetricsRegistry registry;
+  double value = 41.0;
+  registry.add_callback("spi_test_cb_total", "Scrape-time view",
+                        CallbackKind::kCounter, {},
+                        [&value] { return value; });
+  value = 42.5;
+  std::string text = registry.expose();
+  EXPECT_NE(text.find("# TYPE spi_test_cb_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_test_cb_total 42.5\n"), std::string::npos);
+
+  // Re-registering the same name+labels replaces the callback.
+  registry.add_callback("spi_test_cb_total", "Scrape-time view",
+                        CallbackKind::kCounter, {}, [] { return 7.0; });
+  EXPECT_NE(registry.expose().find("spi_test_cb_total 7\n"),
+            std::string::npos);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingWhileScraping) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("spi_test_hits_total", "h");
+  Histogram& lat = registry.histogram("spi_test_seconds", "h");
+  constexpr int kPerThread = 5000;
+  std::vector<std::jthread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.inc();
+        lat.record_us(static_cast<double>(i % 1000));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)registry.expose();  // must not tear or crash mid-recording
+  }
+  writers.clear();
+  EXPECT_EQ(hits.value(), 4u * kPerThread);
+  EXPECT_EQ(lat.count(), 4u * kPerThread);
+}
+
+}  // namespace
+}  // namespace spi::telemetry
