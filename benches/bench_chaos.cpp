@@ -1,0 +1,121 @@
+// Chaos study (DESIGN.md §10): goodput and tail latency of the packed
+// strategy under seeded connection faults, with the resilience layer off
+// versus on. Each cell sends `messages` packed batches of M=10 echo calls
+// through a FaultyTransport severing connections at the given rate; the
+// resilient client retries with jittered backoff under a token budget and
+// re-packs only the failed sub-calls.
+//
+// Environment overrides:
+//   SPI_BENCH_messages   batches per cell (default 400)
+//   SPI_CHAOS_SEED       fault stream seed (default 42)
+//   plus the usual SPI_LINK_* testbed knobs (benchsupport/harness.hpp).
+#include <cstdio>
+#include <string>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/histogram.hpp"
+#include "net/faulty_transport.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+struct ChaosCell {
+  double success = 0;        // fraction of sub-calls answered correctly
+  double goodput_cps = 0;    // successful calls per second (wall)
+  double p50_ms = 0;         // per-batch latency
+  double p99_ms = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t repacks = 0;
+  net::FaultStats faults;
+};
+
+ChaosCell run_cell(EchoFixture& fixture, double sever_rate, bool resilient,
+                   size_t messages, std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.sever_rate = sever_rate;
+  plan.seed = seed;
+  net::FaultyTransport faulty(fixture.transport(), plan);
+
+  core::ClientOptions options;
+  options.pack_cost = pack_cost_from_env();
+  if (resilient) {
+    options.retry.max_attempts = 4;
+    options.retry.initial_backoff = std::chrono::milliseconds(1);
+    options.retry.budget = 50.0;
+    options.retry.idempotent = fixture.registry().idempotency_predicate();
+  }
+  core::SpiClient client(faulty, fixture.server().endpoint(), options);
+
+  constexpr size_t kBatch = 10;
+  constexpr size_t kPayload = 100;
+  LatencyHistogram latency;
+  size_t ok = 0;
+  Stopwatch wall;
+  for (size_t i = 0; i < messages; ++i) {
+    auto calls = make_echo_calls(kBatch, kPayload, /*seed=*/seed + i);
+    Stopwatch watch;
+    auto outcomes = client.call_packed(calls);
+    latency.record_ms(watch.elapsed_ms());
+    ok += kBatch - count_echo_errors(calls, outcomes);
+  }
+  double seconds = std::chrono::duration<double>(wall.elapsed()).count();
+
+  ChaosCell cell;
+  cell.success = static_cast<double>(ok) /
+                 static_cast<double>(messages * kBatch);
+  cell.goodput_cps = static_cast<double>(ok) / seconds;
+  cell.p50_ms = latency.p50_us() / 1e3;
+  cell.p99_ms = latency.p99_us() / 1e3;
+  cell.retries = client.stats().retries;
+  cell.repacks = client.stats().partial_repacks;
+  cell.faults = faulty.fault_stats();
+  return cell;
+}
+
+std::string fmt_pct(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  Config env = Config::from_env("SPI_BENCH_");
+  const size_t messages =
+      static_cast<size_t>(env.get_int_or("messages", 400));
+  std::uint64_t seed = 42;
+  if (const char* s = std::getenv("SPI_CHAOS_SEED")) {
+    seed = std::strtoull(s, nullptr, 10);
+  }
+
+  std::printf("=== Chaos study: packed M=10 under connection severs ===\n");
+  std::printf(
+      "%zu packed messages per cell, 10 x 100 B echo calls each, seeded "
+      "fault stream (seed=%llu); resilient = retry x4 + budget + partial "
+      "re-pack\n\n",
+      messages, static_cast<unsigned long long>(seed));
+
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.server.pack_cost = pack_cost_from_env();
+  EchoFixture fixture(options);
+
+  Table table({"sever rate", "resilience", "success", "goodput calls/s",
+               "p50 (ms)", "p99 (ms)", "retries", "re-packs", "severs"});
+  for (double rate : {0.0, 0.001, 0.01, 0.05}) {
+    for (bool resilient : {false, true}) {
+      ChaosCell cell = run_cell(fixture, rate, resilient, messages, seed);
+      table.add_row({fmt_pct(rate), resilient ? "on" : "off",
+                     fmt_pct(cell.success), fmt_ms(cell.goodput_cps),
+                     fmt_ms(cell.p50_ms), fmt_ms(cell.p99_ms),
+                     std::to_string(cell.retries),
+                     std::to_string(cell.repacks),
+                     std::to_string(cell.faults.severs)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -16,6 +16,8 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kFault: return "Fault";
     case ErrorCode::kShutdown: return "Shutdown";
     case ErrorCode::kCapacityExceeded: return "CapacityExceeded";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

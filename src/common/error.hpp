@@ -28,6 +28,8 @@ enum class ErrorCode {
   kFault,             // SOAP fault returned by the remote side
   kShutdown,          // subsystem is stopping; request not attempted
   kCapacityExceeded,  // queue full, message too large, etc.
+  kDeadlineExceeded,  // the exchange's deadline passed; work was shed
+  kUnavailable,       // circuit breaker open: failing fast, no I/O attempted
   kInternal,
 };
 

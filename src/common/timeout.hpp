@@ -1,0 +1,32 @@
+// The library-wide timeout convention, in one place. Several layers bound
+// blocking operations with a Duration where zero means "wait forever"
+// (net::Connection::set_receive_timeout, http::ClientOptions,
+// core::ClientOptions). Before this header each site restated — and could
+// drift on — that rule; now they all compose through these helpers, and
+// deadline-derived budgets (resilience/deadline.hpp) fold into configured
+// timeouts with one call.
+#pragma once
+
+#include "common/clock.hpp"
+
+namespace spi {
+
+/// The "wait forever" sentinel: a zero (or negative) Duration. This is the
+/// default everywhere a timeout is configurable.
+inline constexpr Duration kNoTimeout = Duration::zero();
+
+/// True when `timeout` means "no bound" under the library convention.
+constexpr bool is_unbounded(Duration timeout) {
+  return timeout <= Duration::zero();
+}
+
+/// The tighter of two timeouts, treating kNoTimeout as infinity: the
+/// composition rule for "configured receive timeout" vs "remaining
+/// deadline budget". min_timeout(kNoTimeout, x) == x.
+constexpr Duration min_timeout(Duration a, Duration b) {
+  if (is_unbounded(a)) return is_unbounded(b) ? kNoTimeout : b;
+  if (is_unbounded(b)) return a;
+  return a < b ? a : b;
+}
+
+}  // namespace spi

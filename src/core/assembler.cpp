@@ -1,5 +1,6 @@
 #include "core/assembler.hpp"
 
+#include "resilience/deadline.hpp"
 #include "telemetry/trace.hpp"
 
 namespace spi::core {
@@ -25,12 +26,24 @@ std::string Assembler::finish_envelope(std::string_view body_inner) {
   // spi:Trace header block: clients inject it, servers echo it.
   const telemetry::TraceContext* trace = telemetry::current_trace();
   if (trace && !trace->valid()) trace = nullptr;
-  if (wsse_ || trace) {
+  // Likewise the thread's active deadline (resilience/deadline.hpp): the
+  // remaining budget travels as a spi:Deadline header block so the server
+  // can shed work nobody is waiting for. to_header_block() is empty when
+  // there is no deadline to ship.
+  std::string deadline_header;
+  if (const resilience::Deadline* deadline = resilience::current_deadline()) {
+    deadline_header =
+        deadline->to_header_block(RealClock::instance().now());
+  }
+  if (wsse_ || trace || !deadline_header.empty()) {
     std::vector<std::string> headers;
     if (wsse_) {
       headers.push_back(wsse_->make_header_block(soap::iso8601_now()));
     }
     if (trace) headers.push_back(trace->to_header_block());
+    if (!deadline_header.empty()) {
+      headers.push_back(std::move(deadline_header));
+    }
     return soap::build_envelope(body_inner, headers);
   }
   return soap::build_envelope(body_inner);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "resilience/deadline.hpp"
 #include "telemetry/trace.hpp"
 
 namespace spi::core {
@@ -16,6 +17,9 @@ namespace spi::core {
 struct CallContext {
   /// Trace carried by the enclosing message (empty trace_id if none).
   telemetry::TraceContext trace;
+  /// Deadline carried by the enclosing message (never() if none). A
+  /// long-running handler can poll it to abandon work nobody awaits.
+  resilience::Deadline deadline;
   /// This call's id within its packed message (0 for traditional calls).
   std::uint32_t call_id = 0;
   /// Number of calls the carrying message fanned out (M; 1 if single).

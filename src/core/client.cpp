@@ -37,15 +37,37 @@ SpiClient::SpiClient(net::Transport& transport, net::Endpoint server,
                         : nullptr),
       assembler_(wsse_factory_.get(), options_.pack_cost),
       dispatcher_(nullptr, options_.pack_cost),
+      retry_policy_(options_.retry),
       http_(transport_, server_, make_http_options(options_)) {}
 
 SpiClient::~SpiClient() = default;
 
-Result<std::vector<CallOutcome>> SpiClient::exchange(
+Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
     std::span<const ServiceCall> calls, PackMode mode,
-    http::HttpClient& http) {
+    http::HttpClient& http, const resilience::Deadline& deadline) {
+  TimePoint now = RealClock::instance().now();
+  if (deadline.expired(now)) {
+    return Error(ErrorCode::kDeadlineExceeded,
+                 "client deadline expired before send");
+  }
+
+  resilience::CircuitBreaker* breaker =
+      options_.breakers ? &options_.breakers->for_endpoint(server_) : nullptr;
+  if (breaker) {
+    if (Status allowed = breaker->allow(); !allowed.ok()) {
+      breaker_fast_fails_.fetch_add(1, std::memory_order_relaxed);
+      return allowed.error();
+    }
+  }
+
+  // This attempt may block at most min(configured receive timeout,
+  // remaining deadline budget) on the response read.
+  http.set_receive_timeout(min_timeout(options_.receive_timeout,
+                                       deadline.remaining_or_unbounded(now)));
+
   // One trace per message: every packed sibling shares the trace-id the
-  // Assembler injects from this scope; the server echoes it back.
+  // Assembler injects from this scope; the server echoes it back. (The
+  // deadline header rides along from the ambient DeadlineScope.)
   telemetry::TraceContext trace;
   if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
   telemetry::TraceScope trace_scope(trace);
@@ -57,8 +79,12 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
   auto response =
       http.post(options_.target, std::move(envelope), "text/xml", &headers);
   if (!response.ok()) {
+    // The breaker tracks transport-level health: a failed post means the
+    // endpoint did not answer this connection.
+    if (breaker) breaker->on_failure();
     return response.wrap_error("spi exchange");
   }
+  if (breaker) breaker->on_success();
 
   // Parse the envelope regardless of HTTP status: SOAP faults ride on 500
   // (HTTP binding) and packed per-call faults on 200.
@@ -72,6 +98,104 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
     return parsed.error();
   }
   return dispatcher_.route(std::move(parsed).value(), calls.size());
+}
+
+bool SpiClient::sleep_backoff(int retry_number,
+                              const resilience::Deadline& deadline) {
+  Duration pause = retry_policy_.backoff(retry_number);
+  if (deadline.valid() &&
+      deadline.remaining(RealClock::instance().now()) <= pause) {
+    return false;  // budget cannot cover the sleep, let alone the retry
+  }
+  RealClock::instance().sleep_for(pause);
+  return true;
+}
+
+Result<std::vector<CallOutcome>> SpiClient::exchange(
+    std::span<const ServiceCall> calls, PackMode mode,
+    http::HttpClient& http) {
+  // The exchange deadline: an ambient DeadlineScope (nested call, caller
+  // with its own budget) wins; otherwise call_timeout starts one here.
+  resilience::Deadline deadline;
+  if (const resilience::Deadline* ambient = resilience::current_deadline();
+      ambient && ambient->valid()) {
+    deadline = *ambient;
+  } else if (!is_unbounded(options_.call_timeout)) {
+    deadline = resilience::Deadline::after(options_.call_timeout);
+  }
+  resilience::DeadlineScope deadline_scope(deadline);
+
+  retry_policy_.on_call();
+
+  const auto& idempotent = retry_policy_.options().idempotent;
+  auto all_idempotent = [&idempotent](std::span<const ServiceCall> subset) {
+    if (!idempotent) return false;
+    for (const ServiceCall& call : subset) {
+      if (!idempotent(call.service, call.operation)) return false;
+    }
+    return true;
+  };
+
+  // --- message-level attempts --------------------------------------------
+  // A message-level failure (connect refused, sever, timeout) replays the
+  // WHOLE batch, so the idempotency gate covers every member.
+  int attempts = 1;
+  auto result = attempt_exchange(calls, mode, http, deadline);
+  while (!result.ok() &&
+         retry_policy_.should_retry(result.error(), attempts,
+                                    all_idempotent(calls)) &&
+         sleep_backoff(attempts, deadline)) {
+    ++attempts;
+    result = attempt_exchange(calls, mode, http, deadline);
+  }
+  if (!result.ok()) return result;
+
+  // --- partial-batch re-pack ---------------------------------------------
+  // The server answered, but some sub-calls carry retryable faults (shed
+  // on deadline/admission before execution). Re-pack ONLY those calls —
+  // succeeded siblings are never replayed — and merge the replay outcomes
+  // back into their original slots.
+  std::vector<CallOutcome>& outcomes = result.value();
+  const PackMode replay_mode =
+      mode == PackMode::kSingle ? PackMode::kSingle : PackMode::kPacked;
+  std::optional<Error> replay_error;  // message-level failure of a replay
+  while (true) {
+    std::vector<size_t> failed;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].ok() &&
+          resilience::classify(outcomes[i].error()) !=
+              resilience::FaultClass::kTerminal) {
+        failed.push_back(i);
+      }
+    }
+    if (failed.empty()) break;
+
+    std::vector<ServiceCall> subset;
+    subset.reserve(failed.size());
+    for (size_t i : failed) subset.push_back(calls[i]);
+
+    const Error& gate =
+        replay_error ? *replay_error : outcomes[failed.front()].error();
+    if (!retry_policy_.should_retry(gate, attempts, all_idempotent(subset)) ||
+        !sleep_backoff(attempts, deadline)) {
+      break;
+    }
+    ++attempts;
+    partial_repacks_.fetch_add(1, std::memory_order_relaxed);
+
+    auto replay = attempt_exchange(subset, replay_mode, http, deadline);
+    if (!replay.ok()) {
+      // Keep the original per-call faults; the next round gates on this
+      // replay error (e.g. a terminal breaker rejection stops the loop).
+      replay_error = replay.error();
+      continue;
+    }
+    replay_error.reset();
+    for (size_t k = 0; k < failed.size(); ++k) {
+      outcomes[failed[k]] = std::move(replay.value()[k]);
+    }
+  }
+  return result;
 }
 
 CallOutcome SpiClient::call(const ServiceCall& service_call) {
@@ -215,7 +339,43 @@ SpiClient::Stats SpiClient::stats() const {
   Stats s;
   s.assembler = assembler_.stats();
   s.dispatcher = dispatcher_.stats();
+  s.retries = retry_policy_.retries_granted();
+  s.partial_repacks = partial_repacks_.load(std::memory_order_relaxed);
+  s.breaker_fast_fails = breaker_fast_fails_.load(std::memory_order_relaxed);
+  s.retry_budget = retry_policy_.budget_level();
   return s;
+}
+
+void SpiClient::bind_metrics(telemetry::MetricsRegistry& registry,
+                             std::string_view label) {
+  std::string labels = "client=\"" + std::string(label) + "\"";
+  registry.add_callback("spi_client_retries_total",
+                        "Retries granted by the retry policy",
+                        telemetry::CallbackKind::kCounter, labels,
+                        [this]() -> double {
+                          return static_cast<double>(
+                              retry_policy_.retries_granted());
+                        });
+  registry.add_callback("spi_client_retry_budget",
+                        "Retry-budget tokens currently available",
+                        telemetry::CallbackKind::kGauge, labels,
+                        [this]() -> double {
+                          return retry_policy_.budget_level();
+                        });
+  registry.add_callback(
+      "spi_client_partial_repacks_total",
+      "Packed messages re-sent carrying only failed sub-calls",
+      telemetry::CallbackKind::kCounter, labels, [this]() -> double {
+        return static_cast<double>(
+            partial_repacks_.load(std::memory_order_relaxed));
+      });
+  registry.add_callback(
+      "spi_client_breaker_fast_fails_total",
+      "Exchanges refused fast by an open circuit breaker",
+      telemetry::CallbackKind::kCounter, labels, [this]() -> double {
+        return static_cast<double>(
+            breaker_fast_fails_.load(std::memory_order_relaxed));
+      });
 }
 
 }  // namespace spi::core

@@ -16,9 +16,13 @@
 #include <mutex>
 #include <span>
 
+#include "common/timeout.hpp"
 #include "core/assembler.hpp"
 #include "core/dispatcher.hpp"
 #include "http/client.hpp"
+#include "resilience/circuit_breaker.hpp"
+#include "resilience/deadline.hpp"
+#include "resilience/retry.hpp"
 
 namespace spi::core {
 
@@ -39,8 +43,29 @@ struct ClientOptions {
   /// Disabled by default; the figure benchmarks set the testbed value.
   PackCostModel pack_cost;
 
-  /// Bound on each response read (zero = forever); surfaces as kTimeout.
-  Duration receive_timeout{0};
+  /// Bound on each response read (kNoTimeout = forever); surfaces as
+  /// kTimeout. Composes with the deadline budget via min_timeout().
+  Duration receive_timeout = kNoTimeout;
+
+  /// Overall budget for one exchange — ALL attempts plus the backoff
+  /// sleeps between them (kNoTimeout = none). Installed as an absolute
+  /// resilience::Deadline, shipped on the wire as <spi:Deadline> so the
+  /// server can shed expired work, and used to clamp each attempt's
+  /// receive timeout. An ambient DeadlineScope on the calling thread
+  /// takes precedence (nested exchanges inherit the caller's budget).
+  Duration call_timeout = kNoTimeout;
+
+  /// Message-level retry policy (resilience/retry.hpp). The default
+  /// (max_attempts = 1) disables retrying. Wire `retry.idempotent` to
+  /// ServiceRegistry::idempotency_predicate() so calls that failed after
+  /// bytes were written are only replayed when that is safe.
+  resilience::RetryOptions retry;
+
+  /// Optional per-endpoint circuit breakers (borrowed, not owned; share
+  /// one set across clients and pools talking to the same fleet). When
+  /// set, every attempt is gated by the breaker for server(): an open
+  /// breaker fails the exchange fast with kUnavailable.
+  resilience::CircuitBreakerSet* breakers = nullptr;
 
   /// Inject a fresh spi:Trace header block (trace-id/parent-id) into
   /// every outbound message; the server propagates it into handler
@@ -55,6 +80,15 @@ class SpiClient {
   struct Stats {
     Assembler::Stats assembler;
     Dispatcher::Stats dispatcher;
+    /// Retries granted by the retry policy (message-level + re-packs).
+    std::uint64_t retries = 0;
+    /// Partial-batch replays: packed messages re-sent carrying ONLY the
+    /// failed retryable sub-calls of an earlier response.
+    std::uint64_t partial_repacks = 0;
+    /// Exchanges refused in <1ms by an open circuit breaker.
+    std::uint64_t breaker_fast_fails = 0;
+    /// Retry-budget tokens currently available (0 when unlimited).
+    double retry_budget = 0.0;
   };
 
   SpiClient(net::Transport& transport, net::Endpoint server,
@@ -143,11 +177,32 @@ class SpiClient {
   const net::Endpoint& server() const { return server_; }
   Stats stats() const;
 
+  /// Registers scrape-time views of this client's resilience counters
+  /// (spi_client_retries_total, spi_client_retry_budget, ...) labelled
+  /// client="<label>". The client must outlive the registry's last scrape.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view label);
+
  private:
-  /// One HTTP exchange: assembled envelope out, parsed outcomes back.
+  /// Resilient HTTP exchange: deadline installation, breaker gating,
+  /// message-level retry with jittered backoff, and partial-batch re-pack
+  /// of failed retryable sub-calls. Delegates single attempts to
+  /// attempt_exchange().
   Result<std::vector<CallOutcome>> exchange(
       std::span<const ServiceCall> calls, PackMode mode,
       http::HttpClient& http);
+
+  /// One HTTP exchange attempt: assembled envelope out, parsed outcomes
+  /// back. Gated by the endpoint breaker; receive timeout clamped to the
+  /// remaining deadline budget.
+  Result<std::vector<CallOutcome>> attempt_exchange(
+      std::span<const ServiceCall> calls, PackMode mode,
+      http::HttpClient& http, const resilience::Deadline& deadline);
+
+  /// Sleeps the jittered backoff before retry `retry_number`. False when
+  /// the remaining deadline budget cannot cover the sleep (retry would be
+  /// pointless: the answer could not arrive in time).
+  bool sleep_backoff(int retry_number, const resilience::Deadline& deadline);
 
   net::Transport& transport_;
   net::Endpoint server_;
@@ -155,6 +210,9 @@ class SpiClient {
   std::unique_ptr<soap::WsseTokenFactory> wsse_factory_;
   Assembler assembler_;
   Dispatcher dispatcher_;
+  resilience::RetryPolicy retry_policy_;
+  std::atomic<std::uint64_t> partial_repacks_{0};
+  std::atomic<std::uint64_t> breaker_fast_fails_{0};
 
   /// Connection used by call()/call_serial (guarded: SpiClient may be
   /// shared across threads; call_multithreaded uses per-thread clients).

@@ -16,6 +16,12 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
         pack_cost_.charge(envelope_xml.size(),
                           streamed.value().calls.size());
       }
+      // The streaming parser skips header blocks; the deadline still has
+      // to make it through, so recover it from the raw document.
+      if (auto deadline = resilience::Deadline::scan(
+              envelope_xml, RealClock::instance().now())) {
+        streamed.value().deadline = *deadline;
+      }
       return streamed;
     }
     if (streamed.error().code() != ErrorCode::kInvalidArgument) {
@@ -56,6 +62,10 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
             envelope.value().header_blocks)) {
       parsed.value().trace = std::move(*trace);
     }
+    if (auto deadline = resilience::Deadline::from_header_blocks(
+            envelope.value().header_blocks, RealClock::instance().now())) {
+      parsed.value().deadline = *deadline;
+    }
   }
   return parsed;
 }
@@ -69,6 +79,18 @@ std::vector<IndexedOutcome> Dispatcher::execute(
   const size_t n = request.calls.size();
   calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
 
+  // Execute-stage deadline shed: checked per call at the moment a worker
+  // picks it up, so a batch whose budget drains while earlier calls run
+  // (or while queued behind a saturated pool) stops burning handler time.
+  // The fault names the stage; RetryPolicy treats it as not-executed.
+  auto shed_outcome = [&request]() -> std::optional<CallOutcome> {
+    if (!request.deadline.expired(RealClock::instance().now())) {
+      return std::nullopt;
+    }
+    return CallOutcome(Error(ErrorCode::kDeadlineExceeded,
+                             "deadline expired before execute stage"));
+  };
+
   std::vector<std::optional<CallOutcome>> slots(n);
 
   if (pool == nullptr) {
@@ -77,12 +99,18 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     // handlers reach it through current_call_context().
     CallContext context;
     context.trace = request.trace;
+    context.deadline = request.deadline;
     context.fanout = n;
     CallContextScope scope(context);
     for (size_t i = 0; i < n; ++i) {
       context.call_id = request.calls[i].id;
       context.service = request.calls[i].call.service;
       context.operation = request.calls[i].call.operation;
+      if (auto shed = shed_outcome()) {
+        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        slots[i] = std::move(*shed);
+        continue;
+      }
       slots[i] = registry.invoke(request.calls[i].call);
     }
   } else {
@@ -92,6 +120,7 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     std::vector<CallContext> contexts(n);
     for (size_t i = 0; i < n; ++i) {
       contexts[i].trace = request.trace;
+      contexts[i].deadline = request.deadline;
       contexts[i].call_id = request.calls[i].id;
       contexts[i].fanout = n;
       contexts[i].service = request.calls[i].call.service;
@@ -101,10 +130,16 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     pending.add(n);
     for (size_t i = 0; i < n; ++i) {
       const ServiceCall& call = request.calls[i].call;
-      bool accepted =
-          pool->submit([&registry, &call, &slots, &pending, &contexts, i] {
+      bool accepted = pool->submit(
+          [this, &registry, &call, &slots, &pending, &contexts, &shed_outcome,
+           i] {
             CallContextScope scope(contexts[i]);
-            slots[i] = registry.invoke(call);
+            if (auto shed = shed_outcome()) {
+              deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+              slots[i] = std::move(*shed);
+            } else {
+              slots[i] = registry.invoke(call);
+            }
             pending.done();
           });
       if (!accepted) {
@@ -240,6 +275,7 @@ Dispatcher::Stats Dispatcher::stats() const {
   s.packed_envelopes = packed_envelopes_.load(std::memory_order_relaxed);
   s.calls_dispatched = calls_dispatched_.load(std::memory_order_relaxed);
   s.faults_produced = faults_produced_.load(std::memory_order_relaxed);
+  s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -24,6 +24,9 @@ class Dispatcher {
     std::uint64_t packed_envelopes = 0;
     std::uint64_t calls_dispatched = 0;
     std::uint64_t faults_produced = 0;
+    /// Calls answered with a DeadlineExceeded fault at the execute-stage
+    /// boundary instead of being invoked (resilience/deadline.hpp).
+    std::uint64_t deadline_shed = 0;
   };
 
   /// `verifier` (optional, unowned): when set, every inbound request
@@ -78,6 +81,7 @@ class Dispatcher {
   std::atomic<std::uint64_t> packed_envelopes_{0};
   std::atomic<std::uint64_t> calls_dispatched_{0};
   std::atomic<std::uint64_t> faults_produced_{0};
+  std::atomic<std::uint64_t> deadline_shed_{0};
 };
 
 }  // namespace spi::core

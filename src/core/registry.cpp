@@ -6,14 +6,16 @@ namespace spi::core {
 
 Status ServiceRegistry::register_operation(std::string service,
                                            std::string operation,
-                                           OperationHandler handler) {
+                                           OperationHandler handler,
+                                           OperationTraits traits) {
   if (service.empty() || operation.empty() || !handler) {
     return Error(ErrorCode::kInvalidArgument,
                  "registration needs service, operation, and handler");
   }
   std::unique_lock lock(mutex_);
   auto& operations = services_[service];
-  auto [it, inserted] = operations.emplace(operation, std::move(handler));
+  auto [it, inserted] = operations.emplace(
+      operation, Operation{std::move(handler), traits});
   (void)it;
   if (!inserted) {
     return Error(ErrorCode::kAlreadyExists,
@@ -35,7 +37,24 @@ Result<OperationHandler> ServiceRegistry::find(
                                            "' has no operation '" +
                                            operation + "'");
   }
-  return operation_it->second;
+  return operation_it->second.handler;
+}
+
+OperationTraits ServiceRegistry::traits(const std::string& service,
+                                        const std::string& operation) const {
+  std::shared_lock lock(mutex_);
+  auto service_it = services_.find(service);
+  if (service_it == services_.end()) return {};
+  auto operation_it = service_it->second.find(operation);
+  if (operation_it == service_it->second.end()) return {};
+  return operation_it->second.traits;
+}
+
+std::function<bool(std::string_view, std::string_view)>
+ServiceRegistry::idempotency_predicate() const {
+  return [this](std::string_view service, std::string_view operation) {
+    return is_idempotent(std::string(service), std::string(operation));
+  };
 }
 
 CallOutcome ServiceRegistry::invoke(const ServiceCall& call) const {
@@ -66,7 +85,7 @@ std::vector<std::string> ServiceRegistry::operation_names(
   auto it = services_.find(service);
   if (it == services_.end()) return names;
   names.reserve(it->second.size());
-  for (const auto& [name, handler] : it->second) names.push_back(name);
+  for (const auto& [name, operation] : it->second) names.push_back(name);
   return names;
 }
 
@@ -78,9 +97,10 @@ size_t ServiceRegistry::operation_count() const {
 }
 
 ServiceBinder& ServiceBinder::bind(std::string operation,
-                                   OperationHandler handler) {
+                                   OperationHandler handler,
+                                   OperationTraits traits) {
   Status status = registry_.register_operation(service_, std::move(operation),
-                                               std::move(handler));
+                                               std::move(handler), traits);
   if (!status.ok()) throw SpiError(status.error());
   return *this;
 }

@@ -9,6 +9,7 @@
 #include <map>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/call.hpp"
@@ -20,15 +21,41 @@ namespace spi::core {
 using OperationHandler =
     std::function<Result<soap::Value>(const soap::Struct& params)>;
 
+/// Operation metadata the resilience layer consults. Declared at
+/// registration, next to the handler, so the knowledge lives with the
+/// service author (who alone knows it) rather than with each client.
+struct OperationTraits {
+  /// True when re-executing the operation with the same parameters is
+  /// harmless (reads, pure transforms). Retry policies only auto-retry a
+  /// call after request bytes were written if it is idempotent; the
+  /// conservative default is false.
+  bool idempotent = false;
+};
+
 class ServiceRegistry {
  public:
   /// Registers service.operation. Fails on duplicates.
   Status register_operation(std::string service, std::string operation,
-                            OperationHandler handler);
+                            OperationHandler handler,
+                            OperationTraits traits = {});
 
   /// Looks up a handler; kNotFound if either name is unknown.
   Result<OperationHandler> find(const std::string& service,
                                 const std::string& operation) const;
+
+  /// Declared traits of an operation; defaults (non-idempotent) when the
+  /// operation is unknown — absence of knowledge is not permission.
+  OperationTraits traits(const std::string& service,
+                         const std::string& operation) const;
+  bool is_idempotent(const std::string& service,
+                     const std::string& operation) const {
+    return traits(service, operation).idempotent;
+  }
+
+  /// Predicate form of is_idempotent for resilience::RetryOptions. The
+  /// registry must outlive the returned function.
+  std::function<bool(std::string_view, std::string_view)>
+  idempotency_predicate() const;
 
   /// Executes a call through the registry (lookup + invoke + error
   /// normalization). This is what application-stage worker threads run.
@@ -39,8 +66,13 @@ class ServiceRegistry {
   size_t operation_count() const;
 
  private:
+  struct Operation {
+    OperationHandler handler;
+    OperationTraits traits;
+  };
+
   mutable std::shared_mutex mutex_;
-  std::map<std::string, std::map<std::string, OperationHandler>> services_;
+  std::map<std::string, std::map<std::string, Operation>> services_;
 };
 
 /// Builder-style helper for registering a whole service fluently:
@@ -51,7 +83,14 @@ class ServiceBinder {
       : registry_(registry), service_(std::move(service)) {}
 
   /// Throws SpiError on duplicate registration (configuration error).
-  ServiceBinder& bind(std::string operation, OperationHandler handler);
+  ServiceBinder& bind(std::string operation, OperationHandler handler,
+                      OperationTraits traits = {});
+
+  /// bind() with traits.idempotent = true, for read-only operations.
+  ServiceBinder& bind_idempotent(std::string operation,
+                                 OperationHandler handler) {
+    return bind(std::move(operation), std::move(handler), {true});
+  }
 
  private:
   ServiceRegistry& registry_;

@@ -2,6 +2,8 @@
 
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
+#include "common/timeout.hpp"
+#include "resilience/deadline.hpp"
 #include "soap/wsdl.hpp"
 #include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
@@ -72,6 +74,20 @@ SpiServer::~SpiServer() { stop(); }
 Status SpiServer::start() { return http_server_->start(); }
 
 void SpiServer::stop() {
+  // Graceful drain: stop admitting work, let what's in flight finish (up
+  // to drain_timeout), then tear the stages down. healthz reports
+  // "draining" with 503 meanwhile so load balancers route away.
+  draining_.store(true, std::memory_order_release);
+  if (!is_unbounded(options_.drain_timeout)) {
+    http_server_->stop_accepting();
+    const TimePoint give_up =
+        RealClock::instance().now() + options_.drain_timeout;
+    while (RealClock::instance().now() < give_up &&
+           (http_server_->active_requests() > 0 ||
+            in_flight_.load(std::memory_order_acquire) > 0)) {
+      RealClock::instance().sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   http_server_->stop();
   // The application pool drains after the protocol stage stops feeding it.
   application_pool_.reset();
@@ -95,6 +111,26 @@ void SpiServer::register_instruments(net::Transport& transport) {
                    telemetry::CallbackKind::kCounter, {}, [this]() -> double {
                      return static_cast<double>(
                          http_server_->requests_served());
+                   });
+  reg.add_callback("spi_server_deadline_shed_total",
+                   "Work shed because its deadline had already passed",
+                   telemetry::CallbackKind::kCounter, "stage=\"pre-parse\"",
+                   [this]() -> double {
+                     return static_cast<double>(deadline_shed_pre_parse_.load(
+                         std::memory_order_relaxed));
+                   });
+  reg.add_callback("spi_server_deadline_shed_total",
+                   "Work shed because its deadline had already passed",
+                   telemetry::CallbackKind::kCounter, "stage=\"execute\"",
+                   [this]() -> double {
+                     return static_cast<double>(
+                         dispatcher_.stats().deadline_shed);
+                   });
+  reg.add_callback("spi_server_draining",
+                   "1 while the server is draining (stop() in progress)",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return draining_.load(std::memory_order_acquire) ? 1.0
+                                                                      : 0.0;
                    });
 
   struct PoolView {
@@ -168,11 +204,13 @@ http::Response SpiServer::handle_metrics() {
 http::Response SpiServer::handle_healthz() {
   // Liveness + admission state. 503 while the server is at its concurrency
   // limit so load balancers stop routing here (SEDA well-conditioning made
-  // observable); otherwise 200 with the stage-pool vitals.
+  // observable), and likewise while draining; otherwise 200 with the
+  // stage-pool vitals.
+  const bool draining = draining_.load(std::memory_order_acquire);
   const bool saturated = admission_saturated();
   const ThreadPool* protocol = http_server_->protocol_pool();
   std::string body = "{\"status\":\"";
-  body += saturated ? "overloaded" : "ok";
+  body += draining ? "draining" : (saturated ? "overloaded" : "ok");
   body += "\",\"staged\":";
   body += options_.staged ? "true" : "false";
   body += ",\"in_flight\":";
@@ -195,7 +233,7 @@ http::Response SpiServer::handle_healthz() {
   body += std::to_string(
       application_pool_ ? application_pool_->queue_depth() : 0);
   body += "}}";
-  const int status = saturated ? 503 : 200;
+  const int status = (saturated || draining) ? 503 : 200;
   return http::Response::make(status, http::default_reason(status),
                               std::move(body), "application/json");
 }
@@ -220,6 +258,29 @@ http::Response SpiServer::handle(const http::Request& request) {
     return http::Response::make(status, http::default_reason(status),
                                 std::move(body), "text/xml");
   };
+
+  // While draining, answer work with a Shutdown fault: the server
+  // guarantees nothing executed, so retry policies replay it elsewhere.
+  if (draining_.load(std::memory_order_acquire)) {
+    return respond_fault(Error(ErrorCode::kShutdown, "server is draining"),
+                         503);
+  }
+
+  // Pre-parse deadline shed (SEDA stage boundary 1): a bounded substring
+  // scan over the raw document — if the client's budget is already spent,
+  // answering DeadlineExceeded now beats paying the parse stage for an
+  // answer nobody is waiting for. Also the only deadline check the
+  // streaming-parse path's headers ever get.
+  {
+    const TimePoint now = RealClock::instance().now();
+    if (auto scanned = resilience::Deadline::scan(request.body, now);
+        scanned && scanned->expired(now)) {
+      deadline_shed_pre_parse_.fetch_add(1, std::memory_order_relaxed);
+      return respond_fault(Error(ErrorCode::kDeadlineExceeded,
+                                 "deadline expired before parse stage"),
+                           504);
+    }
+  }
 
   telemetry::ScopedSpan parse_span(span_parse_);
   auto parsed = dispatcher_.parse_request(request.body);
@@ -336,6 +397,8 @@ SpiServer::Stats SpiServer::stats() const {
   s.application_tasks =
       application_pool_ ? application_pool_->completed_tasks() : 0;
   s.admission_rejections = admission_rejections_->value();
+  s.deadline_shed_pre_parse =
+      deadline_shed_pre_parse_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -58,6 +58,12 @@ struct ServerOptions {
   /// fault instead of queuing unboundedly. 0 = unlimited.
   size_t max_concurrent_messages = 0;
 
+  /// Bound on the graceful drain in stop(): the server stops accepting,
+  /// then waits up to this long for in-flight requests to finish before
+  /// tearing the protocol stage down. kNoTimeout skips the drain (the
+  /// pre-resilience hard stop).
+  Duration drain_timeout = std::chrono::milliseconds(500);
+
   /// Shared metrics registry to record into (unowned; must outlive the
   /// server). Null: the server creates and owns its own. Either way the
   /// registry is what GET /metrics exposes and metrics() returns, so
@@ -76,6 +82,9 @@ class SpiServer {
     std::uint64_t http_requests = 0;
     std::uint64_t application_tasks = 0;
     std::uint64_t admission_rejections = 0;
+    /// Messages shed before envelope parse because Deadline::scan found an
+    /// already-expired budget; execute-stage sheds are dispatcher.deadline_shed.
+    std::uint64_t deadline_shed_pre_parse = 0;
   };
 
   /// The registry is borrowed and must outlive the server; registering
@@ -118,6 +127,8 @@ class SpiServer {
   Assembler assembler_;
   HandlerChain handler_chain_;
   std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> deadline_shed_pre_parse_{0};
   telemetry::Counter* admission_rejections_ = nullptr;  // registry-owned
   telemetry::Histogram* span_parse_ = nullptr;          // registry-owned
   telemetry::Histogram* span_execute_ = nullptr;

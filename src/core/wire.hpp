@@ -27,6 +27,7 @@
 
 #include "core/call.hpp"
 #include "core/remote_plan.hpp"
+#include "resilience/deadline.hpp"
 #include "soap/envelope.hpp"
 #include "telemetry/trace.hpp"
 #include "xml/writer.hpp"
@@ -67,6 +68,11 @@ struct ParsedRequest {
   /// (telemetry/trace.hpp). Extracted by Dispatcher::parse_request; the
   /// streaming parser skips headers, so it stays empty on that path.
   telemetry::TraceContext trace;
+
+  /// Deadline from the request's spi:Deadline header block, re-anchored to
+  /// this host's clock at parse time (resilience/deadline.hpp). The
+  /// streaming parser recovers it via Deadline::scan on the raw document.
+  resilience::Deadline deadline;
 
   /// Number of operations this request will execute.
   size_t call_count() const {

@@ -12,7 +12,8 @@ HttpClient::HttpClient(net::Transport& transport, net::Endpoint server,
                        ClientOptions options)
     : transport_(transport),
       server_(std::move(server)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      receive_timeout_(options_.receive_timeout) {}
 
 HttpClient::~HttpClient() = default;
 
@@ -20,15 +21,23 @@ void HttpClient::disconnect() { pooled_.reset(); }
 
 Result<std::unique_ptr<net::Connection>> HttpClient::obtain_connection() {
   if (options_.keep_alive && pooled_) {
+    // Re-apply the timeout: a deadline-aware caller may have changed it
+    // since the connection was pooled.
+    if (!is_unbounded(receive_timeout_)) {
+      if (Status set = pooled_->set_receive_timeout(receive_timeout_);
+          !set.ok()) {
+        return set.error().wrap("http receive timeout");
+      }
+    }
     return std::move(pooled_);
   }
   auto connection = transport_.connect(server_);
   if (!connection.ok()) {
     return connection.wrap_error("http connect");
   }
-  if (options_.receive_timeout > Duration::zero()) {
-    if (Status set = connection.value()->set_receive_timeout(
-            options_.receive_timeout);
+  if (!is_unbounded(receive_timeout_)) {
+    if (Status set =
+            connection.value()->set_receive_timeout(receive_timeout_);
         !set.ok()) {
       return set.error().wrap("http receive timeout");
     }

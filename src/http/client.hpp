@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/timeout.hpp"
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/transport.hpp"
@@ -28,10 +29,10 @@ struct ClientOptions {
   /// of this size (message chunking, Chiu et al.). 0 = Content-Length.
   size_t chunked_request_bytes = 0;
 
-  /// Bound on how long a response read may block (zero = forever). A
-  /// server that accepts the request and then hangs produces kTimeout
-  /// instead of a stuck caller.
-  Duration receive_timeout{0};
+  /// Bound on how long a response read may block (kNoTimeout = forever;
+  /// common/timeout.hpp owns that convention). A server that accepts the
+  /// request and then hangs produces kTimeout instead of a stuck caller.
+  Duration receive_timeout = kNoTimeout;
 };
 
 class HttpClient {
@@ -57,6 +58,13 @@ class HttpClient {
   /// Drops the pooled connection (next request reconnects).
   void disconnect();
 
+  /// Overrides the configured receive timeout for subsequent requests —
+  /// how a deadline-aware caller clamps each attempt to the remaining
+  /// budget (min_timeout(options.receive_timeout, remaining)). Applies to
+  /// a pooled keep-alive connection too, not just fresh connects.
+  void set_receive_timeout(Duration timeout) { receive_timeout_ = timeout; }
+  Duration receive_timeout() const { return receive_timeout_; }
+
   const net::Endpoint& server() const { return server_; }
 
  private:
@@ -65,6 +73,7 @@ class HttpClient {
   net::Transport& transport_;
   net::Endpoint server_;
   ClientOptions options_;
+  Duration receive_timeout_ = kNoTimeout;  // effective; seeded from options
   std::unique_ptr<net::Connection> pooled_;
 };
 

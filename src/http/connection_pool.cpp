@@ -38,6 +38,17 @@ ConnectionPool::ConnectionPool(net::Transport& transport,
 
 Result<PooledConnection> ConnectionPool::acquire(
     const net::Endpoint& endpoint) {
+  resilience::CircuitBreaker* breaker =
+      breakers_ ? &breakers_->for_endpoint(endpoint) : nullptr;
+  if (breaker) {
+    // Fail fast while open: the lease is refused before any socket work.
+    // An admitted checkout is settled by give_back (healthy = success,
+    // poisoned = failure) or by the connect error below, which is what
+    // keeps half-open probe accounting balanced.
+    if (Status allowed = breaker->allow(); !allowed.ok()) {
+      return allowed.error();
+    }
+  }
   {
     std::lock_guard lock(mutex_);
     auto it = idle_.find(endpoint);
@@ -51,6 +62,7 @@ Result<PooledConnection> ConnectionPool::acquire(
   }
   auto connection = transport_.connect(endpoint);
   if (!connection.ok()) {
+    if (breaker) breaker->on_failure();
     return connection.wrap_error("pool connect");
   }
   {
@@ -63,6 +75,14 @@ Result<PooledConnection> ConnectionPool::acquire(
 void ConnectionPool::give_back(const net::Endpoint& endpoint,
                                std::unique_ptr<net::Connection> connection,
                                bool poisoned) {
+  if (breakers_) {
+    resilience::CircuitBreaker& breaker = breakers_->for_endpoint(endpoint);
+    if (poisoned) {
+      breaker.on_failure();
+    } else {
+      breaker.on_success();
+    }
+  }
   std::lock_guard lock(mutex_);
   if (poisoned) {
     ++stats_.discarded;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "resilience/circuit_breaker.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace spi::http {
@@ -70,8 +71,17 @@ class ConnectionPool {
   ConnectionPool& operator=(const ConnectionPool&) = delete;
 
   /// Leases a connection to `endpoint`: cached if available, freshly
-  /// connected otherwise.
+  /// connected otherwise. With circuit breakers installed, a checkout to
+  /// an OPEN endpoint fails fast with kUnavailable before any connect.
   Result<PooledConnection> acquire(const net::Endpoint& endpoint);
+
+  /// Installs per-endpoint circuit breakers (borrowed; may be shared with
+  /// SpiClients so everyone's observations protect everyone). Checkout is
+  /// gated by allow(); connect failures and poisoned returns count as
+  /// breaker failures, healthy returns as successes. Null disables gating.
+  void set_circuit_breakers(resilience::CircuitBreakerSet* breakers) {
+    breakers_ = breakers;
+  }
 
   /// Drops all idle connections.
   void clear();
@@ -92,6 +102,7 @@ class ConnectionPool {
 
   net::Transport& transport_;
   size_t max_idle_;
+  resilience::CircuitBreakerSet* breakers_ = nullptr;
   mutable std::mutex mutex_;
   std::map<net::Endpoint, std::vector<std::unique_ptr<net::Connection>>>
       idle_;

@@ -35,6 +35,7 @@ Status HttpServer::start() {
   }
   listener_ = std::move(listener).value();
   endpoint_ = listener_->endpoint();
+  accepting_.store(true, std::memory_order_release);
   connection_pool_ = std::make_unique<ThreadPool>(
       options_.protocol_threads, "http-protocol");
   acceptor_ = std::jthread([this] { accept_loop(); });
@@ -42,8 +43,16 @@ Status HttpServer::start() {
   return Status();
 }
 
+void HttpServer::stop_accepting() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (!accepting_.exchange(false)) return;
+  if (listener_) listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
+  accepting_.store(false, std::memory_order_release);
   if (listener_) listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
   // Wake protocol threads parked in receive() on keep-alive connections;
@@ -135,7 +144,16 @@ void HttpServer::serve_connection(
     }
     read_start.reset();
 
+    active_requests_.fetch_add(1, std::memory_order_acq_rel);
+    struct ActiveGuard {
+      std::atomic<size_t>* active;
+      ~ActiveGuard() { active->fetch_sub(1, std::memory_order_acq_rel); }
+    } active_guard{&active_requests_};
+
     bool keep = request->keep_alive();
+    // While draining, tell keep-alive peers to go away after this response
+    // so the connection count converges instead of waiting for abort().
+    if (!accepting_.load(std::memory_order_acquire)) keep = false;
     Response response;
     try {
       response = handler_(*request);

@@ -53,6 +53,20 @@ class HttpServer {
   /// Idempotent.
   void stop();
 
+  /// First half of a graceful drain: closes the listener and joins the
+  /// acceptor so no NEW connection is admitted, while requests already in
+  /// flight keep running and keep-alive peers get "Connection: close" on
+  /// their next response. Poll active_requests() until it reaches zero
+  /// (or a drain deadline passes), then call stop(). Idempotent.
+  void stop_accepting();
+
+  /// Requests currently between "framing parsed" and "response sent" —
+  /// the precise in-flight count a drain waits on (idle keep-alive
+  /// connections parked in receive() do not inflate it).
+  size_t active_requests() const {
+    return active_requests_.load(std::memory_order_acquire);
+  }
+
   /// Actual bound endpoint (valid after start()).
   net::Endpoint endpoint() const { return endpoint_; }
 
@@ -79,7 +93,9 @@ class HttpServer {
   std::unique_ptr<ThreadPool> connection_pool_;
   std::jthread acceptor_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<size_t> active_requests_{0};
 
   /// Connections currently being served; stop() aborts them so protocol
   /// threads blocked in receive() on idle keep-alive connections wake up.

@@ -29,7 +29,7 @@ class SimPipe {
     std::lock_guard reader_lock(reader_mutex_);
     if (pending_.empty()) {
       std::optional<Chunk> chunk;
-      if (timeout > Duration::zero()) {
+      if (!is_unbounded(timeout)) {
         chunk = queue_.pop_for(timeout);
         if (!chunk && !queue_.closed()) {
           return Error(ErrorCode::kTimeout, "receive timed out");
@@ -136,7 +136,7 @@ class SimConnection final : public Connection {
   SimLink* link_;
   Clock* clock_;
   WireStatsCollector* stats_;
-  Duration receive_timeout_{0};
+  Duration receive_timeout_ = kNoTimeout;
 };
 
 struct SimListenerState {

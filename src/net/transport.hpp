@@ -15,6 +15,7 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/timeout.hpp"
 #include "net/endpoint.hpp"
 
 namespace spi::net {
@@ -73,8 +74,9 @@ class Connection {
   /// and expires first.
   virtual Result<std::string> receive(size_t max_bytes) = 0;
 
-  /// Bounds how long receive() may block (zero = forever, the default).
-  /// Guards callers against peers that accept a request and then hang.
+  /// Bounds how long receive() may block (kNoTimeout = forever, the
+  /// default; common/timeout.hpp owns that convention). Guards callers
+  /// against peers that accept a request and then hang.
   virtual Status set_receive_timeout(Duration timeout) = 0;
 
   /// Half-close: peer's receive() drains then reports kConnectionClosed.

@@ -1,0 +1,174 @@
+#include "resilience/circuit_breaker.hpp"
+
+#include <algorithm>
+
+namespace spi::resilience {
+
+std::string_view breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               const Clock& clock)
+    : options_(options), clock_(&clock) {
+  window_.resize(options_.window_size > 0 ? options_.window_size : 1, false);
+}
+
+BreakerState CircuitBreaker::state_locked(TimePoint now) const {
+  if (state_ == BreakerState::kOpen &&
+      now - opened_at_ >= options_.open_cooldown) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+void CircuitBreaker::transition_locked(BreakerState next, TimePoint now) {
+  if (next == BreakerState::kOpen && state_ != BreakerState::kOpen) {
+    ++opens_;
+    opened_at_ = now;
+  }
+  if (next == BreakerState::kClosed) {
+    std::fill(window_.begin(), window_.end(), false);
+    window_next_ = 0;
+    window_count_ = 0;
+    window_failures_ = 0;
+  }
+  if (next != state_ && next == BreakerState::kHalfOpen) {
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+  state_ = next;
+}
+
+double CircuitBreaker::failure_ratio_locked() const {
+  if (window_count_ == 0) return 0.0;
+  return static_cast<double>(window_failures_) /
+         static_cast<double>(window_count_);
+}
+
+Status CircuitBreaker::allow() {
+  std::lock_guard lock(mutex_);
+  TimePoint now = clock_->now();
+  BreakerState effective = state_locked(now);
+  if (effective != state_) transition_locked(effective, now);
+
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Status();
+    case BreakerState::kOpen:
+      ++rejections_;
+      return Error(ErrorCode::kUnavailable,
+                   "circuit breaker open: failing fast");
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) {
+        ++rejections_;
+        return Error(ErrorCode::kUnavailable,
+                     "circuit breaker half-open: probe slots busy");
+      }
+      ++probes_in_flight_;
+      return Status();
+  }
+  return Status();
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard lock(mutex_);
+  TimePoint now = clock_->now();
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++probe_successes_ >= options_.required_successes) {
+      transition_locked(BreakerState::kClosed, now);
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // stale pre-open outcome
+  // Closed: record into the ring.
+  window_failures_ -= window_[window_next_] ? 1 : 0;
+  window_[window_next_] = false;
+  window_next_ = (window_next_ + 1) % window_.size();
+  if (window_count_ < window_.size()) ++window_count_;
+}
+
+void CircuitBreaker::on_failure() {
+  std::lock_guard lock(mutex_);
+  TimePoint now = clock_->now();
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    transition_locked(BreakerState::kOpen, now);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already isolating
+  window_failures_ += window_[window_next_] ? 0 : 1;
+  window_[window_next_] = true;
+  window_next_ = (window_next_ + 1) % window_.size();
+  if (window_count_ < window_.size()) ++window_count_;
+  if (window_count_ >= options_.min_samples &&
+      failure_ratio_locked() >= options_.failure_ratio) {
+    transition_locked(BreakerState::kOpen, now);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mutex_);
+  return state_locked(clock_->now());
+}
+
+std::uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard lock(mutex_);
+  return rejections_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard lock(mutex_);
+  return opens_;
+}
+
+CircuitBreakerSet::CircuitBreakerSet(CircuitBreakerOptions options,
+                                     const Clock& clock)
+    : options_(options), clock_(&clock) {}
+
+CircuitBreaker& CircuitBreakerSet::for_endpoint(
+    const net::Endpoint& endpoint) {
+  std::lock_guard lock(mutex_);
+  auto& slot = breakers_[endpoint];
+  if (!slot) slot = std::make_unique<CircuitBreaker>(options_, *clock_);
+  return *slot;
+}
+
+void CircuitBreakerSet::bind_metrics(telemetry::MetricsRegistry& registry) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [endpoint, breaker] : breakers_) {
+    std::string labels = "endpoint=\"" + endpoint.to_string() + "\"";
+    CircuitBreaker* b = breaker.get();
+    registry.add_callback(
+        "spi_breaker_state",
+        "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+        telemetry::CallbackKind::kGauge, labels, [b]() -> double {
+          switch (b->state()) {
+            case BreakerState::kClosed: return 0.0;
+            case BreakerState::kHalfOpen: return 1.0;
+            case BreakerState::kOpen: return 2.0;
+          }
+          return 0.0;
+        });
+    registry.add_callback("spi_breaker_opens_total",
+                          "Transitions into the open state",
+                          telemetry::CallbackKind::kCounter, labels,
+                          [b]() -> double {
+                            return static_cast<double>(b->opens());
+                          });
+    registry.add_callback("spi_breaker_rejections_total",
+                          "Checkouts failed fast while open/half-open",
+                          telemetry::CallbackKind::kCounter, labels,
+                          [b]() -> double {
+                            return static_cast<double>(b->rejections());
+                          });
+  }
+}
+
+}  // namespace spi::resilience

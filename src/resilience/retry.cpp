@@ -1,0 +1,140 @@
+#include "resilience/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.hpp"
+
+namespace spi::resilience {
+
+namespace {
+
+/// The codes a server-side fault can carry that guarantee the operation
+/// was never dispatched to its handler.
+bool not_executed_code(ErrorCode code) {
+  return code == ErrorCode::kDeadlineExceeded ||
+         code == ErrorCode::kCapacityExceeded ||
+         code == ErrorCode::kShutdown;
+}
+
+}  // namespace
+
+ErrorCode fault_cause(const Error& error) {
+  if (error.code() != ErrorCode::kFault) return error.code();
+  // Fault::to_error builds "faultcode: faultstring (detail)" and this
+  // stack always sets faultstring to an ErrorCode name; recover it.
+  std::string_view message = error.message();
+  if (size_t colon = message.find(": "); colon != std::string_view::npos) {
+    message.remove_prefix(colon + 2);
+  }
+  if (size_t paren = message.find(" ("); paren != std::string_view::npos) {
+    message = message.substr(0, paren);
+  }
+  message = trim(message);
+  for (ErrorCode code :
+       {ErrorCode::kDeadlineExceeded, ErrorCode::kCapacityExceeded,
+        ErrorCode::kShutdown, ErrorCode::kTimeout, ErrorCode::kNotFound,
+        ErrorCode::kInvalidArgument, ErrorCode::kInternal,
+        ErrorCode::kUnavailable}) {
+    if (message == error_code_name(code)) return code;
+  }
+  return ErrorCode::kFault;
+}
+
+FaultClass classify(const Error& error) {
+  switch (error.code()) {
+    case ErrorCode::kConnectionFailed:
+      // connect() refused: no request byte ever left this host.
+      return FaultClass::kRetryableBeforeWrite;
+    case ErrorCode::kConnectionClosed:
+    case ErrorCode::kTimeout:
+      // The request (or part of it) was written; the server may have
+      // executed the call before the connection died.
+      return FaultClass::kRetryableIfIdempotent;
+    case ErrorCode::kFault:
+      return not_executed_code(fault_cause(error))
+                 ? FaultClass::kRetryableNotExecuted
+                 : FaultClass::kTerminal;
+    case ErrorCode::kDeadlineExceeded:  // local budget spent: stop, don't pile on
+    case ErrorCode::kUnavailable:       // breaker open: fail fast by design
+    default:
+      return FaultClass::kTerminal;
+  }
+}
+
+RetryBudget::RetryBudget(double capacity, double deposit_per_call)
+    : capacity_(capacity), deposit_(deposit_per_call), tokens_(capacity) {}
+
+void RetryBudget::on_call() {
+  if (unlimited()) return;
+  std::lock_guard lock(mutex_);
+  tokens_ = std::min(capacity_, tokens_ + deposit_);
+}
+
+bool RetryBudget::try_spend() {
+  if (unlimited()) return true;
+  std::lock_guard lock(mutex_);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double RetryBudget::level() const {
+  if (unlimited()) return 0.0;
+  std::lock_guard lock(mutex_);
+  return tokens_;
+}
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(std::move(options)),
+      budget_(options_.budget, options_.deposit_per_call),
+      rng_(options_.seed) {}
+
+Duration RetryPolicy::backoff(int retry_number) {
+  double factor = std::pow(options_.multiplier,
+                           static_cast<double>(std::max(0, retry_number - 1)));
+  double base_ns =
+      static_cast<double>(options_.initial_backoff.count()) * factor;
+  base_ns = std::min(base_ns,
+                     static_cast<double>(options_.max_backoff.count()));
+  double jitter = 0.0;
+  if (options_.jitter > 0.0) {
+    std::lock_guard lock(rng_mutex_);
+    // Uniform in [-jitter, +jitter].
+    jitter = (rng_.next_double() * 2.0 - 1.0) * options_.jitter;
+  }
+  double jittered = base_ns * (1.0 + jitter);
+  return Duration(static_cast<Duration::rep>(std::max(0.0, jittered)));
+}
+
+bool RetryPolicy::should_retry(const Error& error, int attempts_made,
+                               std::string_view service,
+                               std::string_view operation) {
+  bool idempotent =
+      options_.idempotent && options_.idempotent(service, operation);
+  return should_retry(error, attempts_made, idempotent);
+}
+
+bool RetryPolicy::should_retry(const Error& error, int attempts_made,
+                               bool idempotent) {
+  if (attempts_made >= options_.max_attempts) return false;
+  switch (classify(error)) {
+    case FaultClass::kTerminal:
+      return false;
+    case FaultClass::kRetryableIfIdempotent:
+      if (!idempotent) return false;
+      break;
+    case FaultClass::kRetryableBeforeWrite:
+    case FaultClass::kRetryableNotExecuted:
+      break;
+  }
+  if (!budget_.try_spend()) return false;
+  retries_granted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t RetryPolicy::retries_granted() const {
+  return retries_granted_.load(std::memory_order_relaxed);
+}
+
+}  // namespace spi::resilience

@@ -1,0 +1,142 @@
+// Retry with jittered exponential backoff, gated by a token-bucket retry
+// *budget* (DESIGN.md §10). The budget is the piece naive retry loops
+// miss: under a real outage every client retrying multiplies offered load
+// exactly when the server can least absorb it. Here each first attempt
+// deposits a fraction of a token and each retry spends a whole one, so
+// steady-state retry traffic is bounded to ~deposit_per_call of the
+// request rate no matter how hard the backend is failing.
+//
+// Classification is idempotency-aware: a connect refusal happened before
+// any request byte left the host, so anything may be retried; a sever or
+// timeout after bytes were written may have executed the call, so only
+// operations declared idempotent (core::ServiceRegistry traits) are
+// retried. Server faults that guarantee the call was NOT executed —
+// DeadlineExceeded / CapacityExceeded / Shutdown shed before dispatch —
+// are safe to retry regardless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace spi::resilience {
+
+struct RetryOptions {
+  /// Total attempts per call including the first; 1 disables retrying.
+  int max_attempts = 1;
+
+  /// Backoff before retry k (1-based): initial_backoff * multiplier^(k-1),
+  /// capped at max_backoff, then jittered by ±jitter fraction.
+  Duration initial_backoff = std::chrono::milliseconds(2);
+  Duration max_backoff = std::chrono::milliseconds(200);
+  double multiplier = 2.0;
+  double jitter = 0.2;
+
+  /// Seed for the jitter RNG: equal seeds give equal backoff schedules
+  /// (chaos CI reruns reproduce sleeps exactly).
+  std::uint64_t seed = 0x5eed;
+
+  /// Token-bucket retry budget. Each retry spends 1 token; each FIRST
+  /// attempt deposits `deposit_per_call` (capped at `budget`). budget <= 0
+  /// disables the gate (unlimited retries up to max_attempts).
+  double budget = 10.0;
+  double deposit_per_call = 0.1;
+
+  /// Decides whether service.operation may be retried after request bytes
+  /// were written. Null = assume non-idempotent (the conservative
+  /// default). Wire to ServiceRegistry::idempotency_predicate() when the
+  /// caller knows the deployment's operation table.
+  std::function<bool(std::string_view service, std::string_view operation)>
+      idempotent;
+};
+
+/// Why an error is or is not retryable.
+enum class FaultClass {
+  /// Failed before any request byte was written (connect refused): safe
+  /// to retry regardless of idempotency.
+  kRetryableBeforeWrite,
+  /// Failed after bytes were written (sever, timeout): the server may
+  /// have executed the call — retry only if the operation is idempotent.
+  kRetryableIfIdempotent,
+  /// The server answered that it did NOT execute the call (deadline shed,
+  /// admission rejection, shutdown): retry is safe for any operation.
+  kRetryableNotExecuted,
+  /// Anything else: a real answer or a non-transient failure.
+  kTerminal,
+};
+
+/// Maps an error at the SPI call boundary onto a FaultClass. For kFault
+/// errors (per-call SOAP faults), the embedded faultstring — always an
+/// ErrorCode name on this stack — decides: DeadlineExceeded /
+/// CapacityExceeded / Shutdown mean "not executed".
+FaultClass classify(const Error& error);
+
+/// For kFault errors, recovers the server-side ErrorCode carried in the
+/// faultstring ("SOAP-ENV:Server: DeadlineExceeded (…)"); other errors
+/// return their own code. kFault when the faultstring names no code.
+ErrorCode fault_cause(const Error& error);
+
+/// Token bucket shared by every call through one RetryPolicy. Lock-based:
+/// it is touched once per attempt, not per byte.
+class RetryBudget {
+ public:
+  RetryBudget(double capacity, double deposit_per_call);
+
+  /// A first attempt is being made: deposit the earn-back fraction.
+  void on_call();
+
+  /// Try to pay for one retry. False = budget exhausted, do not retry.
+  bool try_spend();
+
+  double level() const;
+  bool unlimited() const { return capacity_ <= 0; }
+
+ private:
+  const double capacity_;
+  const double deposit_;
+  mutable std::mutex mutex_;
+  double tokens_;
+};
+
+/// Shared retry state for one client: options + budget + jitter RNG.
+/// Thread-safe; call_multithreaded workers share one policy so the budget
+/// bounds the whole client, not each thread.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options);
+
+  const RetryOptions& options() const { return options_; }
+  bool enabled() const { return options_.max_attempts > 1; }
+
+  /// Jittered backoff before retry `retry_number` (1-based).
+  Duration backoff(int retry_number);
+
+  /// Full gate for one more attempt: classification, idempotency,
+  /// attempts_made so far, and budget (spends a token when it says yes).
+  bool should_retry(const Error& error, int attempts_made,
+                    std::string_view service, std::string_view operation);
+
+  /// Batch form: pass `idempotent` = true only when EVERY call that the
+  /// retry would replay is idempotent (a message-level retry replays the
+  /// whole batch, so one non-idempotent member poisons it).
+  bool should_retry(const Error& error, int attempts_made, bool idempotent);
+
+  void on_call() { budget_.on_call(); }
+  double budget_level() const { return budget_.level(); }
+  std::uint64_t retries_granted() const;
+
+ private:
+  RetryOptions options_;
+  RetryBudget budget_;
+  std::mutex rng_mutex_;
+  SplitMix64 rng_;
+  std::atomic<std::uint64_t> retries_granted_{0};
+};
+
+}  // namespace spi::resilience

@@ -18,7 +18,7 @@ Airline::Airline(std::string name, std::vector<FlightSpec> flights,
 
 void Airline::register_with(core::ServiceRegistry& registry) {
   core::ServiceBinder binder(registry, name_);
-  binder.bind("QueryFlights", [this](const soap::Struct& params) {
+  binder.bind_idempotent("QueryFlights", [this](const soap::Struct& params) {
     return query_flights(params);
   });
   binder.bind("Reserve", [this](const soap::Struct& params) {

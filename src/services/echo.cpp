@@ -15,7 +15,7 @@ void register_echo_service(core::ServiceRegistry& registry,
                            EchoOptions options) {
   core::ServiceBinder binder(registry, service_name);
 
-  binder.bind("Echo", [](const soap::Struct& params) -> Result<Value> {
+  binder.bind_idempotent("Echo", [](const soap::Struct& params) -> Result<Value> {
     const Value* data = core::find_param(params, "data");
     if (!data) {
       return Error(ErrorCode::kInvalidArgument, "missing parameter 'data'");
@@ -23,7 +23,7 @@ void register_echo_service(core::ServiceRegistry& registry,
     return *data;
   });
 
-  binder.bind("Reverse", [](const soap::Struct& params) -> Result<Value> {
+  binder.bind_idempotent("Reverse", [](const soap::Struct& params) -> Result<Value> {
     auto data = core::require_string(params, "data");
     if (!data.ok()) return data.error();
     std::string reversed = data.value();
@@ -31,13 +31,13 @@ void register_echo_service(core::ServiceRegistry& registry,
     return Value(std::move(reversed));
   });
 
-  binder.bind("Length", [](const soap::Struct& params) -> Result<Value> {
+  binder.bind_idempotent("Length", [](const soap::Struct& params) -> Result<Value> {
     auto data = core::require_string(params, "data");
     if (!data.ok()) return data.error();
     return Value(static_cast<std::int64_t>(data.value().size()));
   });
 
-  binder.bind("Delay",
+  binder.bind_idempotent("Delay",
               [options](const soap::Struct& params) -> Result<Value> {
     auto ms = core::require_int(params, "milliseconds");
     if (!ms.ok()) return ms.error();

@@ -18,7 +18,7 @@ Hotel::Hotel(std::string name, std::vector<RoomSpec> rooms,
 
 void Hotel::register_with(core::ServiceRegistry& registry) {
   core::ServiceBinder binder(registry, name_);
-  binder.bind("QueryRooms", [this](const soap::Struct& params) {
+  binder.bind_idempotent("QueryRooms", [this](const soap::Struct& params) {
     return query_rooms(params);
   });
   binder.bind("Reserve", [this](const soap::Struct& params) {

@@ -35,7 +35,7 @@ void register_weather_service(core::ServiceRegistry& registry,
                               const std::string& service_name) {
   core::ServiceBinder binder(registry, service_name);
 
-  binder.bind("GetWeather", [](const soap::Struct& params) -> Result<Value> {
+  binder.bind_idempotent("GetWeather", [](const soap::Struct& params) -> Result<Value> {
     auto city = core::require_string(params, "city");
     if (!city.ok()) return city.error();
     for (const CityWeather& entry : kWeatherTable) {
@@ -52,7 +52,7 @@ void register_weather_service(core::ServiceRegistry& registry,
                  "no forecast for city '" + city.value() + "'");
   });
 
-  binder.bind("ListCities", [](const soap::Struct&) -> Result<Value> {
+  binder.bind_idempotent("ListCities", [](const soap::Struct&) -> Result<Value> {
     soap::Array cities;
     cities.reserve(kWeatherTable.size());
     for (const CityWeather& entry : kWeatherTable) {

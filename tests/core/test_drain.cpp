@@ -1,0 +1,137 @@
+// Graceful drain: SpiServer::stop() stops accepting, lets in-flight
+// requests finish within drain_timeout, reports "draining" on /healthz,
+// and answers new work with a retryable Shutdown fault instead of
+// executing it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "http/message.hpp"
+#include "net/sim_transport.hpp"
+#include "services/echo.hpp"
+#include "soap/envelope.hpp"
+
+namespace spi::core {
+namespace {
+
+using soap::Value;
+
+class DrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    services::register_echo_service(registry_);
+    ServerOptions options;
+    options.drain_timeout = std::chrono::seconds(2);
+    server_ = std::make_unique<SpiServer>(transport_,
+                                          net::Endpoint{"server", 80},
+                                          registry_, options);
+    ASSERT_TRUE(server_->start().ok());
+  }
+
+  /// Pre-established keep-alive connection; usable after the listener
+  /// closes (which is exactly the drain window we need to observe).
+  std::unique_ptr<net::Connection> open_connection() {
+    auto connection = transport_.connect(server_->endpoint());
+    EXPECT_TRUE(connection.ok());
+    return std::move(connection).value();
+  }
+
+  std::string roundtrip(net::Connection& connection, http::Request request) {
+    EXPECT_TRUE(connection.send(request.serialize()).ok());
+    auto bytes = connection.receive(64 * 1024);
+    EXPECT_TRUE(bytes.ok()) << bytes.error().to_string();
+    return bytes.ok() ? bytes.value() : std::string();
+  }
+
+  net::SimTransport transport_;
+  ServiceRegistry registry_;
+  std::unique_ptr<SpiServer> server_;
+};
+
+TEST_F(DrainTest, InFlightRequestFinishesDuringStop) {
+  CallOutcome outcome = Error(ErrorCode::kInternal, "never ran");
+  std::thread caller([&] {
+    SpiClient client(transport_, server_->endpoint());
+    outcome = client.call("EchoService", "Delay",
+                          {{"milliseconds", Value(150)}});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  server_->stop();  // must wait for the Delay, not abort it
+  caller.join();
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_EQ(outcome.value().as_int(), 150);
+}
+
+TEST_F(DrainTest, DrainWindowReportsDrainingAndShedsNewWork) {
+  auto healthz_connection = open_connection();
+  auto post_connection = open_connection();
+
+  // Sanity: before the drain the server is healthy.
+  http::Request healthz;
+  healthz.method = "GET";
+  healthz.target = "/healthz";
+  std::string before = roundtrip(*healthz_connection, healthz);
+  EXPECT_NE(before.find("200"), std::string::npos) << before;
+
+  CallOutcome outcome = Error(ErrorCode::kInternal, "never ran");
+  std::thread caller([&] {
+    SpiClient client(transport_, server_->endpoint());
+    outcome = client.call("EchoService", "Delay",
+                          {{"milliseconds", Value(400)}});
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread stopper([&] { server_->stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Mid-drain: /healthz flips to 503 "draining" so load balancers stop
+  // routing here while in-flight work completes.
+  std::string during = roundtrip(*healthz_connection, healthz);
+  EXPECT_NE(during.find("503"), std::string::npos) << during;
+  EXPECT_NE(during.find("draining"), std::string::npos) << during;
+
+  // Mid-drain: new SPI work is refused with a Shutdown fault — a
+  // "not executed" answer the retry layer may safely replay elsewhere.
+  http::Request post;
+  post.method = "POST";
+  post.target = "/spi";
+  post.headers.set("Content-Type", "text/xml");
+  post.body = soap::build_envelope("<spi:Echo/>");
+  std::string refused = roundtrip(*post_connection, post);
+  EXPECT_NE(refused.find("503"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("Shutdown"), std::string::npos) << refused;
+
+  stopper.join();
+  caller.join();
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_EQ(outcome.value().as_int(), 400);
+}
+
+TEST_F(DrainTest, DrainGivesUpAtTheTimeout) {
+  ServerOptions options;
+  options.drain_timeout = std::chrono::milliseconds(100);
+  SpiServer bounded(transport_, net::Endpoint{"bounded", 80}, registry_,
+                    options);
+  ASSERT_TRUE(bounded.start().ok());
+  CallOutcome outcome = Error(ErrorCode::kInternal, "never ran");
+  double caller_ms = 0.0;
+  std::thread caller([&] {
+    SpiClient client(transport_, bounded.endpoint());
+    Stopwatch stopwatch;
+    outcome = client.call("EchoService", "Delay",
+                          {{"milliseconds", Value(800)}});
+    caller_ms = stopwatch.elapsed_ms();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  bounded.stop();
+  caller.join();
+  // The 800ms handler cannot finish inside the 100ms drain budget: the
+  // drain gives up and the hard stop aborts the connection, so the client
+  // learns its fate at ~the drain bound, not after the full handler delay.
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_LT(caller_ms, 600.0);
+}
+
+}  // namespace
+}  // namespace spi::core

@@ -1,0 +1,174 @@
+// Circuit breaker unit tests against a ManualClock: min_samples guard,
+// ratio-triggered open, fast-fail while open, cooldown -> half-open probe
+// flow (success closes, failure re-opens), and per-endpoint isolation in
+// CircuitBreakerSet.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "resilience/circuit_breaker.hpp"
+
+namespace spi::resilience {
+namespace {
+
+using std::chrono::milliseconds;
+
+CircuitBreakerOptions small_options() {
+  CircuitBreakerOptions options;
+  options.window_size = 8;
+  options.min_samples = 4;
+  options.failure_ratio = 0.5;
+  options.open_cooldown = milliseconds(100);
+  options.half_open_probes = 1;
+  options.required_successes = 1;
+  return options;
+}
+
+void fail_n(CircuitBreaker& breaker, int n) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(breaker.allow().ok());
+    breaker.on_failure();
+  }
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinSamples) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  // 3 consecutive failures on a cold endpoint: 100% ratio but below
+  // min_samples, so a flaky first impression cannot open the breaker.
+  fail_n(breaker, 3);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow().ok());
+  breaker.on_success();
+}
+
+TEST(CircuitBreaker, OpensAtFailureRatio) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  fail_n(breaker, 4);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreaker, MixedWindowRespectsRatio) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  // 3 failures / 5 successes in an 8-wide window = 0.375 < 0.5: closed.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(breaker.allow().ok());
+    breaker.on_success();
+  }
+  fail_n(breaker, 3);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // One more failure: 4/8 = 0.5 -> open.
+  fail_n(breaker, 1);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, FailsFastWhileOpenAndCountsRejections) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  fail_n(breaker, 4);
+  for (int i = 0; i < 10; ++i) {
+    Status admitted = breaker.allow();
+    ASSERT_FALSE(admitted.ok());
+    EXPECT_EQ(admitted.error().code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(breaker.rejections(), 10u);
+}
+
+TEST(CircuitBreaker, CooldownAdmitsOneProbeThatCloses) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  fail_n(breaker, 4);
+  clock.advance(milliseconds(99));
+  EXPECT_FALSE(breaker.allow().ok()) << "cooldown not elapsed yet";
+  clock.advance(milliseconds(2));
+
+  // Half-open: exactly one probe slot.
+  ASSERT_TRUE(breaker.allow().ok());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow().ok()) << "second concurrent probe refused";
+
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Fresh window after recovery: old failures are forgotten.
+  ASSERT_TRUE(breaker.allow().ok());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensAndRestartsCooldown) {
+  ManualClock clock;
+  CircuitBreaker breaker(small_options(), clock);
+  fail_n(breaker, 4);
+  clock.advance(milliseconds(150));
+  ASSERT_TRUE(breaker.allow().ok());
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.allow().ok());
+  clock.advance(milliseconds(99));
+  EXPECT_FALSE(breaker.allow().ok()) << "cooldown restarted by failed probe";
+  clock.advance(milliseconds(2));
+  ASSERT_TRUE(breaker.allow().ok());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, RequiredSuccessesDemandsConsecutiveWins) {
+  ManualClock clock;
+  CircuitBreakerOptions options = small_options();
+  options.half_open_probes = 2;
+  options.required_successes = 2;
+  CircuitBreaker breaker(options, clock);
+  fail_n(breaker, 4);
+  clock.advance(milliseconds(150));
+  ASSERT_TRUE(breaker.allow().ok());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen)
+      << "one success of two required";
+  ASSERT_TRUE(breaker.allow().ok());
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerSet, EndpointsAreIsolated) {
+  ManualClock clock;
+  CircuitBreakerSet set(small_options(), clock);
+  net::Endpoint alpha{"alpha", 80};
+  net::Endpoint beta{"beta", 80};
+  fail_n(set.for_endpoint(alpha), 4);
+  EXPECT_EQ(set.for_endpoint(alpha).state(), BreakerState::kOpen);
+  EXPECT_EQ(set.for_endpoint(beta).state(), BreakerState::kClosed);
+  EXPECT_TRUE(set.for_endpoint(beta).allow().ok());
+  set.for_endpoint(beta).on_success();
+  // Same endpoint -> same breaker instance.
+  EXPECT_EQ(&set.for_endpoint(alpha), &set.for_endpoint(alpha));
+}
+
+TEST(CircuitBreakerSet, BindMetricsExportsStateAndCounters) {
+  ManualClock clock;
+  CircuitBreakerSet set(small_options(), clock);
+  net::Endpoint endpoint{"server", 80};
+  fail_n(set.for_endpoint(endpoint), 4);
+  (void)set.for_endpoint(endpoint).allow();  // one rejection
+
+  telemetry::MetricsRegistry registry;
+  set.bind_metrics(registry);
+  std::string scrape = registry.expose();
+  EXPECT_NE(scrape.find("spi_breaker_state"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("spi_breaker_opens_total"), std::string::npos);
+  EXPECT_NE(scrape.find("spi_breaker_rejections_total"), std::string::npos);
+  EXPECT_NE(scrape.find("server:80"), std::string::npos)
+      << "endpoint label present:\n" << scrape;
+}
+
+TEST(BreakerStateName, NamesAllStates) {
+  EXPECT_EQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_EQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_EQ(breaker_state_name(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace spi::resilience

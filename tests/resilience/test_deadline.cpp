@@ -1,0 +1,179 @@
+// Deadline propagation unit tests: arithmetic against an injected clock,
+// the <spi:Deadline> wire round-trip (relative remaining-budget,
+// re-anchored by the receiver), the pre-parse scan, and the thread-local
+// DeadlineScope the Assembler reads.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/timeout.hpp"
+#include "resilience/deadline.hpp"
+#include "soap/envelope.hpp"
+
+namespace spi::resilience {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(Deadline, DefaultIsNeverAndUnbounded) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.valid());
+  ManualClock clock;
+  EXPECT_FALSE(deadline.expired(clock.now()));
+  EXPECT_EQ(deadline.remaining_or_unbounded(clock.now()), kNoTimeout);
+  EXPECT_TRUE(deadline.to_header_block(clock.now()).empty());
+}
+
+TEST(Deadline, RemainingAndExpiryTrackTheClock) {
+  ManualClock clock;
+  Deadline deadline = Deadline::after(milliseconds(100), clock);
+  EXPECT_TRUE(deadline.valid());
+  EXPECT_FALSE(deadline.expired(clock.now()));
+  EXPECT_EQ(deadline.remaining(clock.now()), milliseconds(100));
+
+  clock.advance(milliseconds(60));
+  EXPECT_EQ(deadline.remaining(clock.now()), milliseconds(40));
+  EXPECT_FALSE(deadline.expired(clock.now()));
+
+  clock.advance(milliseconds(40));
+  EXPECT_TRUE(deadline.expired(clock.now()));
+  EXPECT_EQ(deadline.remaining(clock.now()), Duration::zero());
+}
+
+TEST(Deadline, ExpiredRemainingOrUnboundedFailsFastNotForever) {
+  // The 0-means-infinite convention must not turn "expired" into "wait
+  // forever": an expired deadline yields the smallest positive bound.
+  ManualClock clock;
+  Deadline deadline = Deadline::after(milliseconds(1), clock);
+  clock.advance(milliseconds(5));
+  Duration bound = deadline.remaining_or_unbounded(clock.now());
+  EXPECT_FALSE(is_unbounded(bound));
+  EXPECT_EQ(bound, Duration(1));
+}
+
+TEST(Deadline, HeaderBlockCarriesRemainingMicroseconds) {
+  ManualClock clock;
+  Deadline deadline = Deadline::after(microseconds(250'000), clock);
+  EXPECT_EQ(deadline.to_header_block(clock.now()),
+            "<spi:Deadline><spi:RemainingUs>250000</spi:RemainingUs>"
+            "</spi:Deadline>");
+}
+
+TEST(Deadline, WireRoundTripReAnchorsOnTheReceiversClock) {
+  // Sender and receiver clocks are NOT comparable; what travels is the
+  // remaining budget, re-anchored at parse time.
+  ManualClock sender;
+  sender.advance(std::chrono::hours(1000));  // wildly different epoch
+  Deadline outbound = Deadline::after(milliseconds(80), sender);
+  std::string envelope = soap::build_envelope(
+      "<spi:Echo/>", {outbound.to_header_block(sender.now())});
+
+  ManualClock receiver;
+  auto parsed = soap::Envelope::parse(envelope);
+  ASSERT_TRUE(parsed.ok());
+  auto inbound =
+      Deadline::from_header_blocks(parsed.value().header_blocks,
+                                   receiver.now());
+  ASSERT_TRUE(inbound.has_value());
+  EXPECT_EQ(inbound->remaining(receiver.now()), milliseconds(80));
+
+  receiver.advance(milliseconds(81));
+  EXPECT_TRUE(inbound->expired(receiver.now()));
+}
+
+TEST(Deadline, NegativeRemainingTravelsAndArrivesExpired) {
+  // A message that spent its budget queueing ships a negative remaining —
+  // the receiver must see it as already expired, not reject the header.
+  ManualClock sender;
+  sender.advance(std::chrono::seconds(10));
+  Deadline outbound = Deadline::after(milliseconds(-5), sender);
+  std::string block = outbound.to_header_block(sender.now());
+  ASSERT_NE(block.find("-5000"), std::string::npos) << block;
+
+  ManualClock receiver;
+  receiver.advance(std::chrono::seconds(99));
+  auto inbound = Deadline::scan(block, receiver.now());
+  ASSERT_TRUE(inbound.has_value());
+  EXPECT_TRUE(inbound->expired(receiver.now()));
+}
+
+TEST(Deadline, LongDeadHeaderIsSuppressed) {
+  // >1s past-expired: nothing useful to ship; serializes to nothing.
+  ManualClock clock;
+  clock.advance(std::chrono::seconds(10));
+  Deadline deadline = Deadline::after(std::chrono::seconds(-2), clock);
+  EXPECT_TRUE(deadline.to_header_block(clock.now()).empty());
+}
+
+TEST(Deadline, ScanFindsTheFragmentWithoutADom) {
+  ManualClock clock;
+  Deadline outbound = Deadline::after(milliseconds(30), clock);
+  std::string envelope = soap::build_envelope(
+      "<spi:Parallel_Method/>", {outbound.to_header_block(clock.now())});
+  auto scanned = Deadline::scan(envelope, clock.now());
+  ASSERT_TRUE(scanned.has_value());
+  EXPECT_EQ(scanned->remaining(clock.now()), milliseconds(30));
+}
+
+TEST(Deadline, ScanIgnoresEnvelopesWithoutADeadline) {
+  ManualClock clock;
+  EXPECT_FALSE(
+      Deadline::scan(soap::build_envelope("<spi:Echo/>"), clock.now())
+          .has_value());
+  EXPECT_FALSE(Deadline::scan("", clock.now()).has_value());
+  EXPECT_FALSE(
+      Deadline::scan("<spi:Deadline><spi:RemainingUs>not-a-number"
+                     "</spi:RemainingUs></spi:Deadline>",
+                     clock.now())
+          .has_value());
+}
+
+TEST(Deadline, ScanWindowIsBounded) {
+  // A fragment pushed past the 4 KB scan window is not found — the shed
+  // check stays O(1) in message size. (Real envelopes put headers first.)
+  ManualClock clock;
+  std::string padding(8192, 'x');
+  std::string document =
+      padding + "<spi:Deadline><spi:RemainingUs>1000"
+                "</spi:RemainingUs></spi:Deadline>";
+  EXPECT_FALSE(Deadline::scan(document, clock.now()).has_value());
+}
+
+TEST(Deadline, AbsurdWireBudgetIsRejected) {
+  ManualClock clock;
+  EXPECT_FALSE(
+      Deadline::scan("<spi:Deadline><spi:RemainingUs>99999999999999999999"
+                     "</spi:RemainingUs></spi:Deadline>",
+                     clock.now())
+          .has_value());
+}
+
+TEST(DeadlineScope, InstallsAndRestoresThreadLocally) {
+  EXPECT_EQ(current_deadline(), nullptr);
+  ManualClock clock;
+  Deadline outer = Deadline::after(milliseconds(100), clock);
+  {
+    DeadlineScope outer_scope(outer);
+    ASSERT_NE(current_deadline(), nullptr);
+    EXPECT_EQ(current_deadline(), &outer);
+    Deadline inner = Deadline::after(milliseconds(10), clock);
+    {
+      DeadlineScope inner_scope(inner);
+      EXPECT_EQ(current_deadline(), &inner);
+    }
+    EXPECT_EQ(current_deadline(), &outer);
+  }
+  EXPECT_EQ(current_deadline(), nullptr);
+}
+
+TEST(MinTimeout, ComposesConfiguredTimeoutWithDeadlineBudget) {
+  EXPECT_EQ(min_timeout(kNoTimeout, kNoTimeout), kNoTimeout);
+  EXPECT_EQ(min_timeout(kNoTimeout, milliseconds(5)), milliseconds(5));
+  EXPECT_EQ(min_timeout(milliseconds(5), kNoTimeout), milliseconds(5));
+  EXPECT_EQ(min_timeout(milliseconds(5), milliseconds(3)), milliseconds(3));
+  EXPECT_EQ(min_timeout(milliseconds(2), milliseconds(3)), milliseconds(2));
+}
+
+}  // namespace
+}  // namespace spi::resilience

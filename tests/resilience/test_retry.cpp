@@ -1,0 +1,202 @@
+// Retry policy unit tests: fault classification, fault_cause recovery
+// from SOAP fault messages, the token-bucket budget, deterministic
+// seeded backoff, and the should_retry gates (idempotency, attempt cap,
+// budget exhaustion).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "resilience/retry.hpp"
+
+namespace spi::resilience {
+namespace {
+
+using std::chrono::milliseconds;
+
+Error fault(std::string_view faultstring) {
+  // soap::Fault::to_error shape: "faultcode: faultstring (detail)".
+  std::string message = "SOAP-ENV:Server: ";
+  message += faultstring;
+  message += " (handler detail)";
+  return Error(ErrorCode::kFault, message);
+}
+
+TEST(Classify, ConnectRefusedIsRetryableBeforeWrite) {
+  EXPECT_EQ(classify(Error(ErrorCode::kConnectionFailed, "refused")),
+            FaultClass::kRetryableBeforeWrite);
+}
+
+TEST(Classify, SeverAndTimeoutNeedIdempotency) {
+  EXPECT_EQ(classify(Error(ErrorCode::kConnectionClosed, "sever")),
+            FaultClass::kRetryableIfIdempotent);
+  EXPECT_EQ(classify(Error(ErrorCode::kTimeout, "receive timed out")),
+            FaultClass::kRetryableIfIdempotent);
+}
+
+TEST(Classify, NotExecutedFaultsAreAlwaysRetryable) {
+  EXPECT_EQ(classify(fault("DeadlineExceeded")),
+            FaultClass::kRetryableNotExecuted);
+  EXPECT_EQ(classify(fault("CapacityExceeded")),
+            FaultClass::kRetryableNotExecuted);
+  EXPECT_EQ(classify(fault("Shutdown")), FaultClass::kRetryableNotExecuted);
+}
+
+TEST(Classify, RealAnswersAndLocalStopsAreTerminal) {
+  // An application fault is an answer, not an outage.
+  EXPECT_EQ(classify(fault("NotFound")), FaultClass::kTerminal);
+  EXPECT_EQ(classify(fault("Internal")), FaultClass::kTerminal);
+  // Local deadline spent: piling on would make the overload worse.
+  EXPECT_EQ(classify(Error(ErrorCode::kDeadlineExceeded, "budget spent")),
+            FaultClass::kTerminal);
+  // Breaker open: the fail-fast answer must stay fast.
+  EXPECT_EQ(classify(Error(ErrorCode::kUnavailable, "circuit open")),
+            FaultClass::kTerminal);
+  EXPECT_EQ(classify(Error(ErrorCode::kInvalidArgument, "bad xml")),
+            FaultClass::kTerminal);
+}
+
+TEST(FaultCause, RecoversServerCodeFromFaultMessage) {
+  EXPECT_EQ(fault_cause(fault("DeadlineExceeded")),
+            ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(fault_cause(fault("CapacityExceeded")),
+            ErrorCode::kCapacityExceeded);
+  EXPECT_EQ(fault_cause(fault("Shutdown")), ErrorCode::kShutdown);
+  EXPECT_EQ(fault_cause(fault("NotFound")), ErrorCode::kNotFound);
+}
+
+TEST(FaultCause, PassesNonFaultsThroughAndDefaultsUnknown) {
+  EXPECT_EQ(fault_cause(Error(ErrorCode::kTimeout, "t")), ErrorCode::kTimeout);
+  EXPECT_EQ(fault_cause(Error(ErrorCode::kFault, "weird free-form text")),
+            ErrorCode::kFault);
+}
+
+TEST(RetryBudget, SpendsWholeTokensAndEarnsBackFractions) {
+  RetryBudget budget(2.0, 0.5);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend()) << "bucket empty";
+  budget.on_call();  // +0.5 -> still below one whole token
+  EXPECT_FALSE(budget.try_spend());
+  budget.on_call();  // +0.5 -> exactly 1.0
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_DOUBLE_EQ(budget.level(), 0.0);
+}
+
+TEST(RetryBudget, DepositsCapAtCapacity) {
+  RetryBudget budget(1.0, 0.7);
+  for (int i = 0; i < 100; ++i) budget.on_call();
+  EXPECT_DOUBLE_EQ(budget.level(), 1.0);
+}
+
+TEST(RetryBudget, NonPositiveCapacityMeansUnlimited) {
+  RetryBudget budget(0.0, 0.1);
+  EXPECT_TRUE(budget.unlimited());
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(budget.try_spend());
+}
+
+TEST(RetryPolicy, DisabledAtOneAttempt) {
+  RetryPolicy policy(RetryOptions{});
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_FALSE(policy.should_retry(
+      Error(ErrorCode::kConnectionFailed, "refused"), 1, true));
+}
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.max_attempts = 8;
+  options.initial_backoff = milliseconds(2);
+  options.max_backoff = milliseconds(10);
+  options.multiplier = 2.0;
+  options.jitter = 0.0;  // exact schedule
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.backoff(1), milliseconds(2));
+  EXPECT_EQ(policy.backoff(2), milliseconds(4));
+  EXPECT_EQ(policy.backoff(3), milliseconds(8));
+  EXPECT_EQ(policy.backoff(4), milliseconds(10)) << "capped";
+  EXPECT_EQ(policy.backoff(9), milliseconds(10));
+}
+
+TEST(RetryPolicy, JitterIsBoundedAndSeedDeterministic) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = milliseconds(10);
+  options.jitter = 0.2;
+  options.seed = 42;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (int k = 1; k <= 16; ++k) {
+    Duration pause = a.backoff(k);
+    EXPECT_EQ(pause, b.backoff(k)) << "same seed, same schedule (k=" << k
+                                   << ")";
+    Duration base = std::min(
+        options.max_backoff,
+        Duration(options.initial_backoff.count() << std::min(k - 1, 20)));
+    EXPECT_GE(pause, Duration(static_cast<Duration::rep>(
+                         static_cast<double>(base.count()) * 0.8)));
+    EXPECT_LE(pause, Duration(static_cast<Duration::rep>(
+                         static_cast<double>(base.count()) * 1.2)));
+  }
+}
+
+TEST(RetryPolicy, GatesOnIdempotencyForPostWriteFailures) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  Error sever(ErrorCode::kConnectionClosed, "sever mid-response");
+  EXPECT_FALSE(policy.should_retry(sever, 1, /*idempotent=*/false))
+      << "the call may have executed; never replay a non-idempotent op";
+  EXPECT_TRUE(policy.should_retry(sever, 1, /*idempotent=*/true));
+  // Not-executed server faults are retryable even for non-idempotent ops.
+  Error shed = fault("DeadlineExceeded");
+  (void)shed;
+  EXPECT_TRUE(policy.should_retry(fault("CapacityExceeded"), 1,
+                                  /*idempotent=*/false));
+}
+
+TEST(RetryPolicy, NamedOverloadConsultsThePredicate) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.idempotent = [](std::string_view service,
+                          std::string_view operation) {
+    return service == "Echo" && operation == "Echo";
+  };
+  RetryPolicy policy(options);
+  Error sever(ErrorCode::kConnectionClosed, "sever");
+  EXPECT_TRUE(policy.should_retry(sever, 1, "Echo", "Echo"));
+  EXPECT_FALSE(policy.should_retry(sever, 1, "Airline", "Reserve"));
+}
+
+TEST(RetryPolicy, NullPredicateAssumesNonIdempotent) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  EXPECT_FALSE(policy.should_retry(Error(ErrorCode::kTimeout, "t"), 1,
+                                   "Echo", "Echo"));
+}
+
+TEST(RetryPolicy, StopsAtMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  Error refused(ErrorCode::kConnectionFailed, "refused");
+  EXPECT_TRUE(policy.should_retry(refused, 1, false));
+  EXPECT_TRUE(policy.should_retry(refused, 2, false));
+  EXPECT_FALSE(policy.should_retry(refused, 3, false));
+}
+
+TEST(RetryPolicy, BudgetExhaustionStopsRetriesAcrossCalls) {
+  RetryOptions options;
+  options.max_attempts = 2;
+  options.budget = 2.0;
+  options.deposit_per_call = 0.0;  // no earn-back: the bucket only drains
+  RetryPolicy policy(options);
+  Error refused(ErrorCode::kConnectionFailed, "refused");
+  EXPECT_TRUE(policy.should_retry(refused, 1, false));
+  EXPECT_TRUE(policy.should_retry(refused, 1, false));
+  EXPECT_FALSE(policy.should_retry(refused, 1, false))
+      << "third retry must be denied: budget spent";
+  EXPECT_EQ(policy.retries_granted(), 2u);
+}
+
+}  // namespace
+}  // namespace spi::resilience

@@ -1,116 +1,14 @@
-// Test-only transport decorator that injects deterministic faults between
-// the SPI stack and a real inner transport: refused connects, connections
-// severed after N bytes, and single-byte corruption. Used by the
-// failure-injection suite to prove every layer surfaces transport failure
-// as an error instead of hanging, crashing, or fabricating data.
+// Compatibility shim: FaultyTransport/FaultPlan were promoted from this
+// test-support tree into the product at net/faulty_transport.hpp so
+// benches, examples, and chaos CI can inject faults against release
+// builds. Existing tests keep their spi::test spelling.
 #pragma once
 
-#include <atomic>
-#include <memory>
-
-#include "net/transport.hpp"
+#include "net/faulty_transport.hpp"
 
 namespace spi::test {
 
-struct FaultPlan {
-  /// Fail the next `refuse_connects` connect() calls.
-  int refuse_connects = 0;
-  /// Sever each connection's outbound stream after this many bytes
-  /// (0 = never). The peer sees a clean close mid-message.
-  size_t sever_after_bytes = 0;
-  /// Flip the lowest bit of the byte at this absolute outbound offset
-  /// (npos = never). Corrupts exactly one byte of one connection.
-  size_t corrupt_at = npos;
-
-  static constexpr size_t npos = static_cast<size_t>(-1);
-};
-
-class FaultyTransport final : public net::Transport {
- public:
-  FaultyTransport(net::Transport& inner, FaultPlan plan)
-      : inner_(inner), plan_(plan) {}
-
-  Result<std::unique_ptr<net::Listener>> listen(
-      const net::Endpoint& at) override {
-    return inner_.listen(at);  // faults are injected client-side
-  }
-
-  Result<std::unique_ptr<net::Connection>> connect(
-      const net::Endpoint& to) override {
-    if (refused_ < plan_.refuse_connects) {
-      ++refused_;
-      return Error(ErrorCode::kConnectionFailed, "injected connect failure");
-    }
-    auto connection = inner_.connect(to);
-    if (!connection.ok()) return connection.error();
-    return std::unique_ptr<net::Connection>(
-        std::make_unique<FaultyConnection>(std::move(connection).value(),
-                                           plan_));
-  }
-
-  net::WireStats stats() const override { return inner_.stats(); }
-  void reset_stats() override { inner_.reset_stats(); }
-
- private:
-  class FaultyConnection final : public net::Connection {
-   public:
-    FaultyConnection(std::unique_ptr<net::Connection> inner, FaultPlan plan)
-        : inner_(std::move(inner)), plan_(plan) {}
-
-    Status send(std::string_view bytes) override {
-      if (severed_) {
-        return Error(ErrorCode::kConnectionClosed, "injected sever");
-      }
-      std::string mutated;
-      std::string_view to_send = bytes;
-
-      if (plan_.corrupt_at != FaultPlan::npos &&
-          plan_.corrupt_at >= sent_ && plan_.corrupt_at < sent_ + bytes.size()) {
-        mutated = std::string(bytes);
-        mutated[plan_.corrupt_at - sent_] ^= 0x01;
-        to_send = mutated;
-      }
-
-      if (plan_.sever_after_bytes != 0 &&
-          sent_ + to_send.size() > plan_.sever_after_bytes) {
-        size_t allowed = plan_.sever_after_bytes > sent_
-                             ? plan_.sever_after_bytes - sent_
-                             : 0;
-        if (allowed > 0) {
-          (void)inner_->send(to_send.substr(0, allowed));
-          sent_ += allowed;
-        }
-        severed_ = true;
-        inner_->close();
-        return Error(ErrorCode::kConnectionClosed, "injected sever");
-      }
-
-      Status status = inner_->send(to_send);
-      if (status.ok()) sent_ += to_send.size();
-      return status;
-    }
-
-    Result<std::string> receive(size_t max_bytes) override {
-      return inner_->receive(max_bytes);
-    }
-
-    void close() override { inner_->close(); }
-    void abort() override { inner_->abort(); }
-
-    Status set_receive_timeout(Duration timeout) override {
-      return inner_->set_receive_timeout(timeout);
-    }
-
-   private:
-    std::unique_ptr<net::Connection> inner_;
-    FaultPlan plan_;
-    size_t sent_ = 0;
-    bool severed_ = false;
-  };
-
-  net::Transport& inner_;
-  FaultPlan plan_;
-  std::atomic<int> refused_{0};
-};
+using FaultPlan = net::FaultPlan;
+using FaultyTransport = net::FaultyTransport;
 
 }  // namespace spi::test
