@@ -1,0 +1,133 @@
+// Overload study (DESIGN.md §11): goodput and tail latency of a staged
+// server at 1x / 2x / 4x saturation, with the shed-don't-block admission
+// path off (unbounded application queue — arriving work waits) versus on
+// (bounded queue + adaptive AIMD concurrency limiter — excess work is
+// answered 503/CapacityExceeded immediately).
+//
+// The application stage runs `app_threads` workers at ~`work_ms` per
+// call, so its capacity is app_threads/work_ms calls per second; offered
+// load is `multiplier * app_threads` closed-loop client threads. The
+// claim under test: shedding holds p99 near the service time and keeps
+// goodput at capacity, while blocking lets queueing delay grow with the
+// overload factor. The default 20 ms service time keeps the application
+// stage (200 calls/s) — not the simulated link — the bottleneck, so the
+// admission policy is actually what's being exercised.
+//
+// Environment overrides:
+//   SPI_BENCH_calls      calls per client thread per cell (default 40)
+//   SPI_BENCH_work_ms    per-call service time, ms (default 20)
+//   plus the usual SPI_LINK_* testbed knobs (benchsupport/harness.hpp).
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchsupport/harness.hpp"
+#include "benchsupport/histogram.hpp"
+#include "resilience/retry.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+constexpr size_t kAppThreads = 4;
+
+struct OverloadCell {
+  double goodput_cps = 0;  // successful calls per second (wall)
+  double p50_ms = 0;       // latency of SUCCESSFUL calls only
+  double p99_ms = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t other = 0;
+};
+
+OverloadCell run_cell(bool shedding, size_t multiplier, size_t calls,
+                      int work_ms) {
+  FixtureOptions options;
+  options.link = link_params_from_env();
+  options.server.staged = true;
+  options.server.application_threads = kAppThreads;
+  options.server.protocol_threads = kAppThreads * 4 + 4;
+  if (shedding) {
+    options.server.application_queue_capacity = kAppThreads * 2;
+    AdaptiveLimiterOptions adaptive;
+    adaptive.min_limit = 1;
+    adaptive.max_limit = kAppThreads * 8;
+    adaptive.initial_limit = kAppThreads * 2;
+    options.server.adaptive_limit = adaptive;
+  }
+  EchoFixture fixture(options);
+
+  const size_t threads = kAppThreads * multiplier;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, other{0};
+  LatencyHistogram latency;  // successful calls only; recording is atomic
+
+  Stopwatch wall;
+  {
+    std::vector<std::jthread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        core::SpiClient client(fixture.transport(),
+                               fixture.server().endpoint());
+        for (size_t i = 0; i < calls; ++i) {
+          Stopwatch watch;
+          auto outcome =
+              client.call("EchoService", "Delay",
+                          {{"milliseconds", soap::Value(work_ms)}});
+          if (outcome.ok()) {
+            latency.record_ms(watch.elapsed_ms());
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else if (resilience::fault_cause(outcome.error()) ==
+                     ErrorCode::kCapacityExceeded) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            other.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  double seconds = std::chrono::duration<double>(wall.elapsed()).count();
+
+  OverloadCell cell;
+  cell.ok = ok.load();
+  cell.shed = shed.load();
+  cell.other = other.load();
+  cell.goodput_cps = static_cast<double>(cell.ok) / seconds;
+  cell.p50_ms = latency.p50_us() / 1e3;
+  cell.p99_ms = latency.p99_us() / 1e3;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  Config env = Config::from_env("SPI_BENCH_");
+  const size_t calls = static_cast<size_t>(env.get_int_or("calls", 40));
+  const int work_ms = static_cast<int>(env.get_int_or("work_ms", 20));
+
+  std::printf("=== Overload study: shed-don't-block vs blocking queue ===\n");
+  std::printf(
+      "application stage: %zu workers x %d ms/call; offered load = "
+      "multiplier x %zu closed-loop threads, %zu calls each\n"
+      "shed = bounded queue (%zu) + adaptive AIMD limiter; block = "
+      "unbounded queue\n\n",
+      kAppThreads, work_ms, kAppThreads, calls, kAppThreads * 2);
+
+  Table table({"load", "admission", "goodput calls/s", "p50 (ms)",
+               "p99 (ms)", "ok", "shed", "errors"});
+  for (size_t multiplier : {1, 2, 4}) {
+    for (bool shedding : {false, true}) {
+      OverloadCell cell = run_cell(shedding, multiplier, calls, work_ms);
+      table.add_row({std::to_string(multiplier) + "x",
+                     shedding ? "shed" : "block", fmt_ms(cell.goodput_cps),
+                     fmt_ms(cell.p50_ms), fmt_ms(cell.p99_ms),
+                     std::to_string(cell.ok), std::to_string(cell.shed),
+                     std::to_string(cell.other)});
+    }
+  }
+  table.print();
+  return 0;
+}

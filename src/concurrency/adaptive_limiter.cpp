@@ -1,0 +1,80 @@
+#include "concurrency/adaptive_limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spi {
+
+AdaptiveLimiter::AdaptiveLimiter(AdaptiveLimiterOptions options)
+    : options_(options), limit_(options.initial_limit) {
+  if (options_.min_limit == 0) options_.min_limit = 1;
+  if (options_.max_limit < options_.min_limit) {
+    options_.max_limit = options_.min_limit;
+  }
+  limit_.store(std::clamp(options_.initial_limit, options_.min_limit,
+                          options_.max_limit),
+               std::memory_order_relaxed);
+  if (options_.window < 2) options_.window = 2;
+  window_.reserve(options_.window);
+}
+
+bool AdaptiveLimiter::try_acquire() {
+  size_t claimed = in_flight_.fetch_add(1, std::memory_order_acquire) + 1;
+  if (claimed > limit_.load(std::memory_order_relaxed)) {
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void AdaptiveLimiter::release(double latency_us) {
+  record(latency_us);
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+void AdaptiveLimiter::release_unsampled() {
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+double AdaptiveLimiter::baseline_us() const {
+  std::lock_guard lock(const_cast<std::mutex&>(mutex_));
+  return baseline_us_guarded_;
+}
+
+void AdaptiveLimiter::record(double latency_us) {
+  if (!(latency_us >= 0.0) || !std::isfinite(latency_us)) return;
+  std::lock_guard lock(mutex_);
+  window_.push_back(latency_us);
+  if (window_.size() < options_.window) return;
+
+  auto mid = window_.begin() + static_cast<ptrdiff_t>(window_.size() / 2);
+  std::nth_element(window_.begin(), mid, window_.end());
+  double p50 = *mid;
+  window_.clear();
+
+  if (baseline_us_guarded_ <= 0.0) {
+    // First window seeds the baseline; no adjustment until there is
+    // something to compare against.
+    baseline_us_guarded_ = p50;
+    return;
+  }
+
+  size_t limit = limit_.load(std::memory_order_relaxed);
+  double threshold = options_.degrade_ratio * baseline_us_guarded_;
+  if (p50 > threshold) {
+    size_t reduced = static_cast<size_t>(
+        std::floor(static_cast<double>(limit) * options_.backoff_ratio));
+    limit_.store(std::max(reduced, options_.min_limit),
+                 std::memory_order_relaxed);
+  } else if (limit < options_.max_limit) {
+    limit_.store(limit + 1, std::memory_order_relaxed);
+  }
+
+  // Clamp the contribution so a congested window cannot drag the notion
+  // of "normal" upward and mask a sustained slowdown.
+  double contribution = std::min(p50, threshold);
+  baseline_us_guarded_ = (1.0 - options_.baseline_alpha) * baseline_us_guarded_ +
+                         options_.baseline_alpha * contribution;
+}
+
+}  // namespace spi

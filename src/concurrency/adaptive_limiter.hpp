@@ -1,0 +1,82 @@
+// Adaptive concurrency limiter (DESIGN.md §11): AIMD on observed
+// execute-stage latency against a moving p50 baseline, in the spirit of
+// gradient/Vegas-style limiters (Netflix concurrency-limits). The static
+// queue bound says how much work the server may HOLD; this limiter learns
+// how much it can usefully RUN — when latency degrades past the baseline,
+// admitting more work only lengthens every response, so the limit backs
+// off multiplicatively and creeps back up additively while the stage is
+// healthy. The SPI server layers it under the static admission bound:
+// try_acquire() gates message execution, release(latency) feeds the
+// controller.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace spi {
+
+struct AdaptiveLimiterOptions {
+  /// Hard floor/ceiling on the learned limit. Keep max_limit below the
+  /// static application-queue bound so the limiter sheds before the queue
+  /// ever fills (shed beats block beats drop-at-queue).
+  size_t min_limit = 1;
+  size_t max_limit = 64;
+  size_t initial_limit = 8;
+
+  /// Samples per adjustment window. Smaller reacts faster; larger is
+  /// steadier. Each window computes its p50 and makes ONE AIMD step.
+  size_t window = 16;
+
+  /// A window whose p50 exceeds `degrade_ratio` x baseline is congestion:
+  /// multiply the limit by `backoff_ratio` (floor min_limit). Otherwise
+  /// the limit grows by 1 (ceiling max_limit).
+  double degrade_ratio = 1.5;
+  double backoff_ratio = 0.75;
+
+  /// EWMA weight folding each window's p50 into the moving baseline.
+  /// Contributions are clamped to degrade_ratio x baseline so a congested
+  /// window cannot teach the limiter that slow is normal.
+  double baseline_alpha = 0.2;
+};
+
+class AdaptiveLimiter {
+ public:
+  explicit AdaptiveLimiter(AdaptiveLimiterOptions options = {});
+
+  AdaptiveLimiter(const AdaptiveLimiter&) = delete;
+  AdaptiveLimiter& operator=(const AdaptiveLimiter&) = delete;
+
+  /// Claims one in-flight slot; false when the learned limit is reached
+  /// (the caller sheds). Lock-free.
+  bool try_acquire();
+
+  /// Returns a slot claimed by try_acquire() and feeds the controller the
+  /// unit's latency (microseconds of execute-stage time).
+  void release(double latency_us);
+
+  /// Returns a slot without a latency sample (the unit failed before it
+  /// measured anything useful).
+  void release_unsampled();
+
+  size_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Moving p50 baseline in microseconds (0 until the first full window).
+  double baseline_us() const;
+
+ private:
+  void record(double latency_us);
+
+  AdaptiveLimiterOptions options_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> limit_;
+
+  std::mutex mutex_;  // window + baseline state; touched once per release
+  std::vector<double> window_;
+  double baseline_us_guarded_ = 0.0;  // 0 = no baseline yet
+};
+
+}  // namespace spi

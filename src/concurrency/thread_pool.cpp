@@ -29,6 +29,15 @@ bool ThreadPool::submit(Task task) {
   return queue_.push(std::move(item));
 }
 
+bool ThreadPool::try_submit(Task task) {
+  Item item{std::move(task), {}, false};
+  if (wait_histogram_.load(std::memory_order_acquire) != nullptr) {
+    item.enqueued = std::chrono::steady_clock::now();
+    item.timed = true;
+  }
+  return queue_.try_push(std::move(item));
+}
+
 void ThreadPool::shutdown() {
   queue_.close();
   for (auto& worker : workers_) {

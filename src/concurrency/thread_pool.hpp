@@ -30,8 +30,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Returns false after shutdown() (task not run).
+  /// Enqueues a task. Blocks while a bounded queue is full (backpressure);
+  /// returns false after shutdown() (task not run).
   bool submit(Task task);
+
+  /// Non-blocking submit (SEDA shed-don't-block): false when the queue is
+  /// full or the pool is shut down — check accepting() to tell the two
+  /// apart. The caller sheds the work (503 / CapacityExceeded fault)
+  /// instead of stalling its own stage.
+  bool try_submit(Task task);
+
+  /// False once shutdown() has closed the intake; a try_submit failure
+  /// while accepting() means the queue was full at that moment.
+  bool accepting() const { return !queue_.closed(); }
 
   /// Enqueues a callable and exposes its result as a future. The future
   /// carries any exception the callable throws. Throws SpiError(kShutdown)

@@ -44,7 +44,9 @@ SpiClient::~SpiClient() = default;
 
 Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
     std::span<const ServiceCall> calls, PackMode mode,
-    http::HttpClient& http, const resilience::Deadline& deadline) {
+    http::HttpClient& http, const resilience::Deadline& deadline,
+    Duration& retry_after) {
+  retry_after = Duration::zero();
   TimePoint now = RealClock::instance().now();
   if (deadline.expired(now)) {
     return Error(ErrorCode::kDeadlineExceeded,
@@ -86,6 +88,14 @@ Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
   }
   if (breaker) breaker->on_success();
 
+  // A shedding server attaches Retry-After (decimal seconds) to its 503;
+  // remember it so the retry loops never replay sooner than asked.
+  if (auto hint = response.value().headers.get("Retry-After")) {
+    if (auto floor = resilience::parse_retry_after(*hint)) {
+      retry_after = *floor;
+    }
+  }
+
   // Parse the envelope regardless of HTTP status: SOAP faults ride on 500
   // (HTTP binding) and packed per-call faults on 200.
   auto parsed = dispatcher_.parse_response(response.value().body);
@@ -101,8 +111,9 @@ Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
 }
 
 bool SpiClient::sleep_backoff(int retry_number,
-                              const resilience::Deadline& deadline) {
-  Duration pause = retry_policy_.backoff(retry_number);
+                              const resilience::Deadline& deadline,
+                              Duration floor) {
+  Duration pause = retry_policy_.backoff(retry_number, floor);
   if (deadline.valid() &&
       deadline.remaining(RealClock::instance().now()) <= pause) {
     return false;  // budget cannot cover the sleep, let alone the retry
@@ -140,13 +151,14 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
   // A message-level failure (connect refused, sever, timeout) replays the
   // WHOLE batch, so the idempotency gate covers every member.
   int attempts = 1;
-  auto result = attempt_exchange(calls, mode, http, deadline);
+  Duration retry_after = Duration::zero();
+  auto result = attempt_exchange(calls, mode, http, deadline, retry_after);
   while (!result.ok() &&
          retry_policy_.should_retry(result.error(), attempts,
                                     all_idempotent(calls)) &&
-         sleep_backoff(attempts, deadline)) {
+         sleep_backoff(attempts, deadline, retry_after)) {
     ++attempts;
-    result = attempt_exchange(calls, mode, http, deadline);
+    result = attempt_exchange(calls, mode, http, deadline, retry_after);
   }
   if (!result.ok()) return result;
 
@@ -177,13 +189,14 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
     const Error& gate =
         replay_error ? *replay_error : outcomes[failed.front()].error();
     if (!retry_policy_.should_retry(gate, attempts, all_idempotent(subset)) ||
-        !sleep_backoff(attempts, deadline)) {
+        !sleep_backoff(attempts, deadline, retry_after)) {
       break;
     }
     ++attempts;
     partial_repacks_.fetch_add(1, std::memory_order_relaxed);
 
-    auto replay = attempt_exchange(subset, replay_mode, http, deadline);
+    auto replay =
+        attempt_exchange(subset, replay_mode, http, deadline, retry_after);
     if (!replay.ok()) {
       // Keep the original per-call faults; the next round gates on this
       // replay error (e.g. a terminal breaker rejection stops the loop).

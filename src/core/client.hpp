@@ -194,15 +194,20 @@ class SpiClient {
 
   /// One HTTP exchange attempt: assembled envelope out, parsed outcomes
   /// back. Gated by the endpoint breaker; receive timeout clamped to the
-  /// remaining deadline budget.
+  /// remaining deadline budget. `retry_after` reports the server's
+  /// Retry-After hint from this attempt's response (zero when absent):
+  /// a 503 shed's backoff floor for the next replay.
   Result<std::vector<CallOutcome>> attempt_exchange(
       std::span<const ServiceCall> calls, PackMode mode,
-      http::HttpClient& http, const resilience::Deadline& deadline);
+      http::HttpClient& http, const resilience::Deadline& deadline,
+      Duration& retry_after);
 
-  /// Sleeps the jittered backoff before retry `retry_number`. False when
-  /// the remaining deadline budget cannot cover the sleep (retry would be
+  /// Sleeps the jittered backoff before retry `retry_number`, never less
+  /// than `floor` (the server's Retry-After hint). False when the
+  /// remaining deadline budget cannot cover the sleep (retry would be
   /// pointless: the answer could not arrive in time).
-  bool sleep_backoff(int retry_number, const resilience::Deadline& deadline);
+  bool sleep_backoff(int retry_number, const resilience::Deadline& deadline,
+                     Duration floor);
 
   net::Transport& transport_;
   net::Endpoint server_;

@@ -1,5 +1,7 @@
 #include "core/dispatcher.hpp"
 
+#include <algorithm>
+
 #include "concurrency/wait_group.hpp"
 #include "core/call_context.hpp"
 
@@ -8,7 +10,7 @@ namespace spi::core {
 Result<wire::ParsedRequest> Dispatcher::parse_request(
     std::string_view envelope_xml) {
   if (streaming_ && !verifier_) {
-    auto streamed = wire::parse_request_streaming(envelope_xml);
+    auto streamed = wire::parse_request_streaming(envelope_xml, parse_limits_);
     if (streamed.ok()) {
       envelopes_.fetch_add(1, std::memory_order_relaxed);
       if (streamed.value().packed) {
@@ -30,7 +32,8 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
     // kInvalidArgument: unsupported shape (Remote_Execution) — DOM path.
   }
 
-  auto envelope = soap::Envelope::parse(envelope_xml);
+  auto envelope =
+      soap::Envelope::parse(envelope_xml, parse_limits_, envelope_limits_);
   if (!envelope.ok()) return envelope.error();
 
   if (verifier_) {
@@ -77,7 +80,10 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     return execute_plan_request(request, registry, pool);
   }
   const size_t n = request.calls.size();
-  calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
+  // Only calls under the fan-out cap are ever handed to the application
+  // stage; rejected ones show up in limit_rejected_calls instead.
+  calls_dispatched_.fetch_add(std::min(n, envelope_limits_.max_fanout),
+                              std::memory_order_relaxed);
 
   // Execute-stage deadline shed: checked per call at the moment a worker
   // picks it up, so a batch whose budget drains while earlier calls run
@@ -89,6 +95,19 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     }
     return CallOutcome(Error(ErrorCode::kDeadlineExceeded,
                              "deadline expired before execute stage"));
+  };
+
+  // Fan-out cap (DESIGN.md §11): calls past max_fanout are answered with a
+  // per-call CapacityExceeded fault — retryable-not-executed, so the client
+  // re-packs just those — while siblings under the cap execute normally.
+  // A whole-message rejection would punish the healthy calls too.
+  const size_t fanout_cap = envelope_limits_.max_fanout;
+  auto fanout_rejection = [this, n, fanout_cap]() -> CallOutcome {
+    limit_rejected_calls_.fetch_add(1, std::memory_order_relaxed);
+    return CallOutcome(Error(
+        ErrorCode::kCapacityExceeded,
+        "envelope limit exceeded: fan-out (" + std::to_string(n) + " > " +
+            std::to_string(fanout_cap) + " calls)"));
   };
 
   std::vector<std::optional<CallOutcome>> slots(n);
@@ -106,6 +125,10 @@ std::vector<IndexedOutcome> Dispatcher::execute(
       context.call_id = request.calls[i].id;
       context.service = request.calls[i].call.service;
       context.operation = request.calls[i].call.operation;
+      if (i >= fanout_cap) {
+        slots[i] = fanout_rejection();
+        continue;
+      }
       if (auto shed = shed_outcome()) {
         deadline_shed_.fetch_add(1, std::memory_order_relaxed);
         slots[i] = std::move(*shed);
@@ -129,8 +152,17 @@ std::vector<IndexedOutcome> Dispatcher::execute(
     WaitGroup pending;
     pending.add(n);
     for (size_t i = 0; i < n; ++i) {
+      if (i >= fanout_cap) {
+        slots[i] = fanout_rejection();
+        pending.done();
+        continue;
+      }
       const ServiceCall& call = request.calls[i].call;
-      bool accepted = pool->submit(
+      // try_submit, not submit: when the application queue is full the
+      // protocol thread must not block on its sibling stage (SEDA
+      // shed-don't-block) — the call is answered with a retryable
+      // CapacityExceeded fault instead.
+      bool accepted = pool->try_submit(
           [this, &registry, &call, &slots, &pending, &contexts, &shed_outcome,
            i] {
             CallContextScope scope(contexts[i]);
@@ -143,8 +175,14 @@ std::vector<IndexedOutcome> Dispatcher::execute(
             pending.done();
           });
       if (!accepted) {
-        slots[i] = CallOutcome(
-            Error(ErrorCode::kShutdown, "application stage is shut down"));
+        if (pool->accepting()) {
+          queue_full_shed_.fetch_add(1, std::memory_order_relaxed);
+          slots[i] = CallOutcome(Error(ErrorCode::kCapacityExceeded,
+                                       "application stage queue is full"));
+        } else {
+          slots[i] = CallOutcome(
+              Error(ErrorCode::kShutdown, "application stage is shut down"));
+        }
         pending.done();
       }
     }
@@ -168,6 +206,27 @@ std::vector<IndexedOutcome> Dispatcher::execute_plan_request(
     const wire::ParsedRequest& request, const ServiceRegistry& registry,
     ThreadPool* pool) {
   const size_t n = request.plan.steps.size();
+
+  // A plan is a dependency chain, so a step past the fan-out cap poisons
+  // everything after it anyway — reject the whole plan with per-step
+  // CapacityExceeded faults rather than running a prefix whose results
+  // would be discarded.
+  if (n > envelope_limits_.max_fanout) {
+    limit_rejected_calls_.fetch_add(n, std::memory_order_relaxed);
+    faults_produced_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<IndexedOutcome> rejected;
+    rejected.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      rejected.push_back(IndexedOutcome{
+          static_cast<std::uint32_t>(i),
+          CallOutcome(Error(
+              ErrorCode::kCapacityExceeded,
+              "envelope limit exceeded: fan-out (" + std::to_string(n) +
+                  " > " + std::to_string(envelope_limits_.max_fanout) +
+                  " plan steps)"))});
+    }
+    return rejected;
+  }
   calls_dispatched_.fetch_add(n, std::memory_order_relaxed);
 
   CallContext context;
@@ -184,17 +243,23 @@ std::vector<IndexedOutcome> Dispatcher::execute_plan_request(
     // application-stage worker; the protocol thread sleeps meanwhile.
     WaitGroup pending;
     pending.add(1);
-    bool accepted = pool->submit([&] {
+    bool accepted = pool->try_submit([&] {
       CallContextScope scope(context);
       outcomes = execute_plan(request.plan, registry);
       pending.done();
     });
     if (!accepted) {
+      Error refusal =
+          pool->accepting()
+              ? Error(ErrorCode::kCapacityExceeded,
+                      "application stage queue is full")
+              : Error(ErrorCode::kShutdown, "application stage is shut down");
+      if (pool->accepting()) {
+        queue_full_shed_.fetch_add(1, std::memory_order_relaxed);
+      }
       for (size_t i = 0; i < n; ++i) {
-        outcomes.push_back(IndexedOutcome{
-            static_cast<std::uint32_t>(i),
-            CallOutcome(
-                Error(ErrorCode::kShutdown, "application stage is shut down"))});
+        outcomes.push_back(IndexedOutcome{static_cast<std::uint32_t>(i),
+                                          CallOutcome(refusal)});
       }
       pending.done();
     }
@@ -276,6 +341,9 @@ Dispatcher::Stats Dispatcher::stats() const {
   s.calls_dispatched = calls_dispatched_.load(std::memory_order_relaxed);
   s.faults_produced = faults_produced_.load(std::memory_order_relaxed);
   s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  s.limit_rejected_calls =
+      limit_rejected_calls_.load(std::memory_order_relaxed);
+  s.queue_full_shed = queue_full_shed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -303,6 +371,15 @@ void Dispatcher::bind_metrics(telemetry::MetricsRegistry& registry,
                         "Per-call faults produced by handler execution",
                         telemetry::CallbackKind::kCounter, labels,
                         view(faults_produced_));
+  registry.add_callback(
+      "spi_dispatcher_fanout_rejected_calls_total",
+      "Calls rejected with CapacityExceeded by the fan-out cap",
+      telemetry::CallbackKind::kCounter, labels, view(limit_rejected_calls_));
+  registry.add_callback(
+      "spi_dispatcher_queue_full_shed_total",
+      "Calls shed with CapacityExceeded because the application queue was "
+      "full",
+      telemetry::CallbackKind::kCounter, labels, view(queue_full_shed_));
 }
 
 }  // namespace spi::core

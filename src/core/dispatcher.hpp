@@ -27,6 +27,14 @@ class Dispatcher {
     /// Calls answered with a DeadlineExceeded fault at the execute-stage
     /// boundary instead of being invoked (resilience/deadline.hpp).
     std::uint64_t deadline_shed = 0;
+    /// Calls answered with a CapacityExceeded fault because their index
+    /// exceeded EnvelopeLimits::max_fanout — siblings under the cap still
+    /// ran (DESIGN.md §11).
+    std::uint64_t limit_rejected_calls = 0;
+    /// Calls answered with a retryable CapacityExceeded fault because the
+    /// application stage's bounded queue was full at submit time
+    /// (shed-don't-block).
+    std::uint64_t queue_full_shed = 0;
   };
 
   /// `verifier` (optional, unowned): when set, every inbound request
@@ -38,6 +46,21 @@ class Dispatcher {
   explicit Dispatcher(soap::WsseVerifier* verifier = nullptr,
                       PackCostModel pack_cost = {}, bool streaming = false)
       : verifier_(verifier), pack_cost_(pack_cost), streaming_(streaming) {}
+
+  /// Installs the resource-governance bounds (DESIGN.md §11). Parse limits
+  /// bound the tokenizer on every parse path; envelope limits bound message
+  /// shape. max_fanout is enforced per call in execute() — over-cap slots
+  /// get a CapacityExceeded fault while siblings under the cap still run.
+  void set_limits(const xml::ParseLimits& parse_limits,
+                  const soap::EnvelopeLimits& envelope_limits) {
+    parse_limits_ = parse_limits;
+    envelope_limits_ = envelope_limits;
+  }
+
+  const xml::ParseLimits& parse_limits() const { return parse_limits_; }
+  const soap::EnvelopeLimits& envelope_limits() const {
+    return envelope_limits_;
+  }
 
   /// Server side, step 1: parse + validate a request envelope document.
   Result<wire::ParsedRequest> parse_request(std::string_view envelope_xml);
@@ -77,11 +100,15 @@ class Dispatcher {
   soap::WsseVerifier* verifier_;
   PackCostModel pack_cost_;
   bool streaming_;
+  xml::ParseLimits parse_limits_;
+  soap::EnvelopeLimits envelope_limits_;
   std::atomic<std::uint64_t> envelopes_{0};
   std::atomic<std::uint64_t> packed_envelopes_{0};
   std::atomic<std::uint64_t> calls_dispatched_{0};
   std::atomic<std::uint64_t> faults_produced_{0};
   std::atomic<std::uint64_t> deadline_shed_{0};
+  std::atomic<std::uint64_t> limit_rejected_calls_{0};
+  std::atomic<std::uint64_t> queue_full_shed_{0};
 };
 
 }  // namespace spi::core

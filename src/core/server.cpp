@@ -1,5 +1,8 @@
 #include "core/server.hpp"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "common/logging.hpp"
 #include "common/string_util.hpp"
 #include "common/timeout.hpp"
@@ -24,10 +27,48 @@ SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
       dispatcher_(verifier_.get(), options_.pack_cost,
                   options_.streaming_parse),
       assembler_(nullptr, options_.pack_cost) {
+  dispatcher_.set_limits(options_.parse_limits, options_.envelope_limits);
+  if (options_.adaptive_limit) {
+    adaptive_limiter_ =
+        std::make_unique<AdaptiveLimiter>(*options_.adaptive_limit);
+  }
+  {
+    double seconds = std::chrono::duration<double>(
+                         std::max(options_.retry_after_hint, Duration::zero()))
+                         .count();
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+    retry_after_value_ = buffer;
+  }
+
   telemetry::MetricsRegistry& reg = *metrics_;
   admission_rejections_ =
       &reg.counter("spi_server_admission_rejections_total",
                    "Messages rejected at the concurrency limit (HTTP 503)");
+  shed_draining_ = &reg.counter(
+      "spi_admission_shed_total",
+      "Messages shed at admission with 503 + Retry-After, by reason",
+      "reason=\"draining\"");
+  shed_concurrency_ = &reg.counter(
+      "spi_admission_shed_total",
+      "Messages shed at admission with 503 + Retry-After, by reason",
+      "reason=\"concurrency-limit\"");
+  shed_adaptive_ = &reg.counter(
+      "spi_admission_shed_total",
+      "Messages shed at admission with 503 + Retry-After, by reason",
+      "reason=\"adaptive-limit\"");
+  // Pre-register one rejection counter per governed limit so /metrics
+  // shows explicit zeros before the first hostile message arrives.
+  for (const char* limit :
+       {"depth", "tokens", "attributes", "name-bytes",
+        "attribute-value-bytes", "entity-expansion", "body-entries",
+        "header-blocks"}) {
+    limit_counters_.emplace(
+        limit, &reg.counter("spi_limit_rejections_total",
+                            "Messages rejected by a resource-governance "
+                            "limit (DESIGN.md §11)",
+                            "limit=\"" + std::string(limit) + "\""));
+  }
   span_parse_ = &reg.histogram(
       "spi_server_stage_seconds",
       "Per-message time in each lifecycle stage (Figure 2 span points)",
@@ -54,7 +95,8 @@ SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
 
   if (options_.staged) {
     application_pool_ = std::make_unique<ThreadPool>(
-        options_.application_threads, "spi-application");
+        options_.application_threads, "spi-application",
+        options_.application_queue_capacity);
     application_pool_->set_wait_histogram(application_wait_);
   }
   http::ServerOptions http_options;
@@ -126,6 +168,29 @@ void SpiServer::register_instruments(net::Transport& transport) {
                      return static_cast<double>(
                          dispatcher_.stats().deadline_shed);
                    });
+  reg.add_callback("spi_admission_shed_total",
+                   "Messages shed at admission with 503 + Retry-After, by "
+                   "reason",
+                   telemetry::CallbackKind::kCounter, "reason=\"queue-full\"",
+                   [this]() -> double {
+                     return static_cast<double>(
+                         dispatcher_.stats().queue_full_shed);
+                   });
+  reg.add_callback("spi_limit_rejections_total",
+                   "Messages rejected by a resource-governance limit "
+                   "(DESIGN.md §11)",
+                   telemetry::CallbackKind::kCounter, "limit=\"fan-out\"",
+                   [this]() -> double {
+                     return static_cast<double>(
+                         dispatcher_.stats().limit_rejected_calls);
+                   });
+  reg.add_callback("spi_admission_adaptive_limit",
+                   "Current learned concurrency limit (0 = limiter off)",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return adaptive_limiter_ ? static_cast<double>(
+                                                    adaptive_limiter_->limit())
+                                              : 0.0;
+                   });
   reg.add_callback("spi_server_draining",
                    "1 while the server is draining (stop() in progress)",
                    telemetry::CallbackKind::kGauge, {}, [this]() -> double {
@@ -188,6 +253,21 @@ void SpiServer::register_instruments(net::Transport& transport) {
                      return static_cast<double>(
                          transport.stats().connections_opened);
                    });
+}
+
+telemetry::Counter* SpiServer::limit_rejection_counter(
+    std::string_view message) {
+  // Limit rejections carry a machine-recognizable shape by convention:
+  // "parse limit exceeded: <limit> (...)" from the tokenizer and
+  // "envelope limit exceeded: <limit> (...)" from message-shape checks.
+  constexpr std::string_view kMarker = "limit exceeded: ";
+  size_t at = message.find(kMarker);
+  if (at == std::string_view::npos) return nullptr;
+  std::string_view limit = message.substr(at + kMarker.size());
+  size_t end = limit.find_first_of(" (");
+  if (end != std::string_view::npos) limit = limit.substr(0, end);
+  auto found = limit_counters_.find(limit);
+  return found == limit_counters_.end() ? nullptr : found->second;
 }
 
 bool SpiServer::admission_saturated() const {
@@ -258,12 +338,21 @@ http::Response SpiServer::handle(const http::Request& request) {
     return http::Response::make(status, http::default_reason(status),
                                 std::move(body), "text/xml");
   };
+  // A shed is a fault the server produced WITHOUT executing anything:
+  // 503 + Retry-After so well-behaved clients back off at least that long
+  // before replaying (resilience/retry.hpp honors it as a floor).
+  auto respond_shed = [&](const Error& error, telemetry::Counter* reason) {
+    if (reason) reason->inc();
+    http::Response response = respond_fault(error, 503);
+    response.headers.set("Retry-After", retry_after_value_);
+    return response;
+  };
 
   // While draining, answer work with a Shutdown fault: the server
   // guarantees nothing executed, so retry policies replay it elsewhere.
   if (draining_.load(std::memory_order_acquire)) {
-    return respond_fault(Error(ErrorCode::kShutdown, "server is draining"),
-                         503);
+    return respond_shed(Error(ErrorCode::kShutdown, "server is draining"),
+                        shed_draining_);
   }
 
   // Pre-parse deadline shed (SEDA stage boundary 1): a bounded substring
@@ -288,6 +377,14 @@ http::Response SpiServer::handle(const http::Request& request) {
   if (!parsed.ok()) {
     SPI_LOG(kDebug, "spi.server")
         << "rejecting request: " << parsed.error().to_string();
+    // Resource-governance rejections ("parse limit exceeded: depth ...",
+    // "envelope limit exceeded: body-entries ...") are counted per limit.
+    // They stay HTTP 400 without Retry-After: the message itself is over
+    // the bound, so replaying it unchanged cannot succeed.
+    if (telemetry::Counter* counter =
+            limit_rejection_counter(parsed.error().message())) {
+      counter->inc();
+    }
     return respond_fault(parsed.error(), 400);
   }
   fanout_width_->observe(static_cast<double>(parsed.value().call_count()));
@@ -310,9 +407,9 @@ http::Response SpiServer::handle(const http::Request& request) {
     if (current >= options_.max_concurrent_messages) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       admission_rejections_->inc();
-      return respond_fault(Error(ErrorCode::kCapacityExceeded,
-                                 "server is at its concurrency limit"),
-                           503);
+      return respond_shed(Error(ErrorCode::kCapacityExceeded,
+                                "server is at its concurrency limit"),
+                          shed_concurrency_);
     }
   }
   struct InFlightGuard {
@@ -323,6 +420,33 @@ http::Response SpiServer::handle(const http::Request& request) {
       }
     }
   } in_flight_guard{this};
+
+  // Adaptive admission beneath the static bound: the AIMD limiter tracks
+  // execute-stage latency and refuses work past the point where adding
+  // more only slows everyone down. Refusals are identical on the wire to
+  // static sheds (503 + Retry-After, nothing executed).
+  struct AdaptiveGuard {
+    AdaptiveLimiter* limiter = nullptr;
+    bool sampled = false;
+    double latency_us = 0.0;
+    ~AdaptiveGuard() {
+      if (!limiter) return;
+      if (sampled) {
+        limiter->release(latency_us);
+      } else {
+        limiter->release_unsampled();
+      }
+    }
+  } adaptive_guard;
+  if (adaptive_limiter_) {
+    if (!adaptive_limiter_->try_acquire()) {
+      return respond_shed(
+          Error(ErrorCode::kCapacityExceeded,
+                "server shed this message at its adaptive concurrency limit"),
+          shed_adaptive_);
+    }
+    adaptive_guard.limiter = adaptive_limiter_.get();
+  }
 
   // Handler chain, request phase: a veto faults the whole message.
   HandlerContext context;
@@ -335,8 +459,16 @@ http::Response SpiServer::handle(const http::Request& request) {
   }
 
   telemetry::ScopedSpan execute_span(span_execute_);
+  const auto execute_start = std::chrono::steady_clock::now();
   std::vector<IndexedOutcome> outcomes =
       dispatcher_.execute(parsed.value(), registry_, application_pool_.get());
+  if (adaptive_guard.limiter) {
+    adaptive_guard.latency_us = std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() -
+                                    execute_start)
+                                    .count();
+    adaptive_guard.sampled = true;
+  }
   execute_span.stop();
 
   // Handler chain, response phase (reverse order).
@@ -399,6 +531,10 @@ SpiServer::Stats SpiServer::stats() const {
   s.admission_rejections = admission_rejections_->value();
   s.deadline_shed_pre_parse =
       deadline_shed_pre_parse_.load(std::memory_order_relaxed);
+  s.adaptive_shed = static_cast<std::uint64_t>(shed_adaptive_->value());
+  for (const auto& [limit, counter] : limit_counters_) {
+    s.limit_rejections += static_cast<std::uint64_t>(counter->value());
+  }
   return s;
 }
 

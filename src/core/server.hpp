@@ -21,8 +21,10 @@
 // server is at its concurrency limit).
 #pragma once
 
+#include <map>
 #include <memory>
 
+#include "concurrency/adaptive_limiter.hpp"
 #include "core/assembler.hpp"
 #include "core/handlers.hpp"
 #include "core/dispatcher.hpp"
@@ -72,6 +74,28 @@ struct ServerOptions {
   telemetry::MetricsRegistry* metrics = nullptr;
 
   http::ParserLimits http_limits;
+
+  /// Resource governance (DESIGN.md §11): tokenizer bounds applied to every
+  /// request parse, and message-shape bounds (fan-out, body entries,
+  /// header blocks). Rejections increment
+  /// spi_limit_rejections_total{limit=...}.
+  xml::ParseLimits parse_limits;
+  soap::EnvelopeLimits envelope_limits;
+
+  /// Bounds the application-stage queue (0 = unbounded). With a bound, a
+  /// full queue sheds the call with a retryable CapacityExceeded fault
+  /// instead of blocking the protocol thread on its sibling stage.
+  size_t application_queue_capacity = 0;
+
+  /// Optional adaptive concurrency limiter (AIMD on execute-stage latency)
+  /// layered beneath the static max_concurrent_messages bound: it learns
+  /// how much work the application stage can run before latency degrades
+  /// and sheds the rest with 503 + Retry-After.
+  std::optional<AdaptiveLimiterOptions> adaptive_limit;
+
+  /// Backoff hint attached as a Retry-After header (decimal seconds) to
+  /// every 503 shed response; retrying clients use it as a backoff floor.
+  Duration retry_after_hint = std::chrono::milliseconds(50);
 };
 
 class SpiServer {
@@ -85,6 +109,12 @@ class SpiServer {
     /// Messages shed before envelope parse because Deadline::scan found an
     /// already-expired budget; execute-stage sheds are dispatcher.deadline_shed.
     std::uint64_t deadline_shed_pre_parse = 0;
+    /// Messages shed by the adaptive concurrency limiter (503 + Retry-After).
+    std::uint64_t adaptive_shed = 0;
+    /// Whole-message rejections attributed to a named parse/envelope limit
+    /// (spi_limit_rejections_total); per-call fan-out rejections are
+    /// dispatcher.limit_rejected_calls.
+    std::uint64_t limit_rejections = 0;
   };
 
   /// The registry is borrowed and must outlive the server; registering
@@ -117,6 +147,9 @@ class SpiServer {
   http::Response handle_healthz();
   void register_instruments(net::Transport& transport);
   bool admission_saturated() const;
+  /// Maps a rejection message carrying "limit exceeded: <limit>" to its
+  /// spi_limit_rejections_total{limit=...} counter (null if unrecognized).
+  telemetry::Counter* limit_rejection_counter(std::string_view message);
 
   const ServiceRegistry& registry_;
   ServerOptions options_;
@@ -129,7 +162,13 @@ class SpiServer {
   std::atomic<size_t> in_flight_{0};
   std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> deadline_shed_pre_parse_{0};
+  std::unique_ptr<AdaptiveLimiter> adaptive_limiter_;
+  std::string retry_after_value_;  // precomputed decimal seconds
   telemetry::Counter* admission_rejections_ = nullptr;  // registry-owned
+  telemetry::Counter* shed_draining_ = nullptr;
+  telemetry::Counter* shed_concurrency_ = nullptr;
+  telemetry::Counter* shed_adaptive_ = nullptr;
+  std::map<std::string, telemetry::Counter*, std::less<>> limit_counters_;
   telemetry::Histogram* span_parse_ = nullptr;          // registry-owned
   telemetry::Histogram* span_execute_ = nullptr;
   telemetry::Histogram* span_assemble_ = nullptr;

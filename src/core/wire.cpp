@@ -247,8 +247,9 @@ Result<soap::Struct> stream_params(xml::PullParser& parser,
 
 }  // namespace
 
-Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml) {
-  xml::PullParser parser(envelope_xml);
+Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml,
+                                              const xml::ParseLimits& limits) {
+  xml::PullParser parser(envelope_xml, nullptr, limits);
 
   // Walk to the Envelope start.
   xml::Token envelope;

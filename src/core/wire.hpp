@@ -90,7 +90,9 @@ Result<ParsedRequest> parse_request(const soap::Envelope& envelope);
 /// Dispatcher falls back to the DOM path there. Remote_Execution bodies
 /// also fall back (plans are small; the win is on packed batches).
 /// Property-tested equivalent to the DOM path on its supported shapes.
-Result<ParsedRequest> parse_request_streaming(std::string_view envelope_xml);
+/// `limits` bounds the tokenizer exactly like the DOM path's.
+Result<ParsedRequest> parse_request_streaming(
+    std::string_view envelope_xml, const xml::ParseLimits& limits = {});
 
 /// Serializes a Remote_Execution body entry (see remote_plan.hpp).
 std::string serialize_plan_request(const RemotePlan& plan);

@@ -14,9 +14,11 @@ namespace spi::http {
 
 struct ParserLimits {
   size_t max_header_bytes = 64 * 1024;
-  /// Generous: the Figure 7 workload packs 128 x 100 KB payloads into a
-  /// single SOAP message (~13 MB of escaped XML).
-  size_t max_body_bytes = 256 * 1024 * 1024;
+  /// Sized for the Figure 7 workload — 128 x 100 KB payloads pack into a
+  /// single ~13 MB SOAP message — with headroom, while refusing the
+  /// memory-exhaustion bodies an unbounded (or 256 MB) default would
+  /// happily buffer. Raise per deployment via ServerOptions.http_limits.
+  size_t max_body_bytes = 64 * 1024 * 1024;
 };
 
 /// Parses one message at a time from a byte stream.

@@ -77,14 +77,35 @@ void HttpServer::accept_loop() {
           << "accept failed: " << connection.error().to_string();
       continue;
     }
+    // Connection cap: past it, answer 503 on the acceptor thread and close
+    // — the attacker's connection never reaches the protocol pool, so a
+    // flood of idle sockets cannot starve it.
+    if (options_.max_connections > 0 &&
+        open_connections_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      Response busy = Response::make(503, "Service Unavailable",
+                                     "connection limit reached");
+      busy.headers.set("Connection", "close");
+      busy.headers.set("Retry-After", "1");
+      (void)connection.value()->send(busy.serialize());
+      connection.value()->close();
+      continue;
+    }
+    open_connections_.fetch_add(1, std::memory_order_acq_rel);
     // One pooled task serves the connection until it closes. shared_ptr
     // because std::function requires copyable captures.
     auto shared =
         std::make_shared<std::unique_ptr<net::Connection>>(
             std::move(connection).value());
-    bool accepted = connection_pool_->submit(
-        [this, shared] { serve_connection(std::move(*shared)); });
-    if (!accepted) return;  // shutting down
+    bool accepted = connection_pool_->submit([this, shared] {
+      serve_connection(std::move(*shared));
+      open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+    if (!accepted) {
+      open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      return;  // shutting down
+    }
   }
 }
 
@@ -107,6 +128,20 @@ void HttpServer::serve_connection(
   MessageParser parser(MessageParser::Mode::kRequest, options_.limits);
   // HTTP-read span: first received byte of a request -> framing complete.
   std::optional<std::chrono::steady_clock::time_point> read_start;
+  // Slowloris defense: once a message is mid-parse, its whole framing must
+  // land within header_read_timeout of its first byte; the per-receive
+  // timeout is the remaining slice of that budget. Between messages the
+  // (longer) idle_timeout applies instead.
+  std::optional<std::chrono::steady_clock::time_point> message_start;
+  auto shed_slow_reader = [&] {
+    read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    Response timeout = Response::make(
+        408, "Request Timeout",
+        "request did not complete within the read deadline");
+    timeout.headers.set("Connection", "close");
+    (void)connection->send(timeout.serialize());
+    connection->close();
+  };
   while (true) {
     std::optional<Request> request = parser.poll_request();
     if (!request) {
@@ -120,8 +155,35 @@ void HttpServer::serve_connection(
         connection->close();
         return;
       }
+      const bool mid_message = parser.mid_message();
+      if (!mid_message) message_start.reset();
+      if (mid_message && !is_unbounded(options_.header_read_timeout)) {
+        const auto now = std::chrono::steady_clock::now();
+        if (!message_start) message_start = now;
+        const Duration remaining =
+            std::chrono::duration_cast<Duration>(
+                options_.header_read_timeout - (now - *message_start));
+        if (remaining <= Duration::zero()) {
+          shed_slow_reader();
+          return;
+        }
+        (void)connection->set_receive_timeout(remaining);
+      } else {
+        (void)connection->set_receive_timeout(options_.idle_timeout);
+      }
       auto bytes = connection->receive(kReadChunk);
       if (!bytes.ok()) {
+        if (bytes.error().code() == ErrorCode::kTimeout) {
+          if (mid_message) {
+            // The peer is dribbling a request slower than the read
+            // deadline allows: answer 408 and reclaim the thread.
+            shed_slow_reader();
+          } else {
+            // Idle keep-alive expiry between messages: nothing to answer.
+            connection->close();
+          }
+          return;
+        }
         // Clean close between messages is normal; anything else is logged.
         if (bytes.error().code() != ErrorCode::kConnectionClosed) {
           SPI_LOG(kDebug, "http.server")
@@ -133,9 +195,13 @@ void HttpServer::serve_connection(
       if (options_.read_latency && !read_start) {
         read_start = std::chrono::steady_clock::now();
       }
+      if (!message_start) {
+        message_start = std::chrono::steady_clock::now();
+      }
       parser.feed(bytes.value());
       continue;
     }
+    message_start.reset();
 
     if (options_.read_latency && read_start) {
       auto elapsed = std::chrono::steady_clock::now() - *read_start;

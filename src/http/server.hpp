@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 #include <thread>
 
 #include "common/histogram.hpp"
+#include "common/timeout.hpp"
 #include "concurrency/thread_pool.hpp"
 #include "http/message.hpp"
 #include "http/parser.hpp"
@@ -30,6 +32,23 @@ struct ServerOptions {
   /// outlive the server): wall time from the first received byte of a
   /// request until its framing parses complete. Null = off.
   spi::LatencyHistogram* read_latency = nullptr;
+
+  /// Slowloris defense (DESIGN.md §11): once any byte of a request has
+  /// arrived, the full message must finish parsing within this budget or
+  /// the connection is answered 408 and closed — a peer dribbling one
+  /// header byte per second cannot park a protocol thread indefinitely.
+  /// kNoTimeout disables.
+  Duration header_read_timeout = std::chrono::seconds(30);
+
+  /// Keep-alive connections with no request in progress are closed after
+  /// this long (silently: between messages there is nothing to answer).
+  /// kNoTimeout disables.
+  Duration idle_timeout = std::chrono::minutes(2);
+
+  /// Cap on concurrently open connections. At the cap, new arrivals get a
+  /// minimal 503 + "Connection: close" on the acceptor thread and never
+  /// occupy a protocol-pool slot. 0 = unlimited.
+  size_t max_connections = 0;
 };
 
 class HttpServer {
@@ -75,6 +94,22 @@ class HttpServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Connections currently open (accepted and not yet closed).
+  size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections turned away at the max_connections cap (503 at accept).
+  std::uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests answered 408 because the header_read_timeout expired mid-
+  /// message (slowloris sheds).
+  std::uint64_t read_timeouts() const {
+    return read_timeouts_.load(std::memory_order_relaxed);
+  }
+
   /// The protocol-stage pool, for telemetry views (queue depth, active
   /// workers). Null before start() and after stop().
   const ThreadPool* protocol_pool() const { return connection_pool_.get(); }
@@ -96,6 +131,9 @@ class HttpServer {
   std::atomic<bool> accepting_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<size_t> active_requests_{0};
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
 
   /// Connections currently being served; stop() aborts them so protocol
   /// threads blocked in receive() on idle keep-alive connections wake up.

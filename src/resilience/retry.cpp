@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/string_util.hpp"
 
@@ -60,6 +61,34 @@ FaultClass classify(const Error& error) {
     default:
       return FaultClass::kTerminal;
   }
+}
+
+std::optional<Duration> parse_retry_after(std::string_view value) {
+  value = trim(value);
+  if (value.empty()) return std::nullopt;
+  // Strictly digits and at most one dot: rejects HTTP-dates and junk
+  // without dragging in a date parser nobody on this stack emits.
+  size_t dots = 0;
+  for (char c : value) {
+    if (c == '.') {
+      if (++dots > 1) return std::nullopt;
+    } else if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+  }
+  if (value == ".") return std::nullopt;
+  double seconds = 0.0;
+  try {
+    seconds = std::stod(std::string(value));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!std::isfinite(seconds) || seconds <= 0.0) return Duration::zero();
+  // Cap at an hour: a shedding server hinting longer than that is either
+  // misconfigured or hostile, and no retry loop here sleeps that long.
+  seconds = std::min(seconds, 3600.0);
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(seconds));
 }
 
 RetryBudget::RetryBudget(double capacity, double deposit_per_call)

@@ -15,10 +15,12 @@
 // are safe to retry regardless.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string_view>
 
 #include "common/clock.hpp"
@@ -82,6 +84,12 @@ FaultClass classify(const Error& error);
 /// return their own code. kFault when the faultstring names no code.
 ErrorCode fault_cause(const Error& error);
 
+/// Parses a Retry-After header value into a backoff floor. This stack
+/// emits decimal seconds ("0.050"); plain RFC 7231 integer seconds parse
+/// too. HTTP-date forms and garbage return nullopt (caller falls back to
+/// its own schedule). Negative values clamp to zero.
+std::optional<Duration> parse_retry_after(std::string_view value);
+
 /// Token bucket shared by every call through one RetryPolicy. Lock-based:
 /// it is touched once per attempt, not per byte.
 class RetryBudget {
@@ -116,6 +124,14 @@ class RetryPolicy {
 
   /// Jittered backoff before retry `retry_number` (1-based).
   Duration backoff(int retry_number);
+
+  /// Backoff with a server-supplied floor: a 503 shed's Retry-After header
+  /// is the server saying how long it wants to be left alone, so the
+  /// jittered schedule never sleeps less than it (Duration::zero() floor
+  /// == plain backoff).
+  Duration backoff(int retry_number, Duration floor) {
+    return std::max(backoff(retry_number), floor);
+  }
 
   /// Full gate for one more attempt: classification, idempotency,
   /// attempts_made so far, and budget (spends a token when it says yes).

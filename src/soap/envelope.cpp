@@ -41,8 +41,20 @@ std::string build_envelope(
   return out;
 }
 
-Result<Envelope> Envelope::parse(std::string_view text) {
-  auto document = xml::parse_document(text);
+namespace {
+Error envelope_limit_error(std::string_view limit, size_t count,
+                           size_t bound) {
+  return Error(ErrorCode::kCapacityExceeded,
+               "envelope limit exceeded: " + std::string(limit) + " (" +
+                   std::to_string(count) + " > " + std::to_string(bound) +
+                   ")");
+}
+}  // namespace
+
+Result<Envelope> Envelope::parse(std::string_view text,
+                                 const xml::ParseLimits& parse_limits,
+                                 const EnvelopeLimits& limits) {
+  auto document = xml::parse_document(text, parse_limits);
   if (!document.ok()) return document.wrap_error("SOAP envelope");
 
   Envelope envelope;
@@ -61,6 +73,10 @@ Result<Envelope> Envelope::parse(std::string_view text) {
       if (seen_body) {
         return Error(ErrorCode::kProtocolError, "Header after Body");
       }
+      if (child.children.size() > limits.max_header_blocks) {
+        return envelope_limit_error("header-blocks", child.children.size(),
+                                    limits.max_header_blocks);
+      }
       envelope.header_blocks.reserve(child.children.size());
       for (const xml::Element& block : child.children) {
         envelope.header_blocks.push_back(&block);
@@ -70,6 +86,10 @@ Result<Envelope> Envelope::parse(std::string_view text) {
         return Error(ErrorCode::kProtocolError, "multiple Body elements");
       }
       seen_body = true;
+      if (child.children.size() > limits.max_body_entries) {
+        return envelope_limit_error("body-entries", child.children.size(),
+                                    limits.max_body_entries);
+      }
       envelope.body_entries.reserve(child.children.size());
       for (const xml::Element& entry : child.children) {
         envelope.body_entries.push_back(&entry);

@@ -35,6 +35,24 @@ inline constexpr std::string_view kSpiNs = "http://spi.example.org/2006/spi";
 std::string build_envelope(std::string_view body_inner_xml,
                            const std::vector<std::string>& header_blocks_xml = {});
 
+/// Message-shape bounds for received envelopes (DESIGN.md §11). The pack
+/// interface turns ONE message into M server-side executions, so the
+/// shape of a hostile envelope — header-block count, body-entry count,
+/// and above all the fan-out M — is a resource amplifier and gets its own
+/// budget. Count limits here reject the whole message (kCapacityExceeded,
+/// "envelope limit exceeded: <limit> ..."); the fan-out cap is enforced
+/// per call in the Dispatcher so healthy pack siblings still execute.
+struct EnvelopeLimits {
+  /// Calls per Parallel_Method (and steps per Remote_Execution plan).
+  /// Calls beyond the cap fault with CapacityExceeded; the first
+  /// max_fanout siblings run normally.
+  size_t max_fanout = 8192;
+  /// Direct children of SOAP-ENV:Body.
+  size_t max_body_entries = 64;
+  /// Direct children of SOAP-ENV:Header.
+  size_t max_header_blocks = 64;
+};
+
 /// A received envelope, parsed to DOM. The Document owns the arena every
 /// element view borrows from; header/body entries point into it, so an
 /// Envelope is self-contained (parse copies the input) and move-only.
@@ -49,8 +67,12 @@ struct Envelope {
   /// Body element children (operation request/response elements).
   std::vector<const xml::Element*> body_entries;
 
-  /// Parses and validates Envelope/Header?/Body structure.
-  static Result<Envelope> parse(std::string_view text);
+  /// Parses and validates Envelope/Header?/Body structure. `parse_limits`
+  /// bounds the XML tokenizer; `limits` bounds the envelope shape
+  /// (header/body entry counts — fan-out is the Dispatcher's job).
+  static Result<Envelope> parse(std::string_view text,
+                                const xml::ParseLimits& parse_limits = {},
+                                const EnvelopeLimits& limits = {});
 };
 
 /// SOAP 1.1 Fault.

@@ -38,13 +38,26 @@ OwnedToken::OwnedToken(const Token& token)
   }
 }
 
-PullParser::PullParser(std::string_view input, MonotonicArena* scratch)
-    : input_(input), scratch_(scratch ? scratch : &own_scratch_) {}
+PullParser::PullParser(std::string_view input, MonotonicArena* scratch,
+                       const ParseLimits& limits)
+    : input_(input),
+      limits_(limits),
+      scratch_(scratch ? scratch : &own_scratch_) {}
 
 Error PullParser::err(std::string message) const {
   message += " at offset ";
   append_u64(message, pos_);
   return Error(ErrorCode::kParseError, std::move(message));
+}
+
+Error PullParser::limit_err(std::string_view limit,
+                            std::string detail) const {
+  std::string message = "parse limit exceeded: ";
+  message += limit;
+  message += " (";
+  message += detail;
+  message += ')';
+  return err(std::move(message));
 }
 
 void PullParser::skip_whitespace() {
@@ -59,6 +72,11 @@ Result<std::string_view> PullParser::read_name() {
     ++pos_;
   }
   std::string_view name = input_.substr(start, pos_ - start);
+  if (name.size() > limits_.max_name_bytes) {
+    return limit_err("name-bytes",
+                     std::to_string(name.size()) + " > " +
+                         std::to_string(limits_.max_name_bytes));
+  }
   if (!is_valid_name(name)) {
     return err("invalid name '" + std::string(name) + "'");
   }
@@ -70,14 +88,32 @@ Result<std::string_view> PullParser::expand(std::string_view raw,
   // Lazy path: a run with no '&' needs no expansion and no copy; this is
   // the overwhelmingly common case for SOAP payloads.
   if (raw.find('&') == std::string_view::npos) return raw;
+  // Cumulative budget across the whole document: each expansion charges
+  // its OUTPUT size, so a flood of small entity runs is caught the same
+  // as a few huge ones (billion-laughs shape without DTDs).
+  if (expansion_bytes_ + raw.size() > limits_.max_entity_expansion_bytes) {
+    return limit_err("entity-expansion",
+                     "cumulative expansion over " +
+                         std::to_string(limits_.max_entity_expansion_bytes) +
+                         " bytes");
+  }
   // Expansion never grows (see unescape_to), so one reservation suffices.
   char* out = scratch_->begin_write(raw.size());
   auto written = unescape_to(raw, out);
   if (!written.ok()) return written.wrap_error(context);
+  expansion_bytes_ += written.value();
   return scratch_->commit_write(written.value());
 }
 
 Result<Token> PullParser::next() {
+  // Every token — including synthesized self-closing ends and the final
+  // kEndOfDocument — charges the token budget; a document that tokenizes
+  // forever is as hostile as one that nests forever.
+  if (++tokens_ > limits_.max_tokens) {
+    return limit_err("tokens",
+                     "document exceeds " +
+                         std::to_string(limits_.max_tokens) + " tokens");
+  }
   if (pending_end_) {
     pending_end_ = false;
     Token token;
@@ -186,12 +222,23 @@ Result<Token> PullParser::parse_start_or_empty() {
     }
     std::string_view raw_value =
         input_.substr(value_start, value_end - value_start);
+    if (raw_value.size() > limits_.max_attribute_value_bytes) {
+      return limit_err("attribute-value-bytes",
+                       std::to_string(raw_value.size()) + " > " +
+                           std::to_string(limits_.max_attribute_value_bytes));
+    }
     if (raw_value.find('<') != std::string_view::npos) {
       return err("'<' in attribute value");
     }
     pos_ = value_end + 1;
     auto value = expand(raw_value, "attribute value");
     if (!value.ok()) return value.error();
+    if (attribute_pool_.size() >= limits_.max_attributes) {
+      return limit_err("attributes",
+                       "element carries more than " +
+                           std::to_string(limits_.max_attributes) +
+                           " attributes");
+    }
     for (const Attribute& existing : attribute_pool_) {
       if (existing.name == attr_name.value()) {
         return err("duplicate attribute '" + std::string(attr_name.value()) +
@@ -207,6 +254,11 @@ Result<Token> PullParser::parse_start_or_empty() {
     pending_end_ = true;
     pending_end_name_ = token.name;
   } else {
+    if (open_.size() >= limits_.max_depth) {
+      return limit_err("depth",
+                       "nesting deeper than " +
+                           std::to_string(limits_.max_depth));
+    }
     open_.push_back(token.name);
   }
   return token;
@@ -373,14 +425,15 @@ std::string Document::to_string(bool pretty) const {
   return writer.take();
 }
 
-Result<Document> parse_document(std::string_view input) {
+Result<Document> parse_document(std::string_view input,
+                                const ParseLimits& limits) {
   Document document;
   // Interning the input first makes the Document self-contained: every
   // view in the DOM points into the arena, never at caller memory, so a
   // Document safely outlives a temporary input buffer.
   document.arena = MonotonicArena(input.size() + 64);
   std::string_view stable_input = document.arena.intern(input);
-  PullParser parser(stable_input, &document.arena);
+  PullParser parser(stable_input, &document.arena, limits);
   std::vector<Element*> stack;
   bool have_root = false;
 
@@ -429,8 +482,9 @@ Result<Document> parse_document(std::string_view input) {
   }
 }
 
-Status parse_sax(std::string_view input, SaxHandler& handler) {
-  PullParser parser(input);
+Status parse_sax(std::string_view input, SaxHandler& handler,
+                 const ParseLimits& limits) {
+  PullParser parser(input, nullptr, limits);
   while (true) {
     auto token = parser.next();
     if (!token.ok()) return token.error();

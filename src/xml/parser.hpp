@@ -29,6 +29,32 @@
 
 namespace spi::xml {
 
+/// Resource-governance bounds enforced by the tokenizer (DESIGN.md §11).
+/// A SOAP endpoint parses attacker-controlled bytes, so every dimension a
+/// hostile document can inflate — nesting, token count, attribute fan-out,
+/// name/value width, entity-expansion output — is budgeted and fails fast
+/// with kParseError ("parse limit exceeded: <limit> ...") instead of
+/// exhausting memory or CPU. Defaults clear the Figure-7 workload (128 x
+/// 100 KB payloads) with wide margin; 0 never means unlimited here — a
+/// zero limit rejects everything, which keeps the checks branch-simple.
+struct ParseLimits {
+  /// Maximum open-element nesting depth.
+  size_t max_depth = 256;
+  /// Maximum tokens per document (start/end/text/...; synthesized end
+  /// tokens for self-closing elements count too).
+  size_t max_tokens = 1u << 20;
+  /// Maximum attributes on a single element.
+  size_t max_attributes = 64;
+  /// Maximum bytes in one element/attribute name.
+  size_t max_name_bytes = 1024;
+  /// Maximum raw bytes in one attribute value.
+  size_t max_attribute_value_bytes = 1u << 20;
+  /// Cumulative entity-expansion OUTPUT budget per document — the
+  /// billion-laughs guard. Expansion here never grows a run (no DTD
+  /// entities), so the budget bounds scratch-arena growth directly.
+  size_t max_entity_expansion_bytes = 16u << 20;
+};
+
 struct Attribute {
   std::string_view name;
   std::string_view value;
@@ -90,7 +116,8 @@ struct OwnedToken {
 class PullParser {
  public:
   explicit PullParser(std::string_view input,
-                      MonotonicArena* scratch = nullptr);
+                      MonotonicArena* scratch = nullptr,
+                      const ParseLimits& limits = {});
 
   PullParser(const PullParser&) = delete;
   PullParser& operator=(const PullParser&) = delete;
@@ -111,6 +138,9 @@ class PullParser {
   Result<Token> parse_bang();  // comments, CDATA
   Result<Token> parse_pi();    // <?...?> incl. xml declaration
   Error err(std::string message) const;
+  /// kParseError "parse limit exceeded: <limit> (<detail>)" — the fixed
+  /// prefix is what lets upper layers count rejections per limit.
+  Error limit_err(std::string_view limit, std::string detail) const;
   void skip_whitespace();
   Result<std::string_view> read_name();
   /// Lazy expansion: returns `raw` itself when it has no '&', otherwise
@@ -119,7 +149,10 @@ class PullParser {
                                   const char* context);
 
   std::string_view input_;
+  ParseLimits limits_;
   size_t pos_ = 0;
+  size_t tokens_ = 0;               // tokens produced so far
+  size_t expansion_bytes_ = 0;      // cumulative entity-expansion output
   std::vector<std::string_view> open_;  // open element stack
   std::vector<Attribute> attribute_pool_;  // reused per start tag
   MonotonicArena own_scratch_;
@@ -180,7 +213,9 @@ struct Document {
 };
 
 /// Parses a complete document into a DOM. Comments/PIs are dropped.
-Result<Document> parse_document(std::string_view input);
+/// `limits` bounds what a hostile document may cost (see ParseLimits).
+Result<Document> parse_document(std::string_view input,
+                                const ParseLimits& limits = {});
 
 /// SAX-style callbacks. Default implementations ignore events. Views are
 /// only guaranteed for the duration of the callback.
@@ -197,6 +232,7 @@ class SaxHandler {
 };
 
 /// Drives a SaxHandler over the input. CDATA is reported via on_text.
-Status parse_sax(std::string_view input, SaxHandler& handler);
+Status parse_sax(std::string_view input, SaxHandler& handler,
+                 const ParseLimits& limits = {});
 
 }  // namespace spi::xml

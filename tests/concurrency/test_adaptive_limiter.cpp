@@ -1,0 +1,138 @@
+#include "concurrency/adaptive_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace spi {
+namespace {
+
+AdaptiveLimiterOptions small_options() {
+  AdaptiveLimiterOptions options;
+  options.min_limit = 1;
+  options.max_limit = 16;
+  options.initial_limit = 4;
+  options.window = 4;
+  options.degrade_ratio = 1.5;
+  options.backoff_ratio = 0.5;
+  options.baseline_alpha = 0.2;
+  return options;
+}
+
+// Feed one full window of identical latencies.
+void feed_window(AdaptiveLimiter& limiter, double latency_us) {
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(limiter.try_acquire());
+    limiter.release(latency_us);
+  }
+}
+
+TEST(AdaptiveLimiterTest, EnforcesLimitAndReleases) {
+  AdaptiveLimiterOptions options = small_options();
+  options.initial_limit = 2;
+  AdaptiveLimiter limiter(options);
+  EXPECT_TRUE(limiter.try_acquire());
+  EXPECT_TRUE(limiter.try_acquire());
+  EXPECT_FALSE(limiter.try_acquire()) << "third acquire must shed at limit 2";
+  EXPECT_EQ(limiter.in_flight(), 2u);
+  limiter.release_unsampled();
+  EXPECT_TRUE(limiter.try_acquire());
+}
+
+TEST(AdaptiveLimiterTest, FirstWindowSeedsBaselineWithoutAdjusting) {
+  AdaptiveLimiter limiter(small_options());
+  EXPECT_EQ(limiter.baseline_us(), 0.0);
+  feed_window(limiter, 100.0);
+  EXPECT_EQ(limiter.baseline_us(), 100.0);
+  EXPECT_EQ(limiter.limit(), 4u);
+}
+
+TEST(AdaptiveLimiterTest, HealthyLatencyGrowsLimitAdditively) {
+  AdaptiveLimiter limiter(small_options());
+  feed_window(limiter, 100.0);  // seed
+  feed_window(limiter, 100.0);
+  EXPECT_EQ(limiter.limit(), 5u);
+  feed_window(limiter, 105.0);  // within degrade_ratio of baseline
+  EXPECT_EQ(limiter.limit(), 6u);
+}
+
+TEST(AdaptiveLimiterTest, DegradedLatencyBacksOffMultiplicatively) {
+  AdaptiveLimiter limiter(small_options());
+  feed_window(limiter, 100.0);  // baseline = 100
+  feed_window(limiter, 1000.0);  // 10x: well past 1.5x baseline
+  EXPECT_EQ(limiter.limit(), 2u);  // 4 * 0.5
+  feed_window(limiter, 1000.0);
+  EXPECT_EQ(limiter.limit(), 1u);  // floor min_limit
+  feed_window(limiter, 1000.0);
+  EXPECT_EQ(limiter.limit(), 1u) << "never below min_limit";
+}
+
+TEST(AdaptiveLimiterTest, CongestionCannotInflateBaseline) {
+  AdaptiveLimiter limiter(small_options());
+  feed_window(limiter, 100.0);  // baseline = 100
+  for (int i = 0; i < 10; ++i) feed_window(limiter, 10'000.0);
+  // Each window's contribution clamps at degrade_ratio x baseline, so the
+  // baseline drifts at most geometrically at 1 + alpha*(degrade_ratio-1)
+  // = 1.1x per window (100 * 1.1^10 ~= 259) instead of snapping to the
+  // offered 10'000 — a long stall cannot teach the limiter that slow is
+  // normal.
+  EXPECT_LT(limiter.baseline_us(), 300.0);
+}
+
+TEST(AdaptiveLimiterTest, RecoveryAfterBackoff) {
+  AdaptiveLimiter limiter(small_options());
+  feed_window(limiter, 100.0);
+  feed_window(limiter, 1000.0);  // back off to 2
+  ASSERT_EQ(limiter.limit(), 2u);
+  for (int i = 0; i < 20; ++i) feed_window(limiter, 100.0);
+  EXPECT_EQ(limiter.limit(), 16u) << "healthy windows climb back to max";
+}
+
+TEST(AdaptiveLimiterTest, LimitNeverExceedsMax) {
+  AdaptiveLimiterOptions options = small_options();
+  options.max_limit = 5;
+  AdaptiveLimiter limiter(options);
+  for (int i = 0; i < 20; ++i) feed_window(limiter, 50.0);
+  EXPECT_EQ(limiter.limit(), 5u);
+}
+
+TEST(AdaptiveLimiterTest, GarbageSamplesIgnored) {
+  AdaptiveLimiter limiter(small_options());
+  ASSERT_TRUE(limiter.try_acquire());
+  limiter.release(-5.0);  // negative: dropped
+  ASSERT_TRUE(limiter.try_acquire());
+  limiter.release(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(limiter.baseline_us(), 0.0) << "no window should have closed";
+  EXPECT_EQ(limiter.in_flight(), 0u);
+}
+
+TEST(AdaptiveLimiterTest, ConcurrentAcquireNeverOversubscribes) {
+  AdaptiveLimiterOptions options = small_options();
+  options.initial_limit = 3;
+  options.window = 1'000'000;  // no adjustments during the race
+  AdaptiveLimiter limiter(options);
+  std::atomic<size_t> peak{0};
+  std::atomic<size_t> current{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 2000; ++i) {
+          if (!limiter.try_acquire()) continue;
+          size_t now = current.fetch_add(1) + 1;
+          size_t seen = peak.load();
+          while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+          }
+          current.fetch_sub(1);
+          limiter.release(10.0);
+        }
+      });
+    }
+  }
+  EXPECT_LE(peak.load(), 3u);
+  EXPECT_EQ(limiter.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace spi

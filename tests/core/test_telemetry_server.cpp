@@ -180,6 +180,65 @@ TEST_F(TelemetryServerTest, HealthzFlipsTo503WhileSaturated) {
             std::string::npos);
 }
 
+TEST_F(TelemetryServerTest, HardeningInstrumentsAreExposed) {
+  ServerOptions options;
+  options.envelope_limits.max_fanout = 2;
+  AdaptiveLimiterOptions adaptive;
+  adaptive.initial_limit = 4;
+  options.adaptive_limit = adaptive;
+  SpiServer server(transport_, net::Endpoint{"server", 80}, registry_,
+                   options);
+  ASSERT_TRUE(server.start().ok());
+
+  // One call over the fan-out cap -> limit="fan-out" ticks once.
+  SpiClient client(transport_, server.endpoint());
+  auto calls = bench::make_echo_calls(3, 8, /*seed=*/5);
+  auto outcomes = client.call_packed(calls);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[2].ok());
+
+  // A hostile over-deep request (past the default 256 bound) -> a single
+  // limit="depth" tick (HTTP 400).
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 300; ++i) deep += "</a>";
+  http::HttpClient http(transport_, server.endpoint());
+  auto rejected = http.post("/spi", std::move(deep), "text/xml");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected.value().status, 400);
+
+  const std::string text = get(server.endpoint(), "/metrics").body;
+  // Shed accounting by reason, all zero on this healthy run...
+  EXPECT_NE(text.find("spi_admission_shed_total{reason=\"draining\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("spi_admission_shed_total{reason=\"concurrency-limit\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("spi_admission_shed_total{reason=\"adaptive-limit\"} 0\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("spi_admission_shed_total{reason=\"queue-full\"} 0\n"),
+            std::string::npos);
+  // ...limit rejections attributed to their governed dimension...
+  EXPECT_NE(text.find("spi_limit_rejections_total{limit=\"fan-out\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_limit_rejections_total{limit=\"depth\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spi_limit_rejections_total{limit=\"tokens\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("spi_limit_rejections_total{limit=\"body-entries\"} 0\n"),
+      std::string::npos);
+  // ...and the adaptive limiter's current learned limit as a gauge.
+  EXPECT_NE(text.find("spi_admission_adaptive_limit 4\n"), std::string::npos)
+      << text;
+
+  EXPECT_EQ(server.stats().limit_rejections, 1u);  // depth (whole message)
+  EXPECT_EQ(server.stats().dispatcher.limit_rejected_calls, 1u);  // fan-out
+}
+
 TEST_F(TelemetryServerTest, PackedFanOutSharesOneTraceAcrossCallContexts) {
   struct Capture {
     std::string trace_id;

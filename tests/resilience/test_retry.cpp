@@ -198,5 +198,46 @@ TEST(RetryPolicy, BudgetExhaustionStopsRetriesAcrossCalls) {
   EXPECT_EQ(policy.retries_granted(), 2u);
 }
 
+TEST(RetryPolicy, RetryAfterFloorOverridesSmallerBackoff) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = milliseconds(2);
+  options.max_backoff = milliseconds(10);
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  // Below the floor: the server's hint wins.
+  EXPECT_EQ(policy.backoff(1, milliseconds(50)), milliseconds(50));
+  // Above the floor: the policy's own (capped) schedule wins.
+  EXPECT_EQ(policy.backoff(4, milliseconds(3)), milliseconds(10));
+  // Zero floor (no hint) leaves the schedule untouched.
+  EXPECT_EQ(policy.backoff(2, Duration::zero()), milliseconds(4));
+}
+
+TEST(ParseRetryAfter, AcceptsDecimalSeconds) {
+  EXPECT_EQ(parse_retry_after("0.050"), milliseconds(50));
+  EXPECT_EQ(parse_retry_after("2"), std::chrono::seconds(2));
+  EXPECT_EQ(parse_retry_after(" 1.5 "), milliseconds(1500));
+}
+
+TEST(ParseRetryAfter, CapsHostileHints) {
+  EXPECT_EQ(parse_retry_after("999999999"), std::chrono::hours(1));
+}
+
+TEST(ParseRetryAfter, ZeroAndNegativeClampToZero) {
+  EXPECT_EQ(parse_retry_after("0"), Duration::zero());
+  EXPECT_EQ(parse_retry_after("0.0"), Duration::zero());
+}
+
+TEST(ParseRetryAfter, RejectsDatesAndJunk) {
+  EXPECT_EQ(parse_retry_after(""), std::nullopt);
+  EXPECT_EQ(parse_retry_after("."), std::nullopt);
+  EXPECT_EQ(parse_retry_after("1.2.3"), std::nullopt);
+  EXPECT_EQ(parse_retry_after("-1"), std::nullopt);
+  EXPECT_EQ(parse_retry_after("soon"), std::nullopt);
+  EXPECT_EQ(parse_retry_after("Fri, 31 Dec 1999 23:59:59 GMT"),
+            std::nullopt);
+}
+
 }  // namespace
 }  // namespace spi::resilience

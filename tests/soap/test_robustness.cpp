@@ -110,5 +110,43 @@ TEST(EnvelopeFuzzTest, NestedBombsAreBounded) {
   EXPECT_EQ(envelope.value().body_entries[0]->children.size(), 20'000u);
 }
 
+TEST(EnvelopeFuzzTest, EveryTruncationOfAValidEnvelopeFailsCleanly) {
+  // A prefix of a valid envelope always has an unterminated element, so
+  // every truncation point must produce a clean rejection — never a
+  // partial parse that smuggles half a message through.
+  std::string pristine = valid_packed_envelope(99);
+  for (size_t len = 0; len < pristine.size(); len += 7) {
+    auto envelope = Envelope::parse(pristine.substr(0, len));
+    EXPECT_FALSE(envelope.ok()) << "prefix of " << len << " bytes parsed";
+  }
+  ASSERT_TRUE(Envelope::parse(pristine).ok());
+}
+
+TEST(EnvelopeFuzzTest, HostileShapesRejectedByDefaultLimits) {
+  // DESIGN.md §11: the default ParseLimits are live on the 1-arg parse
+  // path every server request takes.
+  std::string deep;
+  for (int i = 0; i < 10'000; ++i) deep += "<d>";
+  auto rejected = Envelope::parse(deep);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code(), ErrorCode::kParseError);
+  EXPECT_NE(rejected.error().message().find("parse limit exceeded: depth"),
+            std::string::npos)
+      << rejected.error().message();
+
+  std::string wide_header =
+      "<Envelope xmlns=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<Header>";
+  for (int i = 0; i < 10'000; ++i) wide_header += "<h/>";
+  wide_header += "</Header><Body><op/></Body></Envelope>";
+  auto capacity = Envelope::parse(wide_header);
+  ASSERT_FALSE(capacity.ok());
+  EXPECT_EQ(capacity.error().code(), ErrorCode::kCapacityExceeded);
+  EXPECT_NE(
+      capacity.error().message().find("envelope limit exceeded: header-blocks"),
+      std::string::npos)
+      << capacity.error().message();
+}
+
 }  // namespace
 }  // namespace spi::soap
