@@ -1,0 +1,264 @@
+// C10K idle-connection study: how many parked keep-alive connections can
+// the server hold while still serving a fixed packed-echo workload?
+//
+// The pre-reactor server pinned one protocol thread per connection for its
+// whole lifetime, so `protocol_threads` (default 8) was a hard ceiling on
+// concurrency regardless of how idle the extra connections were. The
+// event-driven connection layer (DESIGN.md §12) holds idle connections in
+// an epoll set and a timer wheel instead, so the ceiling is file
+// descriptors, not threads.
+//
+// Phases:
+//   1. open SPI_BENCH_IDLE raw keep-alive connections and leave them
+//      parked (no bytes sent);
+//   2. run SPI_BENCH_CLIENTS closed-loop SpiClients, each issuing packed
+//      batches of M=10 echo calls for SPI_BENCH_WINDOW_MS, and report
+//      batch p50/p99 plus errors (a starved workload shows up as receive
+//      timeouts, not as a hung bench).
+//
+// Environment:
+//   SPI_BENCH_IDLE        parked connections (default 10000)
+//   SPI_BENCH_CLIENTS     workload client threads (default 4)
+//   SPI_BENCH_WINDOW_MS   workload window (default 3000)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "benchsupport/histogram.hpp"
+#include "benchsupport/workload.hpp"
+#include "common/config.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "net/tcp_transport.hpp"
+#include "services/echo.hpp"
+
+using namespace spi;
+using namespace spi::bench;
+
+namespace {
+
+/// Parked connections + their workload need ~2 fds each (client and server
+/// end on the same host); lift the soft fd limit to the hard limit and
+/// report how many idle connections actually fit.
+void raise_fd_limit(size_t wanted) {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  rlim_t need = static_cast<rlim_t>(wanted);
+  if (limit.rlim_cur >= need) return;
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? need
+                        : std::min<rlim_t>(limit.rlim_max, need);
+  if (raised.rlim_cur > limit.rlim_cur) (void)setrlimit(RLIMIT_NOFILE, &raised);
+  // Root can raise the hard limit too; try for the full ask.
+  if (raised.rlim_cur < need) {
+    raised.rlim_cur = raised.rlim_max = need;
+    (void)setrlimit(RLIMIT_NOFILE, &raised);
+  }
+}
+
+/// One forked parker process holding a share of the idle connections.
+/// RLIMIT_NOFILE is per process, so both ends of 10k connections cannot
+/// live in one process under a 20k fd cap — and real idle peers are
+/// remote anyway. Children charge the client-side fds to their own
+/// budgets; the server process pays only for the accepted ends.
+struct Parker {
+  pid_t pid = -1;
+  int cmd_write = -1;   // parent -> child: the server port, then EOF = exit
+  int ready_read = -1;  // child -> parent: how many connections parked
+};
+
+/// Child body: connect `count` keep-alive connections and hold them until
+/// the command pipe closes. Exits without returning.
+[[noreturn]] void parker_child(int cmd_fd, int ready_fd, size_t count) {
+  std::uint16_t port = 0;
+  if (::read(cmd_fd, &port, sizeof(port)) != sizeof(port)) ::_exit(2);
+  net::TcpTransport transport;
+  std::vector<std::unique_ptr<net::Connection>> parked;
+  parked.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto connection = transport.connect(net::Endpoint{"127.0.0.1", port});
+    if (!connection.ok()) break;
+    parked.push_back(std::move(connection).value());
+  }
+  std::uint32_t n = static_cast<std::uint32_t>(parked.size());
+  if (::write(ready_fd, &n, sizeof(n)) != sizeof(n)) ::_exit(2);
+  char sink = 0;
+  (void)::read(cmd_fd, &sink, 1);  // blocks until the parent closes
+  ::_exit(0);
+}
+
+/// Forked before the server starts any thread (fork+threads don't mix).
+/// Each child inherits the parent ends of earlier children's pipes; the
+/// shutdown EOF therefore cascades from the last child backwards, which
+/// still releases every one.
+std::vector<Parker> spawn_parkers(size_t total, size_t processes) {
+  std::vector<Parker> parkers;
+  for (size_t p = 0; p < processes; ++p) {
+    const size_t share = total / processes + (p < total % processes ? 1 : 0);
+    if (share == 0) continue;
+    int cmd[2] = {-1, -1};
+    int ready[2] = {-1, -1};
+    if (::pipe(cmd) != 0 || ::pipe(ready) != 0) break;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(cmd[1]);
+      ::close(ready[0]);
+      parker_child(cmd[0], ready[1], share);
+    }
+    ::close(cmd[0]);
+    ::close(ready[1]);
+    if (pid < 0) {
+      ::close(cmd[1]);
+      ::close(ready[0]);
+      break;
+    }
+    parkers.push_back(Parker{pid, cmd[1], ready[0]});
+  }
+  return parkers;
+}
+
+struct WorkloadResult {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double batches_per_sec = 0;
+  std::uint64_t ok_batches = 0;
+  std::uint64_t failed_batches = 0;
+};
+
+WorkloadResult run_workload(net::Transport& transport, net::Endpoint server,
+                            size_t clients, Duration window) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> failed{0};
+  LatencyHistogram histogram;
+
+  {
+    std::vector<std::jthread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        core::ClientOptions options;
+        options.keep_alive = true;
+        // A starved workload must fail visibly instead of hanging the
+        // bench: bound every response read.
+        options.receive_timeout = std::chrono::seconds(2);
+        core::SpiClient client(transport, server, options);
+        auto calls = make_echo_calls(/*count=*/10, /*payload=*/100,
+                                     /*seed=*/0xc10c + c);
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch watch;
+          auto outcomes = client.call_packed(calls);
+          if (count_echo_errors(calls, outcomes) == 0) {
+            histogram.record_ms(watch.elapsed_ms());
+            ok.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    RealClock::instance().sleep_for(window);
+    stop.store(true);
+  }
+
+  WorkloadResult result;
+  result.p50_ms = histogram.p50_us() / 1e3;
+  result.p99_ms = histogram.p99_us() / 1e3;
+  result.ok_batches = ok.load();
+  result.failed_batches = failed.load();
+  result.batches_per_sec =
+      static_cast<double>(result.ok_batches) /
+      std::chrono::duration<double>(window).count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  Config env = Config::from_env("SPI_BENCH_");
+  const size_t idle_target =
+      static_cast<size_t>(env.get_int_or("idle", 10000));
+  const size_t clients = static_cast<size_t>(env.get_int_or("clients", 4));
+  const auto window =
+      std::chrono::milliseconds(env.get_int_or("window_ms", 3000));
+
+  // The server process holds one fd per parked connection; the client
+  // ends live in the parker children (their own limits).
+  raise_fd_limit(idle_target + 1024);
+
+  // Fork parkers before the server spins up any thread.
+  std::vector<Parker> parkers =
+      spawn_parkers(idle_target, idle_target > 0 ? 4 : 0);
+
+  net::TcpTransport transport;
+  core::ServiceRegistry registry;
+  services::register_echo_service(registry);
+
+  core::ServerOptions options;
+  options.protocol_threads = 8;
+  options.application_threads = 8;
+  // Idle connections must survive the whole bench window.
+  options.http_limits = {};
+  core::SpiServer server(transport, net::Endpoint{"127.0.0.1", 0}, registry,
+                         options);
+  if (Status started = server.start(); !started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("=== C10K idle keep-alive study ===\n");
+  std::printf(
+      "target: %zu parked connections + %zu packed-echo clients "
+      "(M=10 x 100 B, %lld ms window), protocol_threads=8\n\n",
+      idle_target, clients,
+      static_cast<long long>(window.count()));
+
+  // Phase 1: the parkers connect their shares in parallel. The parked
+  // connections speak no bytes; a thread-per-connection server still
+  // burns a pool slot on each.
+  Stopwatch connect_watch;
+  const std::uint16_t port = server.endpoint().port;
+  for (const Parker& parker : parkers) {
+    (void)::write(parker.cmd_write, &port, sizeof(port));
+  }
+  size_t parked = 0;
+  for (const Parker& parker : parkers) {
+    std::uint32_t n = 0;
+    if (::read(parker.ready_read, &n, sizeof(n)) == sizeof(n)) parked += n;
+  }
+  std::printf("parked %zu/%zu idle connections in %.1f ms\n", parked,
+              idle_target, connect_watch.elapsed_ms());
+
+  // Phase 2: the echo workload must still be served underneath them.
+  WorkloadResult result =
+      run_workload(transport, server.endpoint(), clients, window);
+
+  std::printf(
+      "echo workload: %llu ok batches (%.1f/s), %llu failed, "
+      "p50 %.2f ms, p99 %.2f ms\n",
+      static_cast<unsigned long long>(result.ok_batches),
+      result.batches_per_sec,
+      static_cast<unsigned long long>(result.failed_batches), result.p50_ms,
+      result.p99_ms);
+  std::printf("server: %llu http requests served\n",
+              static_cast<unsigned long long>(server.stats().http_requests));
+
+  // Release the parkers (EOF on the command pipes) and reap them.
+  for (const Parker& parker : parkers) {
+    ::close(parker.cmd_write);
+    ::close(parker.ready_read);
+  }
+  for (const Parker& parker : parkers) {
+    int status = 0;
+    (void)::waitpid(parker.pid, &status, 0);
+  }
+  server.stop();
+  return result.failed_batches == 0 ? 0 : 1;
+}

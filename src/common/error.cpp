@@ -12,6 +12,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kConnectionFailed: return "ConnectionFailed";
     case ErrorCode::kConnectionClosed: return "ConnectionClosed";
     case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kWouldBlock: return "WouldBlock";
     case ErrorCode::kProtocolError: return "ProtocolError";
     case ErrorCode::kFault: return "Fault";
     case ErrorCode::kShutdown: return "Shutdown";

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kConnectionFailed,  // transport-level connect/accept failure
   kConnectionClosed,  // peer closed mid-message
   kTimeout,
+  kWouldBlock,        // non-blocking I/O has no data/space right now
   kProtocolError,     // well-formed bytes violating HTTP/SOAP rules
   kFault,             // SOAP fault returned by the remote side
   kShutdown,          // subsystem is stopping; request not attempted

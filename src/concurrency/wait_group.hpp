@@ -25,7 +25,9 @@ class WaitGroup {
     std::unique_lock lock(mutex_);
     if (count_ == 0) throw std::logic_error("WaitGroup::done without add");
     if (--count_ == 0) {
-      lock.unlock();
+      // Notify while holding the lock: the waiter may destroy this
+      // WaitGroup the moment wait() returns, and an unlocked notify
+      // would touch a dead condition variable.
       zero_.notify_all();
     }
   }
@@ -61,8 +63,7 @@ class CountdownLatch {
     std::unique_lock lock(mutex_);
     if (count_ == 0) return;
     if (--count_ == 0) {
-      lock.unlock();
-      zero_.notify_all();
+      zero_.notify_all();  // under the lock; see WaitGroup::done
     }
   }
 

@@ -101,6 +101,7 @@ SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
   }
   http::ServerOptions http_options;
   http_options.protocol_threads = options_.protocol_threads;
+  http_options.reactor_threads = options_.reactor_threads;
   http_options.limits = options_.http_limits;
   http_options.read_latency = http_read_;
   http_server_ = std::make_unique<http::HttpServer>(
@@ -190,6 +191,24 @@ void SpiServer::register_instruments(net::Transport& transport) {
                      return adaptive_limiter_ ? static_cast<double>(
                                                     adaptive_limiter_->limit())
                                               : 0.0;
+                   });
+  reg.add_callback("spi_reactor_connections",
+                   "Connections attached to reactor event loops",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return static_cast<double>(
+                         http_server_->reactor_connections());
+                   });
+  reg.add_callback("spi_reactor_loop_iterations_total",
+                   "Reactor event-loop iterations across all loops",
+                   telemetry::CallbackKind::kCounter, {}, [this]() -> double {
+                     return static_cast<double>(
+                         http_server_->reactor_loop_iterations());
+                   });
+  reg.add_callback("spi_timer_wheel_depth",
+                   "Pending connection timers across all timer wheels",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return static_cast<double>(
+                         http_server_->timer_wheel_depth());
                    });
   reg.add_callback("spi_server_draining",
                    "1 while the server is draining (stop() in progress)",

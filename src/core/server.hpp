@@ -41,6 +41,11 @@ struct ServerOptions {
   /// Application stage width (concurrent operation executions).
   size_t application_threads = 8;
 
+  /// Reactor event loops driving fd-backed connections in the protocol
+  /// stage (DESIGN.md §12). 0 forces the blocking thread-per-connection
+  /// driver; simulated transports always use the blocking driver.
+  size_t reactor_threads = 1;
+
   /// false = Figure 1 coupled architecture (handlers run on the protocol
   /// thread); true = Figure 2 staged architecture.
   bool staged = true;

@@ -56,6 +56,14 @@ class MessageParser {
   /// Used to distinguish clean connection close from truncation.
   bool mid_message() const { return state_ != State::kStartLine || buffer_.size() > 0; }
 
+  /// True once the current message's headers are complete and its body is
+  /// still arriving. The connection FSM uses this to pick the right
+  /// timeout: header-read deadline before, body progress after.
+  bool in_body() const {
+    return state_ == State::kBody || state_ == State::kChunkSize ||
+           state_ == State::kChunkData || state_ == State::kChunkTrailer;
+  }
+
  private:
   enum class State { kStartLine, kHeaders, kBody, kChunkSize, kChunkData,
                      kChunkTrailer, kComplete };

@@ -9,7 +9,400 @@ namespace spi::http {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
-}
+
+TimePoint now() { return std::chrono::steady_clock::now(); }
+}  // namespace
+
+// --- ReactorConn --------------------------------------------------------
+// One reactor-driven connection. Every member (FSM included) is touched
+// only on the home reactor's loop thread; handler execution happens on the
+// protocol pool and re-enters via reactor_.post(). Lifetime is a
+// shared_ptr held by the server's connection map, the poller registration,
+// any armed timer, and any in-flight handler task.
+class HttpServer::ReactorConn final
+    : public ConnectionFsm::Host,
+      public std::enable_shared_from_this<HttpServer::ReactorConn> {
+ public:
+  ReactorConn(HttpServer& server, Reactor& reactor,
+              std::unique_ptr<net::Connection> connection)
+      : server_(server),
+        reactor_(reactor),
+        connection_(std::move(connection)),
+        fsm_(*this, server.fsm_config(), server.fsm_counters(),
+             server.accepting_) {}
+
+  /// Loop thread: flip to non-blocking, register with the poller, start
+  /// the FSM (which arms the idle timer).
+  void open() {
+    (void)connection_->set_nonblocking(true);
+    auto self = shared_from_this();
+    token_ = reactor_.add_fd(
+        connection_->native_handle(), net::Readiness::kRead,
+        [self](std::uint32_t events) { self->handle_io(events); });
+    interest_ = net::Readiness::kRead;
+    fsm_.on_open(now());
+    update_interest();
+  }
+
+  /// Any thread: tear the connection down on its loop (server stop).
+  void request_shutdown() {
+    auto self = shared_from_this();
+    reactor_.post([self] {
+      if (self->finished_) return;
+      // abort() wakes nothing here (no thread is parked) but ensures the
+      // peer sees the close even with response bytes still queued.
+      self->connection_->abort();
+      self->fsm_.on_peer_closed();
+    });
+  }
+
+  // --- ConnectionFsm::Host (loop thread) -------------------------------
+
+  void send_bytes(std::string bytes, bool /*close_after*/) override {
+    outbox_.append(bytes);
+    if (!flushing_) flush();
+  }
+
+  void dispatch(Request request) override {
+    auto self = shared_from_this();
+    bool accepted = server_.connection_pool_->submit(
+        [self, request = std::move(request)]() mutable {
+          Response response;
+          bool failed = false;
+          try {
+            response = self->server_.handler_(request);
+          } catch (const std::exception& e) {
+            SPI_LOG(kError, "http.server") << "handler threw: " << e.what();
+            response = Response::make(500, "Internal Server Error", e.what());
+            failed = true;
+          }
+          self->reactor_.post(
+              [self, response = std::move(response), failed]() mutable {
+                if (self->finished_) return;
+                self->fsm_.on_response(std::move(response), failed, now());
+                self->update_interest();
+              });
+        });
+    if (!accepted) {
+      // Pool is shutting down; the request can never be answered.
+      reactor_.post([self] {
+        if (!self->finished_) self->fsm_.on_peer_closed();
+      });
+    }
+  }
+
+  void arm_timer(ConnectionFsm::TimerKind /*kind*/, Duration delay) override {
+    cancel_timer();
+    auto self = shared_from_this();
+    timer_ = reactor_.schedule(delay, [self] {
+      self->timer_ = TimerWheel::kInvalidTimer;
+      if (self->finished_) return;
+      self->fsm_.on_timer(now());
+      self->update_interest();
+    });
+  }
+
+  void cancel_timer() override {
+    if (timer_ != TimerWheel::kInvalidTimer) {
+      reactor_.cancel_timer(timer_);
+      timer_ = TimerWheel::kInvalidTimer;
+    }
+  }
+
+  void close_connection() override {
+    connection_->close();
+    finish();
+  }
+
+ private:
+  void handle_io(std::uint32_t events) {
+    if (finished_) return;
+    if (events & net::Readiness::kWrite) flush();
+    if (finished_) return;
+    if ((events & net::Readiness::kRead) && fsm_.wants_read()) {
+      while (fsm_.wants_read() && !finished_) {
+        auto bytes = connection_->try_receive(kReadChunk);
+        if (!bytes.ok()) {
+          const ErrorCode code = bytes.error().code();
+          if (code == ErrorCode::kWouldBlock) break;
+          if (code == ErrorCode::kConnectionClosed) {
+            fsm_.on_peer_closed();
+          } else {
+            SPI_LOG(kDebug, "http.server")
+                << "receive failed: " << bytes.error().to_string();
+            fsm_.on_receive_error();
+          }
+          break;
+        }
+        fsm_.on_bytes(bytes.value(), now());
+      }
+    }
+    if (finished_) return;
+    if ((events & net::Readiness::kError) && !fsm_.closed()) {
+      fsm_.on_receive_error();
+    }
+    if (!finished_) update_interest();
+  }
+
+  /// Drains outbox_ until empty or the socket buffer fills. Reentrancy-
+  /// guarded: on_send_complete() may queue the next response (pipelining)
+  /// through send_bytes() while we are inside the loop.
+  void flush() {
+    if (flushing_ || finished_) return;
+    flushing_ = true;
+    while (!finished_ && outbox_offset_ < outbox_.size()) {
+      auto sent = connection_->try_send(
+          std::string_view(outbox_).substr(outbox_offset_));
+      if (!sent.ok()) {
+        if (sent.error().code() == ErrorCode::kWouldBlock) break;
+        flushing_ = false;
+        fsm_.on_receive_error();
+        return;
+      }
+      outbox_offset_ += sent.value();
+      if (outbox_offset_ == outbox_.size()) {
+        outbox_.clear();
+        outbox_offset_ = 0;
+        fsm_.on_send_complete(now());
+      }
+    }
+    flushing_ = false;
+    if (!finished_) update_interest();
+  }
+
+  void update_interest() {
+    if (finished_) return;
+    std::uint32_t want = 0;
+    if (fsm_.wants_read()) want |= net::Readiness::kRead;
+    if (outbox_offset_ < outbox_.size()) want |= net::Readiness::kWrite;
+    if (want != interest_) {
+      reactor_.set_interest(token_, want);
+      interest_ = want;
+    }
+  }
+
+  /// Idempotent teardown: deregister, release the server's reference.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    cancel_timer();
+    if (token_ != 0) {
+      reactor_.remove_fd(token_);
+      token_ = 0;
+    }
+    server_.open_connections_.fetch_sub(1, std::memory_order_acq_rel);
+    server_.detach_reactor_connection(this);
+  }
+
+  HttpServer& server_;
+  Reactor& reactor_;
+  std::unique_ptr<net::Connection> connection_;
+  ConnectionFsm fsm_;
+  std::uint64_t token_ = 0;
+  std::uint32_t interest_ = 0;
+  TimerWheel::TimerId timer_ = TimerWheel::kInvalidTimer;
+  std::string outbox_;
+  size_t outbox_offset_ = 0;
+  bool flushing_ = false;
+  bool finished_ = false;
+};
+
+// --- BlockingConn -------------------------------------------------------
+// One blocking-driver connection: a pooled protocol thread parks in
+// receive() while timeouts live on the server's shared TimerService wheel.
+// The FSM runs under mutex_ (serve thread + timer thread); effects it
+// requests are recorded and executed *outside* the lock by run_effects(),
+// so a blocking send or handler never stalls the timer thread, and a
+// timer callback never deadlocks against a concurrent FSM call.
+class HttpServer::BlockingConn final
+    : public ConnectionFsm::Host,
+      public std::enable_shared_from_this<HttpServer::BlockingConn> {
+ public:
+  BlockingConn(HttpServer& server,
+               std::unique_ptr<net::Connection> connection)
+      : server_(server),
+        connection_(std::move(connection)),
+        fsm_(*this, server.fsm_config(), server.fsm_counters(),
+             server.accepting_) {}
+
+  net::Connection* connection() { return connection_.get(); }
+
+  /// Runs on a protocol-pool thread until the connection closes.
+  void serve() {
+    serve_thread_id_ = std::this_thread::get_id();
+    // Timeouts come from the wheel now; receive() parks unbounded and is
+    // woken by abort() when a timer closes the connection.
+    (void)connection_->set_receive_timeout(kNoTimeout);
+    {
+      std::lock_guard lock(mutex_);
+      fsm_.on_open(now());
+    }
+    run_effects();
+    while (true) {
+      {
+        std::lock_guard lock(mutex_);
+        if (done_ || fsm_.closed()) break;
+      }
+      auto bytes = connection_->receive(kReadChunk);
+      if (!bytes.ok()) {
+        const ErrorCode code = bytes.error().code();
+        {
+          std::lock_guard lock(mutex_);
+          if (!done_ && !fsm_.closed()) {
+            if (code != ErrorCode::kConnectionClosed) {
+              SPI_LOG(kDebug, "http.server")
+                  << "receive failed: " << bytes.error().to_string();
+            }
+            if (code == ErrorCode::kConnectionClosed) {
+              fsm_.on_peer_closed();
+            } else {
+              fsm_.on_receive_error();
+            }
+          }
+        }
+        run_effects();
+        break;
+      }
+      {
+        std::lock_guard lock(mutex_);
+        fsm_.on_bytes(bytes.value(), now());
+      }
+      run_effects();
+    }
+    run_effects();
+    std::lock_guard lock(mutex_);
+    cancel_timer();
+  }
+
+  // --- ConnectionFsm::Host (called with mutex_ held; effects deferred) --
+
+  void send_bytes(std::string bytes, bool close_after) override {
+    pending_sends_.push_back(PendingSend{std::move(bytes), close_after});
+  }
+
+  void dispatch(Request request) override {
+    pending_request_ = std::move(request);
+  }
+
+  void arm_timer(ConnectionFsm::TimerKind /*kind*/, Duration delay) override {
+    const std::uint64_t generation = ++timer_generation_;
+    if (timer_ != TimerWheel::kInvalidTimer) {
+      server_.timer_service_->cancel(timer_);
+    }
+    auto self = shared_from_this();
+    timer_ = server_.timer_service_->schedule(
+        delay, [self, generation] { self->on_timer_fire(generation); });
+  }
+
+  void cancel_timer() override {
+    ++timer_generation_;
+    if (timer_ != TimerWheel::kInvalidTimer) {
+      server_.timer_service_->cancel(timer_);
+      timer_ = TimerWheel::kInvalidTimer;
+    }
+  }
+
+  void close_connection() override { close_requested_ = true; }
+
+ private:
+  struct PendingSend {
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  /// Timer-service thread. The generation check absorbs the documented
+  /// TimerService race: a callback can still fire after cancel() when it
+  /// was already collected.
+  void on_timer_fire(std::uint64_t generation) {
+    {
+      std::lock_guard lock(mutex_);
+      if (generation != timer_generation_ || done_ || fsm_.closed()) return;
+      timer_ = TimerWheel::kInvalidTimer;
+      fsm_.on_timer(now());
+    }
+    run_effects();
+  }
+
+  /// Executes FSM-requested effects without holding mutex_. Exclusive by
+  /// construction (effects_running_): whichever thread enters first loops
+  /// until the queue is dry, so bytes never interleave on the wire and
+  /// the per-connection effect order is preserved.
+  void run_effects() {
+    {
+      std::lock_guard lock(mutex_);
+      if (effects_running_) return;
+      effects_running_ = true;
+    }
+    while (true) {
+      std::vector<PendingSend> sends;
+      std::optional<Request> request;
+      bool do_close = false;
+      {
+        std::lock_guard lock(mutex_);
+        if (pending_sends_.empty() && !pending_request_ &&
+            !close_requested_) {
+          effects_running_ = false;
+          return;
+        }
+        sends.swap(pending_sends_);
+        request.swap(pending_request_);
+        do_close = close_requested_;
+        close_requested_ = false;
+      }
+      for (PendingSend& send : sends) {
+        if (Status sent = connection_->send(send.bytes); !sent.ok()) {
+          std::lock_guard lock(mutex_);
+          if (!fsm_.closed()) fsm_.on_receive_error();
+          break;
+        }
+        std::lock_guard lock(mutex_);
+        fsm_.on_send_complete(now());
+      }
+      if (request) {
+        Response response;
+        bool failed = false;
+        try {
+          response = server_.handler_(*request);
+        } catch (const std::exception& e) {
+          SPI_LOG(kError, "http.server") << "handler threw: " << e.what();
+          response = Response::make(500, "Internal Server Error", e.what());
+          failed = true;
+        }
+        std::lock_guard lock(mutex_);
+        fsm_.on_response(std::move(response), failed, now());
+      }
+      if (do_close) {
+        connection_->close();
+        {
+          std::lock_guard lock(mutex_);
+          done_ = true;
+        }
+        // A timer-thread close must also wake the serve thread parked in
+        // receive(); on the serve thread itself the loop exits via done_.
+        if (std::this_thread::get_id() != serve_thread_id_) {
+          connection_->abort();
+        }
+      }
+    }
+  }
+
+  HttpServer& server_;
+  std::unique_ptr<net::Connection> connection_;
+  std::mutex mutex_;
+  ConnectionFsm fsm_;
+  std::thread::id serve_thread_id_;
+
+  // All below guarded by mutex_ except where noted.
+  TimerWheel::TimerId timer_ = TimerWheel::kInvalidTimer;
+  std::uint64_t timer_generation_ = 0;
+  std::vector<PendingSend> pending_sends_;
+  std::optional<Request> pending_request_;
+  bool close_requested_ = false;
+  bool effects_running_ = false;
+  bool done_ = false;
+};
+
+// --- HttpServer ---------------------------------------------------------
 
 HttpServer::HttpServer(net::Transport& transport, net::Endpoint at,
                        Handler handler, ServerOptions options)
@@ -24,6 +417,23 @@ HttpServer::HttpServer(net::Transport& transport, net::Endpoint at,
 
 HttpServer::~HttpServer() { stop(); }
 
+ConnectionFsm::Config HttpServer::fsm_config() const {
+  ConnectionFsm::Config config;
+  config.limits = options_.limits;
+  config.header_read_timeout = options_.header_read_timeout;
+  config.idle_timeout = options_.idle_timeout;
+  config.read_latency = options_.read_latency;
+  return config;
+}
+
+ConnectionFsm::Counters HttpServer::fsm_counters() {
+  ConnectionFsm::Counters counters;
+  counters.requests_served = &requests_served_;
+  counters.active_requests = &active_requests_;
+  counters.read_timeouts = &read_timeouts_;
+  return counters;
+}
+
 Status HttpServer::start() {
   if (running_.exchange(true)) {
     return Error(ErrorCode::kAlreadyExists, "server already started");
@@ -35,37 +445,139 @@ Status HttpServer::start() {
   }
   listener_ = std::move(listener).value();
   endpoint_ = listener_->endpoint();
-  accepting_.store(true, std::memory_order_release);
+  reactor_mode_ =
+      options_.reactor_threads > 0 && listener_->native_handle() >= 0;
   connection_pool_ = std::make_unique<ThreadPool>(
       options_.protocol_threads, "http-protocol");
-  acceptor_ = std::jthread([this] { accept_loop(); });
-  SPI_LOG(kInfo, "http.server") << "serving on " << endpoint_.to_string();
+  accepting_.store(true, std::memory_order_release);
+  if (reactor_mode_) {
+    for (size_t i = 0; i < options_.reactor_threads; ++i) {
+      Reactor::Options reactor_options;
+      reactor_options.name = "http-reactor-" + std::to_string(i);
+      reactors_.push_back(std::make_unique<Reactor>(reactor_options));
+      reactors_.back()->start();
+    }
+    (void)listener_->set_nonblocking(true);
+    listener_token_ = reactors_[0]->add_fd(
+        listener_->native_handle(), net::Readiness::kRead,
+        [this](std::uint32_t) { on_acceptable(); });
+  } else {
+    timer_service_ = std::make_unique<TimerService>("http-timer");
+    acceptor_ = std::jthread([this] { accept_loop(); });
+  }
+  SPI_LOG(kInfo, "http.server")
+      << "serving on " << endpoint_.to_string() << " ("
+      << (reactor_mode_ ? "reactor" : "blocking") << " driver)";
   return Status();
 }
 
 void HttpServer::stop_accepting() {
   if (!running_.load(std::memory_order_acquire)) return;
   if (!accepting_.exchange(false)) return;
-  if (listener_) listener_->close();
-  if (acceptor_.joinable()) acceptor_.join();
+  // Exactly one caller reaches this point, so the acceptor join (blocking
+  // driver) happens once no matter how stop_accepting()/stop() interleave.
+  if (reactor_mode_) {
+    if (listener_token_ != 0) {
+      reactors_[0]->remove_fd(listener_token_);
+      listener_token_ = 0;
+    }
+    if (listener_) listener_->close();
+  } else {
+    if (listener_) listener_->close();
+    if (acceptor_.joinable()) acceptor_.join();
+  }
 }
 
 void HttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_accepting();
   if (!running_.exchange(false)) return;
-  accepting_.store(false, std::memory_order_release);
-  if (listener_) listener_->close();
-  if (acceptor_.joinable()) acceptor_.join();
-  // Wake protocol threads parked in receive() on keep-alive connections;
-  // without this, pool shutdown would wait on them forever.
-  {
-    std::lock_guard lock(live_mutex_);
-    for (net::Connection* connection : live_connections_) {
-      connection->abort();
+  if (reactor_mode_) {
+    std::vector<std::shared_ptr<ReactorConn>> connections;
+    {
+      std::lock_guard lock(reactor_conns_mutex_);
+      connections.reserve(reactor_conns_.size());
+      for (auto& [pointer, shared] : reactor_conns_) {
+        connections.push_back(shared);
+      }
     }
+    for (auto& connection : connections) connection->request_shutdown();
+    // Handler tasks drain first; their posted responses land on still-
+    // running loops (and are dropped — the connections are closed).
+    connection_pool_.reset();
+    for (auto& reactor : reactors_) reactor->stop();
+    reactors_.clear();
+    std::lock_guard lock(reactor_conns_mutex_);
+    reactor_conns_.clear();
+  } else {
+    // Wake protocol threads parked in receive() on keep-alive connections;
+    // without this, pool shutdown would wait on them forever.
+    {
+      std::lock_guard lock(live_mutex_);
+      for (net::Connection* connection : live_connections_) {
+        connection->abort();
+      }
+    }
+    connection_pool_.reset();
+    timer_service_.reset();
   }
-  // Drain in-flight connections, then drop the pool and listener.
-  connection_pool_.reset();
   listener_.reset();
+}
+
+bool HttpServer::reject_if_at_capacity(net::Connection& connection) {
+  if (options_.max_connections == 0 ||
+      open_connections_.load(std::memory_order_acquire) <
+          options_.max_connections) {
+    return false;
+  }
+  // Past the cap, answer 503 and close — the attacker's connection never
+  // occupies a connection slot, so a flood of idle sockets cannot starve
+  // the server.
+  connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+  Response busy = Response::make(503, "Service Unavailable",
+                                 "connection limit reached");
+  busy.headers.set("Connection", "close");
+  busy.headers.set("Retry-After", "1");
+  (void)connection.send(busy.serialize());
+  connection.close();
+  return true;
+}
+
+void HttpServer::on_acceptable() {
+  // Reactor-0 loop thread: accept until the backlog is dry.
+  while (accepting_.load(std::memory_order_acquire)) {
+    auto connection = listener_->try_accept();
+    if (!connection.ok()) {
+      const ErrorCode code = connection.error().code();
+      if (code != ErrorCode::kWouldBlock && code != ErrorCode::kShutdown) {
+        SPI_LOG(kWarn, "http.server")
+            << "accept failed: " << connection.error().to_string();
+      }
+      return;
+    }
+    if (reject_if_at_capacity(*connection.value())) continue;
+    open_connections_.fetch_add(1, std::memory_order_acq_rel);
+    attach_reactor_connection(std::move(connection).value());
+  }
+}
+
+void HttpServer::attach_reactor_connection(
+    std::unique_ptr<net::Connection> connection) {
+  Reactor& reactor =
+      *reactors_[next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                 reactors_.size()];
+  auto conn =
+      std::make_shared<ReactorConn>(*this, reactor, std::move(connection));
+  {
+    std::lock_guard lock(reactor_conns_mutex_);
+    reactor_conns_.emplace(conn.get(), conn);
+  }
+  reactor.post([conn] { conn->open(); });
+}
+
+void HttpServer::detach_reactor_connection(ReactorConn* connection) {
+  std::lock_guard lock(reactor_conns_mutex_);
+  reactor_conns_.erase(connection);
 }
 
 void HttpServer::accept_loop() {
@@ -77,29 +589,21 @@ void HttpServer::accept_loop() {
           << "accept failed: " << connection.error().to_string();
       continue;
     }
-    // Connection cap: past it, answer 503 on the acceptor thread and close
-    // — the attacker's connection never reaches the protocol pool, so a
-    // flood of idle sockets cannot starve it.
-    if (options_.max_connections > 0 &&
-        open_connections_.load(std::memory_order_acquire) >=
-            options_.max_connections) {
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      Response busy = Response::make(503, "Service Unavailable",
-                                     "connection limit reached");
-      busy.headers.set("Connection", "close");
-      busy.headers.set("Retry-After", "1");
-      (void)connection.value()->send(busy.serialize());
-      connection.value()->close();
-      continue;
-    }
+    if (reject_if_at_capacity(*connection.value())) continue;
     open_connections_.fetch_add(1, std::memory_order_acq_rel);
-    // One pooled task serves the connection until it closes. shared_ptr
-    // because std::function requires copyable captures.
-    auto shared =
-        std::make_shared<std::unique_ptr<net::Connection>>(
-            std::move(connection).value());
-    bool accepted = connection_pool_->submit([this, shared] {
-      serve_connection(std::move(*shared));
+    auto conn = std::make_shared<BlockingConn>(
+        *this, std::move(connection).value());
+    bool accepted = connection_pool_->submit([this, conn] {
+      // Register for abort-on-stop; unregister before the connection dies.
+      {
+        std::lock_guard lock(live_mutex_);
+        live_connections_.insert(conn->connection());
+      }
+      conn->serve();
+      {
+        std::lock_guard lock(live_mutex_);
+        live_connections_.erase(conn->connection());
+      }
       open_connections_.fetch_sub(1, std::memory_order_acq_rel);
     });
     if (!accepted) {
@@ -109,137 +613,24 @@ void HttpServer::accept_loop() {
   }
 }
 
-void HttpServer::serve_connection(
-    std::unique_ptr<net::Connection> connection) {
-  // Register for abort-on-stop; unregister before the connection dies.
-  {
-    std::lock_guard lock(live_mutex_);
-    live_connections_.insert(connection.get());
+std::uint64_t HttpServer::reactor_loop_iterations() const {
+  std::uint64_t total = 0;
+  for (const auto& reactor : reactors_) total += reactor->iterations();
+  return total;
+}
+
+size_t HttpServer::reactor_connections() const {
+  std::lock_guard lock(reactor_conns_mutex_);
+  return reactor_conns_.size();
+}
+
+size_t HttpServer::timer_wheel_depth() const {
+  if (reactor_mode_) {
+    size_t total = 0;
+    for (const auto& reactor : reactors_) total += reactor->timer_depth();
+    return total;
   }
-  struct LiveGuard {
-    HttpServer* server;
-    net::Connection* connection;
-    ~LiveGuard() {
-      std::lock_guard lock(server->live_mutex_);
-      server->live_connections_.erase(connection);
-    }
-  } live_guard{this, connection.get()};
-
-  MessageParser parser(MessageParser::Mode::kRequest, options_.limits);
-  // HTTP-read span: first received byte of a request -> framing complete.
-  std::optional<std::chrono::steady_clock::time_point> read_start;
-  // Slowloris defense: once a message is mid-parse, its whole framing must
-  // land within header_read_timeout of its first byte; the per-receive
-  // timeout is the remaining slice of that budget. Between messages the
-  // (longer) idle_timeout applies instead.
-  std::optional<std::chrono::steady_clock::time_point> message_start;
-  auto shed_slow_reader = [&] {
-    read_timeouts_.fetch_add(1, std::memory_order_relaxed);
-    Response timeout = Response::make(
-        408, "Request Timeout",
-        "request did not complete within the read deadline");
-    timeout.headers.set("Connection", "close");
-    (void)connection->send(timeout.serialize());
-    connection->close();
-  };
-  while (true) {
-    std::optional<Request> request = parser.poll_request();
-    if (!request) {
-      if (parser.failed()) {
-        SPI_LOG(kDebug, "http.server")
-            << "bad request: " << parser.error().to_string();
-        Response bad = Response::make(400, "Bad Request",
-                                      parser.error().to_string());
-        bad.headers.set("Connection", "close");
-        (void)connection->send(bad.serialize());
-        connection->close();
-        return;
-      }
-      const bool mid_message = parser.mid_message();
-      if (!mid_message) message_start.reset();
-      if (mid_message && !is_unbounded(options_.header_read_timeout)) {
-        const auto now = std::chrono::steady_clock::now();
-        if (!message_start) message_start = now;
-        const Duration remaining =
-            std::chrono::duration_cast<Duration>(
-                options_.header_read_timeout - (now - *message_start));
-        if (remaining <= Duration::zero()) {
-          shed_slow_reader();
-          return;
-        }
-        (void)connection->set_receive_timeout(remaining);
-      } else {
-        (void)connection->set_receive_timeout(options_.idle_timeout);
-      }
-      auto bytes = connection->receive(kReadChunk);
-      if (!bytes.ok()) {
-        if (bytes.error().code() == ErrorCode::kTimeout) {
-          if (mid_message) {
-            // The peer is dribbling a request slower than the read
-            // deadline allows: answer 408 and reclaim the thread.
-            shed_slow_reader();
-          } else {
-            // Idle keep-alive expiry between messages: nothing to answer.
-            connection->close();
-          }
-          return;
-        }
-        // Clean close between messages is normal; anything else is logged.
-        if (bytes.error().code() != ErrorCode::kConnectionClosed) {
-          SPI_LOG(kDebug, "http.server")
-              << "receive failed: " << bytes.error().to_string();
-        }
-        connection->close();
-        return;
-      }
-      if (options_.read_latency && !read_start) {
-        read_start = std::chrono::steady_clock::now();
-      }
-      if (!message_start) {
-        message_start = std::chrono::steady_clock::now();
-      }
-      parser.feed(bytes.value());
-      continue;
-    }
-    message_start.reset();
-
-    if (options_.read_latency && read_start) {
-      auto elapsed = std::chrono::steady_clock::now() - *read_start;
-      options_.read_latency->record_us(
-          std::chrono::duration<double, std::micro>(elapsed).count());
-    }
-    read_start.reset();
-
-    active_requests_.fetch_add(1, std::memory_order_acq_rel);
-    struct ActiveGuard {
-      std::atomic<size_t>* active;
-      ~ActiveGuard() { active->fetch_sub(1, std::memory_order_acq_rel); }
-    } active_guard{&active_requests_};
-
-    bool keep = request->keep_alive();
-    // While draining, tell keep-alive peers to go away after this response
-    // so the connection count converges instead of waiting for abort().
-    if (!accepting_.load(std::memory_order_acquire)) keep = false;
-    Response response;
-    try {
-      response = handler_(*request);
-    } catch (const std::exception& e) {
-      SPI_LOG(kError, "http.server") << "handler threw: " << e.what();
-      response = Response::make(500, "Internal Server Error", e.what());
-      keep = false;
-    }
-    if (!keep) response.headers.set("Connection", "close");
-
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (Status sent = connection->send(response.serialize()); !sent.ok()) {
-      connection->close();
-      return;
-    }
-    if (!keep) {
-      connection->close();
-      return;
-    }
-  }
+  return timer_service_ ? timer_service_->size() : 0;
 }
 
 }  // namespace spi::http

@@ -1,9 +1,20 @@
-// Threaded HTTP/1.1 server over a Transport: an acceptor thread plus a
-// protocol thread pool, one task per live connection. This *is* the
-// "common architecture" of the paper's Figure 1 — the protocol thread that
-// reads, parses, and (in the base architecture) also executes the service.
+// HTTP/1.1 server over a Transport, with two connection drivers sharing
+// one per-connection state machine (http/connection_fsm.hpp):
+//
+//   * Reactor driver (default for fd-backed transports): N event loops
+//     (concurrency/reactor.hpp) drive every connection non-blocking via
+//     readiness events; timeouts live on each loop's timer wheel; handlers
+//     run on the protocol pool and post their responses back to the loop.
+//     Thousands of idle keep-alive connections cost zero threads.
+//
+//   * Blocking driver (SimTransport, FaultyTransport, reactor_threads=0):
+//     the classic one-pooled-task-per-connection loop — the paper's
+//     Figure 1 "common architecture" — with timeouts on a shared
+//     TimerService wheel instead of per-receive deadlines.
+//
 // The SPI server (core/server.hpp) plugs a handler into this layer that
-// instead dispatches to an independent application stage (Figure 2).
+// dispatches to an independent application stage (Figure 2); that SEDA
+// handoff is unchanged by the driver choice.
 #pragma once
 
 #include <atomic>
@@ -13,10 +24,15 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/timeout.hpp"
+#include "concurrency/reactor.hpp"
 #include "concurrency/thread_pool.hpp"
+#include "concurrency/timer_wheel.hpp"
+#include "http/connection_fsm.hpp"
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/transport.hpp"
@@ -24,9 +40,17 @@
 namespace spi::http {
 
 struct ServerOptions {
-  /// Protocol-stage pool size: concurrent connections being served.
+  /// Protocol-stage pool size. Blocking driver: concurrent connections
+  /// being served. Reactor driver: concurrent handler executions (the
+  /// loops themselves never block on a handler).
   size_t protocol_threads = 8;
   ParserLimits limits;
+
+  /// Reactor event loops driving fd-backed connections. 0 forces the
+  /// blocking thread-per-connection driver even for pollable transports;
+  /// transports without pollable fds (SimTransport) always use the
+  /// blocking driver regardless.
+  size_t reactor_threads = 1;
 
   /// Telemetry span for the HTTP-read lifecycle point (unowned; must
   /// outlive the server): wall time from the first received byte of a
@@ -46,16 +70,17 @@ struct ServerOptions {
   Duration idle_timeout = std::chrono::minutes(2);
 
   /// Cap on concurrently open connections. At the cap, new arrivals get a
-  /// minimal 503 + "Connection: close" on the acceptor thread and never
-  /// occupy a protocol-pool slot. 0 = unlimited.
+  /// minimal 503 + "Connection: close" at accept time and never occupy a
+  /// connection slot. 0 = unlimited.
   size_t max_connections = 0;
 };
 
 class HttpServer {
  public:
-  /// The handler runs on a protocol thread and may block (the SPI server
-  /// blocks it on the application stage's completion, which is the paper's
-  /// "sleeping protocol thread" behaviour).
+  /// The handler may block (the SPI server blocks it on the application
+  /// stage's completion, which is the paper's "sleeping protocol thread"
+  /// behaviour). It runs on a protocol-pool thread under both drivers —
+  /// never on a reactor loop.
   using Handler = std::function<Response(const Request&)>;
 
   HttpServer(net::Transport& transport, net::Endpoint at, Handler handler,
@@ -68,20 +93,21 @@ class HttpServer {
   /// Binds and starts accepting. Fails if the endpoint is taken.
   Status start();
 
-  /// Stops accepting, closes the listener, and joins all threads.
-  /// Idempotent.
+  /// Stops accepting, closes the listener, and tears down all
+  /// connections, loops, and pools. Idempotent.
   void stop();
 
-  /// First half of a graceful drain: closes the listener and joins the
-  /// acceptor so no NEW connection is admitted, while requests already in
-  /// flight keep running and keep-alive peers get "Connection: close" on
-  /// their next response. Poll active_requests() until it reaches zero
-  /// (or a drain deadline passes), then call stop(). Idempotent.
+  /// First half of a graceful drain: stops admission (closing the
+  /// listener) while requests already in flight keep running and
+  /// keep-alive peers get "Connection: close" on their next response.
+  /// Poll active_requests() until it reaches zero (or a drain deadline
+  /// passes), then call stop(). Idempotent; exactly one caller joins the
+  /// acceptor, so a later stop() never double-joins.
   void stop_accepting();
 
   /// Requests currently between "framing parsed" and "response sent" —
   /// the precise in-flight count a drain waits on (idle keep-alive
-  /// connections parked in receive() do not inflate it).
+  /// connections do not inflate it).
   size_t active_requests() const {
     return active_requests_.load(std::memory_order_acquire);
   }
@@ -114,9 +140,38 @@ class HttpServer {
   /// workers). Null before start() and after stop().
   const ThreadPool* protocol_pool() const { return connection_pool_.get(); }
 
+  // --- reactor telemetry (spi_reactor_* gauges) ------------------------
+
+  /// True when connections are served by reactor event loops (decided at
+  /// start() from reactor_threads and the transport's poll support).
+  bool reactor_mode() const { return reactor_mode_; }
+
+  /// Loop iterations summed across reactors (0 in blocking mode).
+  std::uint64_t reactor_loop_iterations() const;
+
+  /// Connections currently attached to reactor loops (0 in blocking mode).
+  size_t reactor_connections() const;
+
+  /// Pending timers across every wheel (reactor wheels or the blocking
+  /// driver's TimerService).
+  size_t timer_wheel_depth() const;
+
  private:
+  class ReactorConn;
+  class BlockingConn;
+  friend class ReactorConn;
+  friend class BlockingConn;
+
   void accept_loop();
-  void serve_connection(std::unique_ptr<net::Connection> connection);
+  void on_acceptable();
+  void attach_reactor_connection(std::unique_ptr<net::Connection> connection);
+  void detach_reactor_connection(ReactorConn* connection);
+  /// 503 + Connection: close at the max_connections cap; returns true if
+  /// the arrival was rejected.
+  bool reject_if_at_capacity(net::Connection& connection);
+
+  ConnectionFsm::Config fsm_config() const;
+  ConnectionFsm::Counters fsm_counters();
 
   net::Transport& transport_;
   net::Endpoint requested_endpoint_;
@@ -126,7 +181,24 @@ class HttpServer {
 
   std::unique_ptr<net::Listener> listener_;
   std::unique_ptr<ThreadPool> connection_pool_;
+  bool reactor_mode_ = false;
+
+  // Reactor driver state.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::uint64_t listener_token_ = 0;
+  std::atomic<size_t> next_reactor_{0};
+  mutable std::mutex reactor_conns_mutex_;
+  std::unordered_map<ReactorConn*, std::shared_ptr<ReactorConn>>
+      reactor_conns_;
+
+  // Blocking driver state.
   std::jthread acceptor_;
+  std::unique_ptr<TimerService> timer_service_;
+  /// Connections currently being served; stop() aborts them so protocol
+  /// threads blocked in receive() on idle keep-alive connections wake up.
+  std::mutex live_mutex_;
+  std::set<net::Connection*> live_connections_;
+
   std::atomic<bool> running_{false};
   std::atomic<bool> accepting_{false};
   std::atomic<std::uint64_t> requests_served_{0};
@@ -134,11 +206,6 @@ class HttpServer {
   std::atomic<size_t> open_connections_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};
   std::atomic<std::uint64_t> read_timeouts_{0};
-
-  /// Connections currently being served; stop() aborts them so protocol
-  /// threads blocked in receive() on idle keep-alive connections wake up.
-  std::mutex live_mutex_;
-  std::set<net::Connection*> live_connections_;
 };
 
 }  // namespace spi::http

@@ -1,0 +1,279 @@
+#include "net/poller.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
+namespace spi::net {
+
+namespace {
+
+std::string errno_message(std::string_view what) {
+  std::string out(what);
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+Duration clamp_wait(Duration timeout) {
+  // Both backends take int milliseconds; round partial ms up so a 1 ns
+  // timeout doesn't spin at 0.
+  return timeout;
+}
+
+int timeout_ms(Duration timeout) {
+  if (is_unbounded(timeout)) return -1;
+  auto ms = std::chrono::ceil<std::chrono::milliseconds>(clamp_wait(timeout));
+  constexpr long long kMaxWait = 1 << 30;
+  return static_cast<int>(std::min<long long>(ms.count(), kMaxWait));
+}
+
+#ifdef __linux__
+
+class EpollPoller final : public Poller {
+ public:
+  static Result<std::unique_ptr<Poller>> make() {
+    int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) {
+      return Error(ErrorCode::kInternal, errno_message("epoll_create1"));
+    }
+    int event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd < 0) {
+      ::close(epoll_fd);
+      return Error(ErrorCode::kInternal, errno_message("eventfd"));
+    }
+    auto poller = std::unique_ptr<EpollPoller>(
+        new EpollPoller(epoll_fd, event_fd));
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.u64 = kWakeToken;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &wake) != 0) {
+      return Error(ErrorCode::kInternal, errno_message("epoll_ctl(wake)"));
+    }
+    return std::unique_ptr<Poller>(std::move(poller));
+  }
+
+  ~EpollPoller() override {
+    ::close(event_fd_);
+    ::close(epoll_fd_);
+  }
+
+  Status add(int fd, std::uint64_t token, std::uint32_t interest) override {
+    return control(EPOLL_CTL_ADD, fd, token, interest, "epoll_ctl(add)");
+  }
+
+  Status modify(int fd, std::uint64_t token,
+                std::uint32_t interest) override {
+    return control(EPOLL_CTL_MOD, fd, token, interest, "epoll_ctl(mod)");
+  }
+
+  Status remove(int fd) override {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != EBADF && errno != ENOENT) {
+      return Error(ErrorCode::kInternal, errno_message("epoll_ctl(del)"));
+    }
+    return Status();
+  }
+
+  Result<size_t> wait(PollEvent* events, size_t capacity,
+                      Duration timeout) override {
+    if (capacity == 0) return Error(ErrorCode::kInvalidArgument, "wait(0)");
+    scratch_.resize(capacity);
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, scratch_.data(),
+                       static_cast<int>(capacity), timeout_ms(timeout));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return Error(ErrorCode::kInternal, errno_message("epoll_wait"));
+    }
+    size_t filled = 0;
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& event = scratch_[static_cast<size_t>(i)];
+      if (event.data.u64 == kWakeToken) {
+        std::uint64_t drained = 0;
+        (void)!::read(event_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      std::uint32_t bits = 0;
+      if (event.events & (EPOLLIN | EPOLLRDHUP)) bits |= Readiness::kRead;
+      if (event.events & EPOLLOUT) bits |= Readiness::kWrite;
+      if (event.events & (EPOLLERR | EPOLLHUP)) bits |= Readiness::kError;
+      events[filled++] = PollEvent{event.data.u64, bits};
+    }
+    return filled;
+  }
+
+  void wake() override {
+    std::uint64_t one = 1;
+    (void)!::write(event_fd_, &one, sizeof(one));
+  }
+
+  std::string_view backend() const override { return "epoll"; }
+
+ private:
+  static constexpr std::uint64_t kWakeToken = ~std::uint64_t{0};
+
+  EpollPoller(int epoll_fd, int event_fd)
+      : epoll_fd_(epoll_fd), event_fd_(event_fd) {}
+
+  Status control(int op, int fd, std::uint64_t token, std::uint32_t interest,
+                 std::string_view what) {
+    epoll_event event{};
+    if (interest & Readiness::kRead) event.events |= EPOLLIN | EPOLLRDHUP;
+    if (interest & Readiness::kWrite) event.events |= EPOLLOUT;
+    event.data.u64 = token;
+    if (::epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
+      return Error(ErrorCode::kInternal, errno_message(what));
+    }
+    return Status();
+  }
+
+  int epoll_fd_;
+  int event_fd_;
+  std::vector<epoll_event> scratch_;
+};
+
+#endif  // __linux__
+
+/// Portable fallback: poll(2) over a flat registration table. O(watched)
+/// per wait, which is fine for the fd counts the fallback targets.
+class PollPoller final : public Poller {
+ public:
+  static Result<std::unique_ptr<Poller>> make() {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      return Error(ErrorCode::kInternal, errno_message("pipe"));
+    }
+    for (int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+    return std::unique_ptr<Poller>(new PollPoller(fds[0], fds[1]));
+  }
+
+  ~PollPoller() override {
+    ::close(wake_read_);
+    ::close(wake_write_);
+  }
+
+  Status add(int fd, std::uint64_t token, std::uint32_t interest) override {
+    if (watched_.contains(fd)) {
+      return Error(ErrorCode::kAlreadyExists, "fd already registered");
+    }
+    watched_[fd] = Entry{token, interest};
+    return Status();
+  }
+
+  Status modify(int fd, std::uint64_t token,
+                std::uint32_t interest) override {
+    auto it = watched_.find(fd);
+    if (it == watched_.end()) {
+      return Error(ErrorCode::kNotFound, "fd not registered");
+    }
+    it->second = Entry{token, interest};
+    return Status();
+  }
+
+  Status remove(int fd) override {
+    watched_.erase(fd);
+    return Status();
+  }
+
+  Result<size_t> wait(PollEvent* events, size_t capacity,
+                      Duration timeout) override {
+    if (capacity == 0) return Error(ErrorCode::kInvalidArgument, "wait(0)");
+    scratch_.clear();
+    scratch_.push_back(pollfd{wake_read_, POLLIN, 0});
+    for (const auto& [fd, entry] : watched_) {
+      short interest = 0;
+      if (entry.interest & Readiness::kRead) interest |= POLLIN;
+      if (entry.interest & Readiness::kWrite) interest |= POLLOUT;
+      scratch_.push_back(pollfd{fd, interest, 0});
+    }
+    int n;
+    do {
+      n = ::poll(scratch_.data(), scratch_.size(), timeout_ms(timeout));
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return Error(ErrorCode::kInternal, errno_message("poll"));
+    }
+    size_t filled = 0;
+    for (const pollfd& ready : scratch_) {
+      if (ready.revents == 0) continue;
+      if (ready.fd == wake_read_) {
+        char drain[64];
+        while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (filled == capacity) break;
+      std::uint32_t bits = 0;
+      if (ready.revents & (POLLIN | POLLPRI)) bits |= Readiness::kRead;
+      if (ready.revents & POLLOUT) bits |= Readiness::kWrite;
+      if (ready.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        bits |= Readiness::kError;
+      }
+      auto it = watched_.find(ready.fd);
+      if (it == watched_.end()) continue;  // removed mid-iteration
+      events[filled++] = PollEvent{it->second.token, bits};
+    }
+    return filled;
+  }
+
+  void wake() override {
+    char one = 1;
+    (void)!::write(wake_write_, &one, 1);
+  }
+
+  std::string_view backend() const override { return "poll"; }
+
+ private:
+  struct Entry {
+    std::uint64_t token = 0;
+    std::uint32_t interest = 0;
+  };
+
+  PollPoller(int wake_read, int wake_write)
+      : wake_read_(wake_read), wake_write_(wake_write) {}
+
+  int wake_read_;
+  int wake_write_;
+  std::unordered_map<int, Entry> watched_;
+  std::vector<pollfd> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::create() {
+#ifdef __linux__
+  if (auto poller = EpollPoller::make(); poller.ok()) {
+    return std::move(poller).value();
+  }
+#endif
+  auto fallback = PollPoller::make();
+  if (!fallback.ok()) {
+    throw SpiError(fallback.error());
+  }
+  return std::move(fallback).value();
+}
+
+std::unique_ptr<Poller> Poller::create_poll() {
+  auto poller = PollPoller::make();
+  if (!poller.ok()) {
+    throw SpiError(poller.error());
+  }
+  return std::move(poller).value();
+}
+
+}  // namespace spi::net

@@ -1,0 +1,75 @@
+// Readiness notification for fd-backed transports: the substrate of the
+// event-driven connection layer (DESIGN.md §12). A Poller watches a set of
+// file descriptors and reports which became readable/writable, so one
+// reactor thread can drive tens of thousands of connections instead of
+// parking one thread per connection in recv().
+//
+// Two backends, selected at create():
+//   * epoll (Linux) — O(ready) wakeups, the production backend
+//   * poll(2)       — portable fallback, O(watched) per wait; also forced
+//                     by tests so both backends stay honest
+//
+// A Poller instance is NOT thread-safe: add/modify/remove/wait belong to
+// the owning loop thread. wake() is the one exception — any thread may
+// call it to interrupt a blocked wait() (how cross-thread work is posted
+// to a reactor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/timeout.hpp"
+
+namespace spi::net {
+
+/// Readiness interest/event bits (combinable).
+struct Readiness {
+  static constexpr std::uint32_t kRead = 1u << 0;
+  static constexpr std::uint32_t kWrite = 1u << 1;
+  /// Error or hangup on the fd (always reported; never requested).
+  static constexpr std::uint32_t kError = 1u << 2;
+};
+
+/// One ready fd, identified by the caller's opaque token.
+struct PollEvent {
+  std::uint64_t token = 0;
+  std::uint32_t events = 0;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers fd with the given interest bits. The token comes back in
+  /// every PollEvent for this fd.
+  virtual Status add(int fd, std::uint64_t token, std::uint32_t interest) = 0;
+
+  /// Replaces the interest bits (and token) of a registered fd.
+  virtual Status modify(int fd, std::uint64_t token,
+                        std::uint32_t interest) = 0;
+
+  virtual Status remove(int fd) = 0;
+
+  /// Blocks up to `timeout` (kNoTimeout = forever) and fills `events` with
+  /// up to `capacity` ready fds. Returns the number filled; 0 on timeout
+  /// or wake().
+  virtual Result<size_t> wait(PollEvent* events, size_t capacity,
+                              Duration timeout) = 0;
+
+  /// Interrupts a concurrent wait(). Thread-safe, edge-like (one wake
+  /// unblocks at most one wait; extra wakes coalesce).
+  virtual void wake() = 0;
+
+  virtual std::string_view backend() const = 0;
+
+  /// Best backend for this platform (epoll on Linux, else poll).
+  static std::unique_ptr<Poller> create();
+
+  /// The portable poll(2) backend, explicitly — lets tests exercise the
+  /// fallback on platforms where create() would pick epoll.
+  static std::unique_ptr<Poller> create_poll();
+};
+
+}  // namespace spi::net

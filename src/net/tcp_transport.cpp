@@ -1,12 +1,14 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -23,7 +25,9 @@ std::string errno_message(std::string_view what) {
   return out;
 }
 
-/// RAII socket fd.
+/// RAII socket fd. The stored descriptor is atomic because close-to-wake
+/// is a supported pattern: abort() and Listener::close() run on a
+/// different thread than the recv()/accept() they interrupt.
 class Fd {
  public:
   Fd() = default;
@@ -33,30 +37,36 @@ class Fd {
   Fd& operator=(Fd&& other) noexcept {
     if (this != &other) {
       reset();
-      fd_ = other.release();
+      fd_.store(other.release(), std::memory_order_release);
     }
     return *this;
   }
   Fd(const Fd&) = delete;
   Fd& operator=(const Fd&) = delete;
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
-  int release() {
-    int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
+  int get() const { return fd_.load(std::memory_order_acquire); }
+  bool valid() const { return get() >= 0; }
+  int release() { return fd_.exchange(-1, std::memory_order_acq_rel); }
   void reset() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
+    int fd = release();
+    if (fd >= 0) ::close(fd);
   }
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
+
+Status set_fd_nonblocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Error(ErrorCode::kInternal, errno_message("fcntl(F_GETFL)"));
+  }
+  int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return Error(ErrorCode::kInternal, errno_message("fcntl(F_SETFL)"));
+  }
+  return Status();
+}
 
 Result<sockaddr_in> make_addr(const Endpoint& endpoint) {
   sockaddr_in addr{};
@@ -132,6 +142,57 @@ class TcpConnection final : public Connection {
     if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
   }
 
+  int native_handle() const override { return fd_.get(); }
+
+  Status set_nonblocking(bool enabled) override {
+    return set_fd_nonblocking(fd_.get(), enabled);
+  }
+
+  Result<std::string> try_receive(size_t max_bytes) override {
+    if (max_bytes == 0) {
+      return Error(ErrorCode::kInvalidArgument, "receive(0)");
+    }
+    std::string buffer(max_bytes, '\0');
+    while (true) {
+      ssize_t n = ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+      if (n > 0) {
+        buffer.resize(static_cast<size_t>(n));
+        stats_->on_receive(buffer.size());
+        return buffer;
+      }
+      if (n == 0) {
+        return Error(ErrorCode::kConnectionClosed, "peer closed connection");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Error(ErrorCode::kWouldBlock, "no data available");
+      }
+      if (errno == ECONNRESET) {
+        return Error(ErrorCode::kConnectionClosed, errno_message("recv"));
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("recv"));
+    }
+  }
+
+  Result<size_t> try_send(std::string_view bytes) override {
+    while (true) {
+      ssize_t n = ::send(fd_.get(), bytes.data(), bytes.size(),
+                         MSG_NOSIGNAL);
+      if (n >= 0) {
+        stats_->on_send(static_cast<std::uint64_t>(n));
+        return static_cast<size_t>(n);
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Error(ErrorCode::kWouldBlock, "outbound buffer full");
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Error(ErrorCode::kConnectionClosed, errno_message("send"));
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("send"));
+    }
+  }
+
   Status set_receive_timeout(Duration timeout) override {
     if (timeout < Duration::zero()) {
       return Error(ErrorCode::kInvalidArgument, "negative timeout");
@@ -181,6 +242,30 @@ class TcpListener final : public Listener {
 
   Endpoint endpoint() const override { return endpoint_; }
 
+  int native_handle() const override { return fd_.get(); }
+
+  Status set_nonblocking(bool enabled) override {
+    return set_fd_nonblocking(fd_.get(), enabled);
+  }
+
+  Result<std::unique_ptr<Connection>> try_accept() override {
+    while (true) {
+      int client = ::accept(fd_.get(), nullptr, nullptr);
+      if (client >= 0) {
+        return std::unique_ptr<Connection>(
+            std::make_unique<TcpConnection>(Fd(client), stats_));
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Error(ErrorCode::kWouldBlock, "no pending connection");
+      }
+      if (errno == EBADF || errno == EINVAL) {
+        return Error(ErrorCode::kShutdown, "listener closed");
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("accept"));
+    }
+  }
+
  private:
   Fd fd_;
   Endpoint endpoint_;
@@ -205,7 +290,9 @@ Result<std::unique_ptr<Listener>> TcpTransport::listen(const Endpoint& at) {
     return Error(ErrorCode::kConnectionFailed,
                  errno_message("bind " + at.to_string()));
   }
-  if (::listen(fd.get(), 128) != 0) {
+  // The kernel clamps to net.core.somaxconn; a deep backlog absorbs
+  // connection storms (c10k parking) instead of forcing SYN retransmits.
+  if (::listen(fd.get(), 4096) != 0) {
     return Error(ErrorCode::kConnectionFailed, errno_message("listen"));
   }
 

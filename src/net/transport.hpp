@@ -88,6 +88,43 @@ class Connection {
   /// use this to reclaim protocol threads parked on idle keep-alive
   /// connections at shutdown. Idempotent.
   virtual void abort() { close(); }
+
+  // --- non-blocking extension (event-driven connection layer, §12) ------
+  // fd-backed transports override these so a Reactor can drive thousands
+  // of connections from one thread via readiness events. The defaults
+  // mark a connection as not pollable; such connections (SimTransport,
+  // FaultyTransport) are served by the blocking thread-per-connection
+  // driver instead.
+
+  /// Pollable OS handle for Poller registration; -1 when the connection
+  /// is not fd-backed.
+  virtual int native_handle() const { return -1; }
+
+  /// Switches the connection between blocking and O_NONBLOCK I/O. Only
+  /// meaningful when native_handle() >= 0.
+  virtual Status set_nonblocking(bool enabled) {
+    (void)enabled;
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support non-blocking I/O");
+  }
+
+  /// Non-blocking receive: up to max_bytes of whatever is buffered.
+  /// kWouldBlock when nothing is available right now (re-arm read
+  /// interest and return to the event loop); kConnectionClosed at EOF.
+  virtual Result<std::string> try_receive(size_t max_bytes) {
+    (void)max_bytes;
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support non-blocking I/O");
+  }
+
+  /// Non-blocking send: writes what fits into the outbound buffer and
+  /// returns the byte count (possibly short). kWouldBlock when nothing
+  /// could be accepted (arm write interest and retry on readiness).
+  virtual Result<size_t> try_send(std::string_view bytes) {
+    (void)bytes;
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support non-blocking I/O");
+  }
 };
 
 /// Blocking accept() source bound to an Endpoint.
@@ -102,6 +139,26 @@ class Listener {
 
   /// The actual bound endpoint (with the resolved port for port 0).
   virtual Endpoint endpoint() const = 0;
+
+  /// Pollable listening handle; -1 when accept() cannot be poll-driven
+  /// (the reactor then falls back to a blocking acceptor thread).
+  virtual int native_handle() const { return -1; }
+
+  /// Switches accept() between blocking and O_NONBLOCK. Only meaningful
+  /// when native_handle() >= 0.
+  virtual Status set_nonblocking(bool enabled) {
+    (void)enabled;
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support non-blocking accept");
+  }
+
+  /// Non-blocking accept: kWouldBlock when no connection is pending,
+  /// kShutdown after close(). Accepted connections start in blocking mode;
+  /// the reactor flips them with set_nonblocking(true).
+  virtual Result<std::unique_ptr<Connection>> try_accept() {
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support non-blocking accept");
+  }
 };
 
 class Transport {

@@ -1,0 +1,193 @@
+// Poller contract tests, run against every backend the platform offers
+// (epoll on Linux plus the portable poll(2) fallback) so both stay honest.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/poller.hpp"
+
+namespace spi::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    if (read_fd >= 0) ::close(read_fd);
+    if (write_fd >= 0) ::close(write_fd);
+  }
+  void put(const char* bytes) {
+    EXPECT_GT(::write(write_fd, bytes, std::strlen(bytes)), 0);
+  }
+};
+
+class PollerBackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Poller> make() {
+    if (std::string(GetParam()) == "poll") return Poller::create_poll();
+    return Poller::create();
+  }
+};
+
+TEST_P(PollerBackendTest, BackendNameMatchesFactory) {
+  auto poller = make();
+  if (std::string(GetParam()) == "poll") {
+    EXPECT_EQ(poller->backend(), "poll");
+  } else {
+#ifdef __linux__
+    EXPECT_EQ(poller->backend(), "epoll");
+#endif
+  }
+}
+
+TEST_P(PollerBackendTest, ReportsReadReadiness) {
+  auto poller = make();
+  Pipe pipe;
+  ASSERT_TRUE(poller->add(pipe.read_fd, 7, Readiness::kRead).ok());
+
+  PollEvent events[4];
+  // Nothing readable yet: wait times out empty.
+  auto none = poller->wait(events, 4, 10ms);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value(), 0u);
+
+  pipe.put("x");
+  auto ready = poller->wait(events, 4, 1s);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value(), 1u);
+  EXPECT_EQ(events[0].token, 7u);
+  EXPECT_TRUE(events[0].events & Readiness::kRead);
+}
+
+TEST_P(PollerBackendTest, ReportsWriteReadiness) {
+  auto poller = make();
+  Pipe pipe;
+  ASSERT_TRUE(poller->add(pipe.write_fd, 9, Readiness::kWrite).ok());
+  PollEvent events[4];
+  auto ready = poller->wait(events, 4, 1s);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value(), 1u);
+  EXPECT_EQ(events[0].token, 9u);
+  EXPECT_TRUE(events[0].events & Readiness::kWrite);
+}
+
+TEST_P(PollerBackendTest, ModifyChangesInterestAndToken) {
+  auto poller = make();
+  Pipe pipe;
+  ASSERT_TRUE(poller->add(pipe.read_fd, 1, Readiness::kRead).ok());
+  pipe.put("x");
+  // Swap to write-only interest: the readable fd must go quiet.
+  ASSERT_TRUE(poller->modify(pipe.read_fd, 2, Readiness::kWrite).ok());
+  PollEvent events[4];
+  auto quiet = poller->wait(events, 4, 10ms);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet.value(), 0u);
+  // And back: the new token comes out.
+  ASSERT_TRUE(poller->modify(pipe.read_fd, 3, Readiness::kRead).ok());
+  auto ready = poller->wait(events, 4, 1s);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value(), 1u);
+  EXPECT_EQ(events[0].token, 3u);
+}
+
+TEST_P(PollerBackendTest, RemoveStopsReporting) {
+  auto poller = make();
+  Pipe pipe;
+  ASSERT_TRUE(poller->add(pipe.read_fd, 1, Readiness::kRead).ok());
+  pipe.put("x");
+  ASSERT_TRUE(poller->remove(pipe.read_fd).ok());
+  PollEvent events[4];
+  auto quiet = poller->wait(events, 4, 10ms);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet.value(), 0u);
+}
+
+TEST_P(PollerBackendTest, PeerCloseSurfacesAsReadOrError) {
+  auto poller = make();
+  Pipe pipe;
+  ASSERT_TRUE(poller->add(pipe.read_fd, 5, Readiness::kRead).ok());
+  ::close(pipe.write_fd);
+  pipe.write_fd = -1;
+  PollEvent events[4];
+  auto ready = poller->wait(events, 4, 1s);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value(), 1u);
+  // EOF may arrive as HUP (kError) or plain readability; either lets the
+  // reactor discover kConnectionClosed on the next read.
+  EXPECT_TRUE(events[0].events &
+              (Readiness::kRead | Readiness::kError));
+}
+
+TEST_P(PollerBackendTest, WakeInterruptsBlockedWait) {
+  auto poller = make();
+  std::thread waker([&] {
+    std::this_thread::sleep_for(50ms);
+    poller->wake();
+  });
+  PollEvent events[4];
+  const auto start = std::chrono::steady_clock::now();
+  auto woken = poller->wait(events, 4, 10s);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  waker.join();
+  ASSERT_TRUE(woken.ok());
+  EXPECT_EQ(woken.value(), 0u);  // wake delivers no events
+  EXPECT_LT(waited, 5s);
+}
+
+TEST_P(PollerBackendTest, WakesCoalesceAndDrain) {
+  auto poller = make();
+  poller->wake();
+  poller->wake();
+  poller->wake();
+  PollEvent events[4];
+  auto first = poller->wait(events, 4, 100ms);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value(), 0u);
+  // Drained: a second wait must block until its timeout, not spin.
+  auto second = poller->wait(events, 4, 10ms);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 0u);
+}
+
+TEST_P(PollerBackendTest, ManyFdsOnlyReadyOnesReported) {
+  auto poller = make();
+  std::vector<std::unique_ptr<Pipe>> pipes;
+  for (int i = 0; i < 16; ++i) {
+    pipes.push_back(std::make_unique<Pipe>());
+    ASSERT_TRUE(poller
+                    ->add(pipes.back()->read_fd,
+                          static_cast<std::uint64_t>(i), Readiness::kRead)
+                    .ok());
+  }
+  pipes[3]->put("x");
+  pipes[11]->put("x");
+  PollEvent events[32];
+  auto ready = poller->wait(events, 32, 1s);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value(), 2u);
+  std::uint64_t seen = events[0].token + events[1].token;
+  EXPECT_EQ(seen, 14u);  // tokens 3 + 11
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PollerBackendTest,
+                         ::testing::Values("default", "poll"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace spi::net
