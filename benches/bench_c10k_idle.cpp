@@ -17,9 +17,13 @@
 //      timeouts, not as a hung bench).
 //
 // Environment:
-//   SPI_BENCH_IDLE        parked connections (default 10000)
-//   SPI_BENCH_CLIENTS     workload client threads (default 4)
-//   SPI_BENCH_WINDOW_MS   workload window (default 3000)
+//   SPI_BENCH_IDLE           parked connections (default 10000)
+//   SPI_BENCH_CLIENTS        workload client threads (default 4)
+//   SPI_BENCH_WINDOW_MS      workload window (default 3000)
+//   SPI_BENCH_REACTOR_LOOPS  reactor event loops (default 1; >1 enables
+//                            SO_REUSEPORT accept sharding, DESIGN.md §13)
+//
+// Emits BENCH_c10k_idle.json (benchsupport/json_report.hpp).
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "benchsupport/histogram.hpp"
+#include "benchsupport/json_report.hpp"
 #include "benchsupport/workload.hpp"
 #include "common/config.hpp"
 #include "core/client.hpp"
@@ -187,6 +192,8 @@ int main() {
   const size_t clients = static_cast<size_t>(env.get_int_or("clients", 4));
   const auto window =
       std::chrono::milliseconds(env.get_int_or("window_ms", 3000));
+  const size_t reactor_loops =
+      static_cast<size_t>(env.get_int_or("reactor_loops", 1));
 
   // The server process holds one fd per parked connection; the client
   // ends live in the parker children (their own limits).
@@ -203,6 +210,7 @@ int main() {
   core::ServerOptions options;
   options.protocol_threads = 8;
   options.application_threads = 8;
+  options.reactor_threads = reactor_loops;
   // Idle connections must survive the whole bench window.
   options.http_limits = {};
   core::SpiServer server(transport, net::Endpoint{"127.0.0.1", 0}, registry,
@@ -216,9 +224,11 @@ int main() {
   std::printf("=== C10K idle keep-alive study ===\n");
   std::printf(
       "target: %zu parked connections + %zu packed-echo clients "
-      "(M=10 x 100 B, %lld ms window), protocol_threads=8\n\n",
-      idle_target, clients,
-      static_cast<long long>(window.count()));
+      "(M=10 x 100 B, %lld ms window), protocol_threads=8, "
+      "reactor_loops=%zu (sharded: %s)\n\n",
+      idle_target, clients, static_cast<long long>(window.count()),
+      reactor_loops,
+      server.http_server().accept_sharded() ? "yes" : "no");
 
   // Phase 1: the parkers connect their shares in parallel. The parked
   // connections speak no bytes; a thread-per-connection server still
@@ -249,6 +259,40 @@ int main() {
       result.p99_ms);
   std::printf("server: %llu http requests served\n",
               static_cast<unsigned long long>(server.stats().http_requests));
+
+  // Per-loop spread while the parked connections are still attached: with
+  // accept sharding the kernel spreads them; round-robin fallback splits
+  // them exactly.
+  const http::HttpServer& http = server.http_server();
+  JsonReport report("c10k_idle");
+  report.set("idle_target", idle_target);
+  report.set("idle_parked", parked);
+  report.set("clients", clients);
+  report.set("window_ms", static_cast<std::int64_t>(window.count()));
+  report.set("reactor_loops", reactor_loops);
+  report.set("accept_sharded", static_cast<int>(http.accept_sharded()));
+  report.set("ok_batches", static_cast<std::int64_t>(result.ok_batches));
+  report.set("failed_batches",
+             static_cast<std::int64_t>(result.failed_batches));
+  report.set("batches_per_sec", result.batches_per_sec);
+  report.set("p50_ms", result.p50_ms);
+  report.set("p99_ms", result.p99_ms);
+  report.set("sendv_batches", static_cast<std::int64_t>(http.sendv_batches()));
+  report.set("sendv_segments",
+             static_cast<std::int64_t>(http.sendv_segments()));
+  for (size_t i = 0; i < http.loop_count(); ++i) {
+    const auto snapshot = http.loop_snapshot(i);
+    JsonObject& row = report.add_row();
+    row.set("loop", i);
+    row.set("connections", snapshot.connections);
+    row.set("accepts", static_cast<std::int64_t>(snapshot.accepts));
+    row.set("bytes_written", static_cast<std::int64_t>(snapshot.bytes_written));
+    std::printf("loop %zu: %zu connections, %llu accepts\n", i,
+                snapshot.connections,
+                static_cast<unsigned long long>(snapshot.accepts));
+  }
+  const std::string json_path = report.write();
+  if (!json_path.empty()) std::printf("wrote %s\n", json_path.c_str());
 
   // Release the parkers (EOF on the command pipes) and reap them.
   for (const Parker& parker : parkers) {

@@ -1,15 +1,30 @@
 // §3.2 design goal: "Improving throughput of client side ... which can
-// greatly improve the throughput of whole application". Closed-loop
-// throughput: C client threads issue batches of M calls continuously for a
-// fixed window; we report completed calls/second for the packed strategy
-// versus per-call messages, plus the server-side concurrency goal (staged
-// pool) under load.
+// greatly improve the throughput of whole application". Two studies:
+//
+//   1. Client strategy (simulated testbed link): C client threads issue
+//      batches of M calls continuously for a fixed window; completed
+//      calls/second for the packed strategy versus per-call messages.
+//
+//   2. Reactor loop scaling (DESIGN.md §13, real TCP loopback): the same
+//      closed-loop packed workload against 1/2/4 reactor loops with
+//      SO_REUSEPORT accept sharding and vectored sends, reporting
+//      batches/second per loop count plus the per-loop connection spread
+//      that proves the kernel sharding is balanced. Meaningful speedup
+//      needs >= as many cores as loops; the loop-count sweep still
+//      validates balance and the sendv path on smaller boxes.
+//
+// Environment: SPI_BENCH_WINDOW_MS, SPI_BENCH_MAX_LOOPS, plus the link
+// overrides listed in benchsupport/harness.hpp. Emits BENCH_throughput.json
+// (benchsupport/json_report.hpp).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
 
 #include "benchsupport/harness.hpp"
 #include "benchsupport/histogram.hpp"
+#include "benchsupport/json_report.hpp"
+#include "net/tcp_transport.hpp"
 
 using namespace spi;
 using namespace spi::bench;
@@ -21,9 +36,10 @@ struct ThroughputResult {
   double p95_batch_ms = 0;
 };
 
-ThroughputResult run_window(EchoFixture& fixture, Strategy strategy,
-                            size_t clients, size_t batch, size_t payload,
-                            Duration window) {
+ThroughputResult run_window(net::Transport& transport, net::Endpoint server,
+                            core::ClientOptions client_options,
+                            Strategy strategy, size_t clients, size_t batch,
+                            size_t payload, Duration window) {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<bool> stop{false};
   LatencyHistogram histogram;
@@ -32,10 +48,7 @@ ThroughputResult run_window(EchoFixture& fixture, Strategy strategy,
     std::vector<std::jthread> threads;
     for (size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        core::ClientOptions options;
-        options.pack_cost = pack_cost_from_env();
-        core::SpiClient client(fixture.transport(),
-                               fixture.server().endpoint(), options);
+        core::SpiClient client(transport, server, client_options);
         auto calls = make_echo_calls(batch, payload, /*seed=*/0x7009 + c);
         while (!stop.load(std::memory_order_relaxed)) {
           Stopwatch watch;
@@ -64,14 +77,8 @@ ThroughputResult run_window(EchoFixture& fixture, Strategy strategy,
   return result;
 }
 
-}  // namespace
-
-int main() {
-  const size_t payload = 100;
-  const size_t batch = 16;
-  const auto window = std::chrono::milliseconds(
-      Config::from_env("SPI_BENCH_").get_int_or("window_ms", 1500));
-
+void run_strategy_study(Duration window, size_t batch, size_t payload,
+                        JsonReport& report) {
   std::printf("=== Throughput (design goal §3.2) ===\n");
   std::printf(
       "closed loop, batches of M=%zu echo calls (N=%zu B), %lld ms window; "
@@ -88,19 +95,127 @@ int main() {
   options.server.pack_cost = pack_cost_from_env();
   EchoFixture fixture(options);
 
+  core::ClientOptions client_options;
+  client_options.pack_cost = pack_cost_from_env();
+
   Table table({"clients", "serial calls/s", "packed calls/s",
                "packed gain", "packed p95 batch (ms)"});
   for (size_t clients : {size_t{1}, size_t{4}, size_t{8}}) {
-    auto serial = run_window(fixture, Strategy::kSerial, clients, batch,
-                             payload, window);
-    auto packed = run_window(fixture, Strategy::kPacked, clients, batch,
-                             payload, window);
+    auto serial = run_window(fixture.transport(),
+                             fixture.server().endpoint(), client_options,
+                             Strategy::kSerial, clients, batch, payload,
+                             window);
+    auto packed = run_window(fixture.transport(),
+                             fixture.server().endpoint(), client_options,
+                             Strategy::kPacked, clients, batch, payload,
+                             window);
     table.add_row({std::to_string(clients),
                    fmt_ms(serial.calls_per_sec),
                    fmt_ms(packed.calls_per_sec),
                    fmt_ratio(packed.calls_per_sec / serial.calls_per_sec),
                    fmt_ms(packed.p95_batch_ms)});
+    JsonObject& row = report.add_row();
+    row.set("study", std::string("strategy"));
+    row.set("clients", clients);
+    row.set("serial_calls_per_sec", serial.calls_per_sec);
+    row.set("packed_calls_per_sec", packed.calls_per_sec);
+    row.set("packed_p95_batch_ms", packed.p95_batch_ms);
   }
   table.print();
+}
+
+void run_loop_scaling_study(Duration window, size_t batch, size_t payload,
+                            size_t max_loops, JsonReport& report) {
+  std::printf("\n=== Reactor loop scaling (DESIGN.md §13, TCP) ===\n");
+  std::printf(
+      "packed echo batches over loopback TCP, 8 keep-alive clients, "
+      "reactor loops swept 1..%zu (%u cores); per-loop connection counts "
+      "prove the SO_REUSEPORT sharding balance\n\n",
+      max_loops, std::thread::hardware_concurrency());
+
+  Table table({"loops", "sharded", "calls/s", "p95 batch (ms)",
+               "conns/loop (min..max)", "sendv batches", "sendv segments"});
+  for (size_t loops = 1; loops <= max_loops; loops *= 2) {
+    net::TcpTransport transport;
+    core::ServiceRegistry registry;
+    services::register_echo_service(registry);
+
+    core::ServerOptions options;
+    options.protocol_threads = 16;
+    options.application_threads = 8;
+    options.reactor_threads = loops;
+    options.pack_cost = pack_cost_from_env();
+    core::SpiServer server(transport, net::Endpoint{"127.0.0.1", 0},
+                           registry, options);
+    if (Status started = server.start(); !started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.to_string().c_str());
+      return;
+    }
+
+    core::ClientOptions client_options;
+    client_options.keep_alive = true;
+    client_options.pack_cost = pack_cost_from_env();
+    const size_t clients = 8;
+    auto packed = run_window(transport, server.endpoint(), client_options,
+                             Strategy::kPacked, clients, batch, payload,
+                             window);
+
+    // Connection spread: keep-alive clients have closed by now, but the
+    // accept counters record which loop each arrival landed on.
+    const http::HttpServer& http = server.http_server();
+    std::uint64_t min_accepts = ~0ull, max_accepts = 0;
+    for (size_t i = 0; i < http.loop_count(); ++i) {
+      const auto snapshot = http.loop_snapshot(i);
+      min_accepts = std::min(min_accepts, snapshot.accepts);
+      max_accepts = std::max(max_accepts, snapshot.accepts);
+    }
+    table.add_row({std::to_string(loops),
+                   http.accept_sharded() ? "yes" : "no",
+                   fmt_ms(packed.calls_per_sec),
+                   fmt_ms(packed.p95_batch_ms),
+                   std::to_string(min_accepts) + ".." +
+                       std::to_string(max_accepts),
+                   std::to_string(http.sendv_batches()),
+                   std::to_string(http.sendv_segments())});
+    JsonObject& row = report.add_row();
+    row.set("study", std::string("loop_scaling"));
+    row.set("loops", loops);
+    row.set("accept_sharded", static_cast<int>(http.accept_sharded()));
+    row.set("calls_per_sec", packed.calls_per_sec);
+    row.set("p95_batch_ms", packed.p95_batch_ms);
+    row.set("loop_accepts_min", static_cast<std::int64_t>(min_accepts));
+    row.set("loop_accepts_max", static_cast<std::int64_t>(max_accepts));
+    row.set("sendv_batches", static_cast<std::int64_t>(http.sendv_batches()));
+    row.set("sendv_segments",
+            static_cast<std::int64_t>(http.sendv_segments()));
+    server.stop();
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const size_t payload = 100;
+  const size_t batch = 16;
+  Config env = Config::from_env("SPI_BENCH_");
+  const auto window =
+      std::chrono::milliseconds(env.get_int_or("window_ms", 1500));
+  const size_t max_loops =
+      static_cast<size_t>(env.get_int_or("max_loops", 4));
+
+  JsonReport report("throughput");
+  report.set("window_ms", static_cast<std::int64_t>(window.count()));
+  report.set("batch", batch);
+  report.set("payload_bytes", payload);
+  report.set("hardware_concurrency",
+             static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+
+  run_strategy_study(window, batch, payload, report);
+  run_loop_scaling_study(window, batch, payload, max_loops, report);
+
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

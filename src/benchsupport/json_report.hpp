@@ -1,0 +1,69 @@
+// Machine-readable bench output (CI satellite of DESIGN.md §13): each
+// bench that calls write() drops a flat BENCH_<name>.json next to its
+// human-readable table, so CI jobs and the EXPERIMENTS.md tooling can
+// diff runs without scraping stdout.
+//
+// Shape: {"bench": "<name>", "<scalar>": ..., "rows": [{...}, ...]}.
+// Values are numbers or strings only — enough for every bench here, and
+// trivially parseable with any JSON reader.
+//
+// Destination: $SPI_BENCH_JSON_DIR when set, else the working directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spi::bench {
+
+/// An ordered flat object of string/number fields.
+class JsonObject {
+ public:
+  void set(std::string key, double value);
+  void set(std::string key, std::int64_t value);
+  void set(std::string key, size_t value) {
+    set(std::move(key), static_cast<std::int64_t>(value));
+  }
+  void set(std::string key, int value) {
+    set(std::move(key), static_cast<std::int64_t>(value));
+  }
+  void set(std::string key, std::string value);
+
+  /// {"k": v, ...} with JSON string escaping.
+  std::string encode() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+};
+
+class JsonReport {
+ public:
+  /// `name` becomes both the "bench" field and the BENCH_<name>.json
+  /// file name.
+  explicit JsonReport(std::string name);
+
+  /// Top-level scalar (run parameters, aggregate results).
+  template <typename V>
+  void set(std::string key, V value) {
+    top_.set(std::move(key), std::move(value));
+  }
+
+  /// Appends a row object (one table row / sweep point) and returns it
+  /// for filling. Valid until the next add_row() reallocation — fill it
+  /// before adding the next.
+  JsonObject& add_row();
+
+  /// Writes BENCH_<name>.json into $SPI_BENCH_JSON_DIR (or the working
+  /// directory); prints a warning to stderr instead of failing the bench
+  /// when the file cannot be written. Returns the path written, empty on
+  /// failure.
+  std::string write() const;
+
+ private:
+  std::string name_;
+  JsonObject top_;
+  std::vector<JsonObject> rows_;
+};
+
+}  // namespace spi::bench

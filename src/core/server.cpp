@@ -102,6 +102,9 @@ SpiServer::SpiServer(net::Transport& transport, net::Endpoint at,
   http::ServerOptions http_options;
   http_options.protocol_threads = options_.protocol_threads;
   http_options.reactor_threads = options_.reactor_threads;
+  http_options.accept_sharding = options_.accept_sharding;
+  http_options.accept_batch_per_wake = options_.accept_batch_per_wake;
+  http_options.pin_reactor_threads = options_.pin_reactor_threads;
   http_options.limits = options_.http_limits;
   http_options.read_latency = http_read_;
   http_server_ = std::make_unique<http::HttpServer>(
@@ -204,6 +207,49 @@ void SpiServer::register_instruments(net::Transport& transport) {
                      return static_cast<double>(
                          http_server_->reactor_loop_iterations());
                    });
+  reg.add_callback("spi_reactor_accept_sharded",
+                   "1 when every reactor loop owns a SO_REUSEPORT listener",
+                   telemetry::CallbackKind::kGauge, {}, [this]() -> double {
+                     return http_server_->accept_sharded() ? 1.0 : 0.0;
+                   });
+  reg.add_callback("spi_sendv_batches_total",
+                   "Vectored (writev) gathers issued on the reactor path",
+                   telemetry::CallbackKind::kCounter, {}, [this]() -> double {
+                     return static_cast<double>(http_server_->sendv_batches());
+                   });
+  reg.add_callback("spi_sendv_segments_total",
+                   "Response segments that reached the wire as iovecs, "
+                   "with no coalescing copy",
+                   telemetry::CallbackKind::kCounter, {}, [this]() -> double {
+                     return static_cast<double>(
+                         http_server_->sendv_segments());
+                   });
+  // Per-loop series proving the accept sharding spreads connections and
+  // work evenly (DESIGN.md §13 scaling study).
+  for (size_t i = 0; i < http_server_->loop_count(); ++i) {
+    const std::string label = "loop=\"" + std::to_string(i) + "\"";
+    reg.add_callback("spi_reactor_loop_connections",
+                     "Connections attached to this reactor loop",
+                     telemetry::CallbackKind::kGauge, label,
+                     [this, i]() -> double {
+                       return static_cast<double>(
+                           http_server_->loop_snapshot(i).connections);
+                     });
+    reg.add_callback("spi_reactor_loop_accepts_total",
+                     "Connections accepted by this loop's listener",
+                     telemetry::CallbackKind::kCounter, label,
+                     [this, i]() -> double {
+                       return static_cast<double>(
+                           http_server_->loop_snapshot(i).accepts);
+                     });
+    reg.add_callback("spi_reactor_loop_bytes_written_total",
+                     "Response bytes this loop wrote to the wire",
+                     telemetry::CallbackKind::kCounter, label,
+                     [this, i]() -> double {
+                       return static_cast<double>(
+                           http_server_->loop_snapshot(i).bytes_written);
+                     });
+  }
   reg.add_callback("spi_timer_wheel_depth",
                    "Pending connection timers across all timer wheels",
                    telemetry::CallbackKind::kGauge, {}, [this]() -> double {

@@ -46,6 +46,18 @@ struct ServerOptions {
   /// driver; simulated transports always use the blocking driver.
   size_t reactor_threads = 1;
 
+  /// One SO_REUSEPORT listener per reactor loop where the transport
+  /// supports it (DESIGN.md §13); false keeps the single loop-0 listener
+  /// with round-robin handoff.
+  bool accept_sharding = true;
+
+  /// Accepts drained per listener readiness wake (0 = unbounded); bounds
+  /// how long a connect flood can monopolize a loop.
+  size_t accept_batch_per_wake = 64;
+
+  /// Pin reactor loop i to CPU (i mod cores). Off by default.
+  bool pin_reactor_threads = false;
+
   /// false = Figure 1 coupled architecture (handlers run on the protocol
   /// thread); true = Figure 2 staged architecture.
   bool staged = true;
@@ -144,6 +156,12 @@ class SpiServer {
   /// The metrics registry this server records into (its own unless
   /// ServerOptions.metrics supplied one). What GET /metrics serves.
   telemetry::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// The HTTP layer beneath this server, for per-loop reactor telemetry
+  /// (loop_count/loop_snapshot, accept_sharded, sendv counters) — benches
+  /// read the accept-sharding balance from here without scraping
+  /// /metrics text.
+  const http::HttpServer& http_server() const { return *http_server_; }
 
  private:
   http::Response handle(const http::Request& request);

@@ -159,7 +159,19 @@ void ConnectionFsm::on_response(Response response, bool handler_failed,
   }
   state_ = ConnectionState::kWritingResponse;
   close_after_write_ = !keep;
-  host_.send_bytes(response.serialize(), !keep);
+  host_.send_bytes(serialize_segments(std::move(response)), !keep);
+}
+
+std::vector<std::string> ConnectionFsm::serialize_segments(
+    Response response) {
+  // Head and body stay separate segments; the body — the Assembler's
+  // packed envelope for SPI responses — is moved, so the only memcpy left
+  // on the vectored wire path is the kernel's.
+  std::vector<std::string> segments;
+  segments.reserve(2);
+  segments.push_back(response.serialize_head());
+  if (!response.body.empty()) segments.push_back(std::move(response.body));
+  return segments;
 }
 
 void ConnectionFsm::on_send_complete(TimePoint now) {
@@ -186,7 +198,7 @@ void ConnectionFsm::respond_and_close(int status_code, std::string_view reason,
   timer_kind_ = TimerKind::kNone;
   state_ = ConnectionState::kWritingResponse;
   close_after_write_ = true;
-  host_.send_bytes(response.serialize(), true);
+  host_.send_bytes(serialize_segments(std::move(response)), true);
 }
 
 void ConnectionFsm::arm_idle_timer() {

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/histogram.hpp"
@@ -72,9 +73,13 @@ class ConnectionFsm {
    public:
     virtual ~Host() = default;
 
-    /// Queue serialized response bytes. The driver calls
-    /// on_send_complete() once every byte has reached the transport.
-    virtual void send_bytes(std::string bytes, bool close_after) = 0;
+    /// Queue one serialized response as ordered wire segments (head, then
+    /// body — the body segment is moved from the Response, never copied).
+    /// Vectored drivers gather them straight to the socket as iovecs;
+    /// others may coalesce. The driver calls on_send_complete() once every
+    /// byte of every segment has reached the transport.
+    virtual void send_bytes(std::vector<std::string> segments,
+                            bool close_after) = 0;
 
     /// Run the handler for a parsed request; the driver answers with
     /// on_response() when it finishes.
@@ -125,6 +130,8 @@ class ConnectionFsm {
   void process(TimePoint now);
   void respond_and_close(int status_code, std::string_view reason,
                          std::string_view body);
+  /// [head, body] wire segments, body moved out of the response.
+  static std::vector<std::string> serialize_segments(Response response);
   void arm_idle_timer();
   void finish_request_accounting();
 

@@ -102,9 +102,9 @@ std::string Request::serialize_chunked(size_t chunk_bytes) const {
   return out;
 }
 
-std::string Response::serialize() const {
+std::string Response::serialize_head() const {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(128);
   out += "HTTP/1.1 ";
   append_u64(out, static_cast<std::uint64_t>(status));
   out += ' ';
@@ -118,6 +118,11 @@ std::string Response::serialize() const {
   }());
   effective.serialize(out);
   out += "\r\n";
+  return out;
+}
+
+std::string Response::serialize() const {
+  std::string out = serialize_head();
   out += body;
   return out;
 }

@@ -72,6 +72,13 @@ struct Response {
   std::string body;
 
   std::string serialize() const;
+
+  /// Wire form of everything before the body: status line, headers (with
+  /// Content-Length set from the body), terminating blank line. Lets the
+  /// vectored send path put [head, body] on the wire as separate iovec
+  /// segments with the body moved, never copied (DESIGN.md §13).
+  std::string serialize_head() const;
+
   bool keep_alive() const;
 
   static Response make(int status, std::string_view reason,

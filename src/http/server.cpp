@@ -1,6 +1,9 @@
 #include "http/server.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
+#include <limits>
 #include <optional>
 
 #include "common/logging.hpp"
@@ -9,6 +12,14 @@ namespace spi::http {
 
 namespace {
 constexpr size_t kReadChunk = 64 * 1024;
+
+/// Segments gathered per try_sendv call (matches the transport's batch
+/// width; deeper outboxes just take another gather).
+constexpr size_t kSendvBatch = 64;
+
+/// Fallback string outbox capacity kept across responses. Above this the
+/// drained buffer is released (see detail::shrink_drained_outbox).
+constexpr size_t kOutboxRetainCapacity = 64 * 1024;
 
 TimePoint now() { return std::chrono::steady_clock::now(); }
 }  // namespace
@@ -24,9 +35,11 @@ class HttpServer::ReactorConn final
       public std::enable_shared_from_this<HttpServer::ReactorConn> {
  public:
   ReactorConn(HttpServer& server, Reactor& reactor,
+              HttpServer::LoopStats& loop_stats,
               std::unique_ptr<net::Connection> connection)
       : server_(server),
         reactor_(reactor),
+        loop_stats_(loop_stats),
         connection_(std::move(connection)),
         fsm_(*this, server.fsm_config(), server.fsm_counters(),
              server.accepting_) {}
@@ -35,6 +48,8 @@ class HttpServer::ReactorConn final
   /// the FSM (which arms the idle timer).
   void open() {
     (void)connection_->set_nonblocking(true);
+    use_sendv_ = connection_->supports_sendv();
+    loop_stats_.connections.fetch_add(1, std::memory_order_relaxed);
     auto self = shared_from_this();
     token_ = reactor_.add_fd(
         connection_->native_handle(), net::Readiness::kRead,
@@ -58,8 +73,22 @@ class HttpServer::ReactorConn final
 
   // --- ConnectionFsm::Host (loop thread) -------------------------------
 
-  void send_bytes(std::string bytes, bool /*close_after*/) override {
-    outbox_.append(bytes);
+  void send_bytes(std::vector<std::string> segments,
+                  bool /*close_after*/) override {
+    for (std::string& segment : segments) {
+      if (segment.empty()) continue;
+      bytes_queued_ += segment.size();
+      if (use_sendv_) {
+        // Zero-copy path: the segment (response head, or the Assembler's
+        // packed body, moved all the way from the FSM) is queued as-is and
+        // later gathered to the socket as one iovec.
+        outbox_segments_.push_back(std::move(segment));
+      } else {
+        outbox_.append(segment);
+      }
+    }
+    // One response == one completion mark, even if its payload was empty.
+    send_marks_.push_back(bytes_queued_);
     if (!flushing_) flush();
   }
 
@@ -144,37 +173,112 @@ class HttpServer::ReactorConn final
     if (!finished_) update_interest();
   }
 
-  /// Drains outbox_ until empty or the socket buffer fills. Reentrancy-
-  /// guarded: on_send_complete() may queue the next response (pipelining)
-  /// through send_bytes() while we are inside the loop.
+  /// Drains the outbox until empty or the socket buffer fills.
+  /// Reentrancy-guarded: fire_completions() -> on_send_complete() may
+  /// queue the next response (pipelining) through send_bytes() while we
+  /// are inside the loop; the outer loop picks the new bytes up in its
+  /// next pass instead of recursing.
   void flush() {
     if (flushing_ || finished_) return;
     flushing_ = true;
+    while (!finished_) {
+      const bool blocked = use_sendv_ ? write_vectored() : write_coalesced();
+      // Completions fire outside the write pass: on_send_complete() can
+      // close the connection or append a pipelined response.
+      fire_completions();
+      if (finished_ || blocked || !has_pending_bytes()) break;
+    }
+    flushing_ = false;
+    if (!finished_) update_interest();
+  }
+
+  /// One gather pass over the segment chain. Returns true when the socket
+  /// would block (arm write interest); errors close via the FSM.
+  bool write_vectored() {
+    while (!finished_ && !outbox_segments_.empty()) {
+      net::ConstBuffer buffers[kSendvBatch];
+      size_t count = 0;
+      size_t offset = segment_offset_;
+      for (const std::string& segment : outbox_segments_) {
+        if (count == kSendvBatch) break;
+        buffers[count++] = {segment.data() + offset, segment.size() - offset};
+        offset = 0;
+      }
+      auto sent = connection_->try_sendv(buffers, count);
+      if (!sent.ok()) {
+        if (sent.error().code() == ErrorCode::kWouldBlock) return true;
+        fsm_.on_receive_error();
+        return false;
+      }
+      loop_stats_.sendv_batches.fetch_add(1, std::memory_order_relaxed);
+      advance_segments(sent.value());
+    }
+    return false;
+  }
+
+  /// Advances the iovec cursor in place across a (possibly short,
+  /// possibly mid-segment) write of `n` bytes.
+  void advance_segments(size_t n) {
+    bytes_written_ += n;
+    loop_stats_.bytes_written.fetch_add(n, std::memory_order_relaxed);
+    while (n > 0) {
+      std::string& front = outbox_segments_.front();
+      const size_t remaining = front.size() - segment_offset_;
+      if (n < remaining) {
+        segment_offset_ += n;
+        return;
+      }
+      n -= remaining;
+      segment_offset_ = 0;
+      outbox_segments_.pop_front();
+      loop_stats_.sendv_segments.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Fallback for transports without vectored sends: the classic single
+  /// string outbox.
+  bool write_coalesced() {
     while (!finished_ && outbox_offset_ < outbox_.size()) {
       auto sent = connection_->try_send(
           std::string_view(outbox_).substr(outbox_offset_));
       if (!sent.ok()) {
-        if (sent.error().code() == ErrorCode::kWouldBlock) break;
-        flushing_ = false;
+        if (sent.error().code() == ErrorCode::kWouldBlock) return true;
         fsm_.on_receive_error();
-        return;
+        return false;
       }
+      bytes_written_ += sent.value();
+      loop_stats_.bytes_written.fetch_add(sent.value(),
+                                          std::memory_order_relaxed);
       outbox_offset_ += sent.value();
       if (outbox_offset_ == outbox_.size()) {
-        outbox_.clear();
+        detail::shrink_drained_outbox(outbox_, kOutboxRetainCapacity);
         outbox_offset_ = 0;
-        fsm_.on_send_complete(now());
       }
     }
-    flushing_ = false;
-    if (!finished_) update_interest();
+    return false;
+  }
+
+  /// Tells the FSM about every response whose last byte has reached the
+  /// transport. Marks are cumulative byte positions, so multiple queued
+  /// responses and zero-byte sends complete in order.
+  void fire_completions() {
+    while (!finished_ && !send_marks_.empty() &&
+           bytes_written_ >= send_marks_.front()) {
+      send_marks_.pop_front();
+      fsm_.on_send_complete(now());
+    }
+  }
+
+  bool has_pending_bytes() const {
+    return use_sendv_ ? !outbox_segments_.empty()
+                      : outbox_offset_ < outbox_.size();
   }
 
   void update_interest() {
     if (finished_) return;
     std::uint32_t want = 0;
     if (fsm_.wants_read()) want |= net::Readiness::kRead;
-    if (outbox_offset_ < outbox_.size()) want |= net::Readiness::kWrite;
+    if (has_pending_bytes()) want |= net::Readiness::kWrite;
     if (want != interest_) {
       reactor_.set_interest(token_, want);
       interest_ = want;
@@ -190,19 +294,32 @@ class HttpServer::ReactorConn final
       reactor_.remove_fd(token_);
       token_ = 0;
     }
+    loop_stats_.connections.fetch_sub(1, std::memory_order_relaxed);
     server_.open_connections_.fetch_sub(1, std::memory_order_acq_rel);
     server_.detach_reactor_connection(this);
   }
 
   HttpServer& server_;
   Reactor& reactor_;
+  HttpServer::LoopStats& loop_stats_;
   std::unique_ptr<net::Connection> connection_;
   ConnectionFsm fsm_;
   std::uint64_t token_ = 0;
   std::uint32_t interest_ = 0;
   TimerWheel::TimerId timer_ = TimerWheel::kInvalidTimer;
+  /// Vectored outbox: response segments awaiting the wire, front segment
+  /// partially sent up to segment_offset_.
+  std::deque<std::string> outbox_segments_;
+  size_t segment_offset_ = 0;
+  /// Coalesced fallback outbox (transports without try_sendv).
   std::string outbox_;
   size_t outbox_offset_ = 0;
+  /// Cumulative queued/written byte positions; a send_bytes() call
+  /// completes when bytes_written_ crosses its mark.
+  std::uint64_t bytes_queued_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::deque<std::uint64_t> send_marks_;
+  bool use_sendv_ = false;
   bool flushing_ = false;
   bool finished_ = false;
 };
@@ -276,7 +393,15 @@ class HttpServer::BlockingConn final
 
   // --- ConnectionFsm::Host (called with mutex_ held; effects deferred) --
 
-  void send_bytes(std::string bytes, bool close_after) override {
+  void send_bytes(std::vector<std::string> segments,
+                  bool close_after) override {
+    // The blocking driver writes with one blocking send() per response;
+    // coalescing here is the documented non-vectored fallback.
+    std::string bytes;
+    size_t total = 0;
+    for (const std::string& segment : segments) total += segment.size();
+    bytes.reserve(total);
+    for (const std::string& segment : segments) bytes += segment;
     pending_sends_.push_back(PendingSend{std::move(bytes), close_after});
   }
 
@@ -413,6 +538,12 @@ HttpServer::HttpServer(net::Transport& transport, net::Endpoint at,
   if (!handler_) {
     throw SpiError(ErrorCode::kInvalidArgument, "HttpServer: null handler");
   }
+  // Fixed at construction (never resized) so metric callbacks can bind
+  // per-loop label series before start() and keep reading after stop().
+  loop_stats_.reserve(options_.reactor_threads);
+  for (size_t i = 0; i < options_.reactor_threads; ++i) {
+    loop_stats_.push_back(std::make_unique<LoopStats>());
+  }
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -438,36 +569,83 @@ Status HttpServer::start() {
   if (running_.exchange(true)) {
     return Error(ErrorCode::kAlreadyExists, "server already started");
   }
-  auto listener = transport_.listen(requested_endpoint_);
+  // Accept sharding wants every listener bound with SO_REUSEPORT —
+  // including the first, since reuseport groups only admit members that
+  // all set the flag. Try the sharded bind first and fall back cleanly.
+  const bool want_sharding = options_.accept_sharding &&
+                             options_.reactor_threads > 1 &&
+                             transport_.supports_reuse_port();
+  Result<std::unique_ptr<net::Listener>> listener =
+      want_sharding
+          ? transport_.listen(requested_endpoint_,
+                              net::ListenOptions{.reuse_port = true})
+          : transport_.listen(requested_endpoint_);
+  if (want_sharding && !listener.ok()) {
+    listener = transport_.listen(requested_endpoint_);
+  }
   if (!listener.ok()) {
     running_ = false;
     return listener.wrap_error("http listen");
   }
-  listener_ = std::move(listener).value();
-  endpoint_ = listener_->endpoint();
+  listeners_.push_back(std::move(listener).value());
+  endpoint_ = listeners_[0]->endpoint();
   reactor_mode_ =
-      options_.reactor_threads > 0 && listener_->native_handle() >= 0;
+      options_.reactor_threads > 0 && listeners_[0]->native_handle() >= 0;
   connection_pool_ = std::make_unique<ThreadPool>(
       options_.protocol_threads, "http-protocol");
   accepting_.store(true, std::memory_order_release);
   if (reactor_mode_) {
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
     for (size_t i = 0; i < options_.reactor_threads; ++i) {
       Reactor::Options reactor_options;
       reactor_options.name = "http-reactor-" + std::to_string(i);
+      if (options_.pin_reactor_threads) {
+        reactor_options.cpu_affinity = static_cast<int>(i % cores);
+      }
       reactors_.push_back(std::make_unique<Reactor>(reactor_options));
       reactors_.back()->start();
     }
-    (void)listener_->set_nonblocking(true);
-    listener_token_ = reactors_[0]->add_fd(
-        listener_->native_handle(), net::Readiness::kRead,
-        [this](std::uint32_t) { on_acceptable(); });
+    // Sharded: grow the reuseport group to one listener per loop. The
+    // endpoint is the resolved one, so port-0 binds shard correctly. All
+    // or nothing — a partial group would leave some loops accept-less, so
+    // any failure reverts to the single-listener round-robin fallback.
+    if (want_sharding && reactor_mode_) {
+      for (size_t i = 1; i < options_.reactor_threads; ++i) {
+        auto sibling = transport_.listen(
+            endpoint_, net::ListenOptions{.reuse_port = true});
+        if (!sibling.ok()) {
+          SPI_LOG(kWarn, "http.server")
+              << "reuseport listener " << i
+              << " failed: " << sibling.error().to_string()
+              << " — falling back to single-listener accept";
+          break;
+        }
+        listeners_.push_back(std::move(sibling).value());
+      }
+      accept_sharded_ = listeners_.size() == options_.reactor_threads;
+      if (!accept_sharded_) listeners_.resize(1);
+    }
+    // Each listener lives on its own loop; every accept lands on the loop
+    // that will drive the connection — no cross-loop handoff. The
+    // single-listener fallback keeps the round-robin handoff from loop 0.
+    listener_tokens_.resize(listeners_.size(), 0);
+    for (size_t i = 0; i < listeners_.size(); ++i) {
+      (void)listeners_[i]->set_nonblocking(true);
+      listener_tokens_[i] = reactors_[i % reactors_.size()]->add_fd(
+          listeners_[i]->native_handle(), net::Readiness::kRead,
+          [this, i](std::uint32_t) { on_acceptable(i); });
+    }
   } else {
     timer_service_ = std::make_unique<TimerService>("http-timer");
     acceptor_ = std::jthread([this] { accept_loop(); });
   }
   SPI_LOG(kInfo, "http.server")
       << "serving on " << endpoint_.to_string() << " ("
-      << (reactor_mode_ ? "reactor" : "blocking") << " driver)";
+      << (reactor_mode_
+              ? (accept_sharded_ ? "reactor driver, sharded accept"
+                                 : "reactor driver")
+              : "blocking driver")
+      << ", " << listeners_.size() << " listener(s))";
   return Status();
 }
 
@@ -477,13 +655,15 @@ void HttpServer::stop_accepting() {
   // Exactly one caller reaches this point, so the acceptor join (blocking
   // driver) happens once no matter how stop_accepting()/stop() interleave.
   if (reactor_mode_) {
-    if (listener_token_ != 0) {
-      reactors_[0]->remove_fd(listener_token_);
-      listener_token_ = 0;
+    for (size_t i = 0; i < listener_tokens_.size(); ++i) {
+      if (listener_tokens_[i] != 0) {
+        reactors_[i % reactors_.size()]->remove_fd(listener_tokens_[i]);
+        listener_tokens_[i] = 0;
+      }
     }
-    if (listener_) listener_->close();
+    for (auto& listener : listeners_) listener->close();
   } else {
-    if (listener_) listener_->close();
+    for (auto& listener : listeners_) listener->close();
     if (acceptor_.joinable()) acceptor_.join();
   }
 }
@@ -521,7 +701,7 @@ void HttpServer::stop() {
     connection_pool_.reset();
     timer_service_.reset();
   }
-  listener_.reset();
+  listeners_.clear();
 }
 
 bool HttpServer::reject_if_at_capacity(net::Connection& connection) {
@@ -543,10 +723,20 @@ bool HttpServer::reject_if_at_capacity(net::Connection& connection) {
   return true;
 }
 
-void HttpServer::on_acceptable() {
-  // Reactor-0 loop thread: accept until the backlog is dry.
-  while (accepting_.load(std::memory_order_acquire)) {
-    auto connection = listener_->try_accept();
+void HttpServer::on_acceptable(size_t listener_index) {
+  // The owning loop's thread: accept until the backlog is dry — but at
+  // most accept_batch_per_wake per wake, so a connect flood cannot starve
+  // established connections sharing this loop. Level-triggered polling
+  // re-reports the listener while connections remain pending.
+  const size_t loop_index = listener_index % reactors_.size();
+  LoopStats& stats = *loop_stats_[loop_index];
+  const size_t batch = options_.accept_batch_per_wake == 0
+                           ? std::numeric_limits<size_t>::max()
+                           : options_.accept_batch_per_wake;
+  for (size_t accepted = 0;
+       accepted < batch && accepting_.load(std::memory_order_acquire);
+       ++accepted) {
+    auto connection = listeners_[listener_index]->try_accept();
     if (!connection.ok()) {
       const ErrorCode code = connection.error().code();
       if (code != ErrorCode::kWouldBlock && code != ErrorCode::kShutdown) {
@@ -556,23 +746,38 @@ void HttpServer::on_acceptable() {
       return;
     }
     if (reject_if_at_capacity(*connection.value())) continue;
+    stats.accepts.fetch_add(1, std::memory_order_relaxed);
     open_connections_.fetch_add(1, std::memory_order_acq_rel);
-    attach_reactor_connection(std::move(connection).value());
+    if (accept_sharded_) {
+      // The kernel already sharded this connection to our loop: attach it
+      // right here, on the loop thread — no cross-loop post.
+      attach_reactor_connection(std::move(connection).value(), loop_index,
+                                /*on_loop_thread=*/true);
+    } else {
+      attach_reactor_connection(
+          std::move(connection).value(),
+          next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+              reactors_.size(),
+          /*on_loop_thread=*/false);
+    }
   }
 }
 
 void HttpServer::attach_reactor_connection(
-    std::unique_ptr<net::Connection> connection) {
-  Reactor& reactor =
-      *reactors_[next_reactor_.fetch_add(1, std::memory_order_relaxed) %
-                 reactors_.size()];
-  auto conn =
-      std::make_shared<ReactorConn>(*this, reactor, std::move(connection));
+    std::unique_ptr<net::Connection> connection, size_t loop_index,
+    bool on_loop_thread) {
+  Reactor& reactor = *reactors_[loop_index];
+  auto conn = std::make_shared<ReactorConn>(
+      *this, reactor, *loop_stats_[loop_index], std::move(connection));
   {
     std::lock_guard lock(reactor_conns_mutex_);
     reactor_conns_.emplace(conn.get(), conn);
   }
-  reactor.post([conn] { conn->open(); });
+  if (on_loop_thread) {
+    conn->open();
+  } else {
+    reactor.post([conn] { conn->open(); });
+  }
 }
 
 void HttpServer::detach_reactor_connection(ReactorConn* connection) {
@@ -582,7 +787,7 @@ void HttpServer::detach_reactor_connection(ReactorConn* connection) {
 
 void HttpServer::accept_loop() {
   while (running_.load(std::memory_order_acquire)) {
-    auto connection = listener_->accept();
+    auto connection = listeners_[0]->accept();
     if (!connection.ok()) {
       if (connection.error().code() == ErrorCode::kShutdown) return;
       SPI_LOG(kWarn, "http.server")
@@ -622,6 +827,37 @@ std::uint64_t HttpServer::reactor_loop_iterations() const {
 size_t HttpServer::reactor_connections() const {
   std::lock_guard lock(reactor_conns_mutex_);
   return reactor_conns_.size();
+}
+
+HttpServer::LoopSnapshot HttpServer::loop_snapshot(size_t loop_index) const {
+  LoopSnapshot snapshot;
+  if (loop_index >= loop_stats_.size()) return snapshot;
+  const LoopStats& stats = *loop_stats_[loop_index];
+  snapshot.connections = stats.connections.load(std::memory_order_relaxed);
+  snapshot.accepts = stats.accepts.load(std::memory_order_relaxed);
+  snapshot.bytes_written =
+      stats.bytes_written.load(std::memory_order_relaxed);
+  snapshot.sendv_batches =
+      stats.sendv_batches.load(std::memory_order_relaxed);
+  snapshot.sendv_segments =
+      stats.sendv_segments.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::uint64_t HttpServer::sendv_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& stats : loop_stats_) {
+    total += stats->sendv_batches.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t HttpServer::sendv_segments() const {
+  std::uint64_t total = 0;
+  for (const auto& stats : loop_stats_) {
+    total += stats->sendv_segments.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 size_t HttpServer::timer_wheel_depth() const {

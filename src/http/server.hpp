@@ -52,6 +52,23 @@ struct ServerOptions {
   /// blocking driver regardless.
   size_t reactor_threads = 1;
 
+  /// Per-core accept sharding (DESIGN.md §13): with >1 reactor loop and a
+  /// transport that supports SO_REUSEPORT, every loop gets its own
+  /// listener and accepts locally — no loop-0 accept hop, no cross-loop
+  /// connection handoff. false (or no kernel support) falls back to one
+  /// listener on loop 0 with round-robin handoff.
+  bool accept_sharding = true;
+
+  /// Accepts drained per readiness wake of a listener. Bounding the burst
+  /// keeps a connect flood from starving established connections that
+  /// share the loop; the level-triggered poller re-reports the listener
+  /// until its backlog is dry, so no accept is lost.
+  size_t accept_batch_per_wake = 64;
+
+  /// Pin reactor loop i to CPU (i mod hardware_concurrency). Off by
+  /// default: pinning wins on dedicated boxes, loses on shared ones.
+  bool pin_reactor_threads = false;
+
   /// Telemetry span for the HTTP-read lifecycle point (unowned; must
   /// outlive the server): wall time from the first received byte of a
   /// request until its framing parses complete. Null = off.
@@ -74,6 +91,23 @@ struct ServerOptions {
   /// connection slot. 0 = unlimited.
   size_t max_connections = 0;
 };
+
+namespace detail {
+
+/// Satellite of the iovec outbox: the string fallback path reuses one
+/// outbox buffer per connection, and `clear()` keeps the old capacity
+/// forever — one 10 MB response would pin 10 MB per connection for the
+/// connection's whole life. After a full drain, give the allocation back
+/// once it exceeds the retain cap (swap guarantees release; shrink_to_fit
+/// is only a hint).
+inline void shrink_drained_outbox(std::string& outbox, size_t retain_cap) {
+  outbox.clear();
+  if (outbox.capacity() > retain_cap) {
+    std::string().swap(outbox);
+  }
+}
+
+}  // namespace detail
 
 class HttpServer {
  public:
@@ -142,9 +176,33 @@ class HttpServer {
 
   // --- reactor telemetry (spi_reactor_* gauges) ------------------------
 
+  /// Per-loop counters proving the accept sharding is balanced and the
+  /// vectored send path is in use (spi_reactor_loop_* series).
+  struct LoopSnapshot {
+    size_t connections = 0;           ///< currently attached to this loop
+    std::uint64_t accepts = 0;        ///< connections accepted by this loop
+    std::uint64_t bytes_written = 0;  ///< response bytes to the wire
+    std::uint64_t sendv_batches = 0;  ///< try_sendv calls that wrote bytes
+    std::uint64_t sendv_segments = 0; ///< segments fully retired via sendv
+  };
+
   /// True when connections are served by reactor event loops (decided at
   /// start() from reactor_threads and the transport's poll support).
   bool reactor_mode() const { return reactor_mode_; }
+
+  /// True when every reactor loop owns a SO_REUSEPORT listener (decided at
+  /// start(); false on single-loop servers and non-reuseport transports).
+  bool accept_sharded() const { return accept_sharded_; }
+
+  /// Number of per-loop stat slots (== reactor_threads, fixed at
+  /// construction so telemetry can register label series up front).
+  size_t loop_count() const { return loop_stats_.size(); }
+  LoopSnapshot loop_snapshot(size_t loop_index) const;
+
+  /// Totals across loops: vectored gather calls and segments that reached
+  /// the wire without a coalescing copy (spi_sendv_*_total).
+  std::uint64_t sendv_batches() const;
+  std::uint64_t sendv_segments() const;
 
   /// Loop iterations summed across reactors (0 in blocking mode).
   std::uint64_t reactor_loop_iterations() const;
@@ -162,9 +220,22 @@ class HttpServer {
   friend class ReactorConn;
   friend class BlockingConn;
 
+  /// One reactor loop's live counters (atomics: scraped from any thread,
+  /// written from the owning loop).
+  struct LoopStats {
+    std::atomic<size_t> connections{0};
+    std::atomic<std::uint64_t> accepts{0};
+    std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> sendv_batches{0};
+    std::atomic<std::uint64_t> sendv_segments{0};
+  };
+
   void accept_loop();
-  void on_acceptable();
-  void attach_reactor_connection(std::unique_ptr<net::Connection> connection);
+  /// Drains pending accepts on listeners_[listener_index] (its owning
+  /// loop's thread), bounded by accept_batch_per_wake.
+  void on_acceptable(size_t listener_index);
+  void attach_reactor_connection(std::unique_ptr<net::Connection> connection,
+                                 size_t loop_index, bool on_loop_thread);
   void detach_reactor_connection(ReactorConn* connection);
   /// 503 + Connection: close at the max_connections cap; returns true if
   /// the arrival was rejected.
@@ -179,13 +250,21 @@ class HttpServer {
   Handler handler_;
   ServerOptions options_;
 
-  std::unique_ptr<net::Listener> listener_;
+  /// listeners_[0] always exists after start(); with accept sharding,
+  /// listeners_[i] is loop i's SO_REUSEPORT listener.
+  std::vector<std::unique_ptr<net::Listener>> listeners_;
   std::unique_ptr<ThreadPool> connection_pool_;
   bool reactor_mode_ = false;
+  bool accept_sharded_ = false;
 
   // Reactor driver state.
   std::vector<std::unique_ptr<Reactor>> reactors_;
-  std::uint64_t listener_token_ = 0;
+  /// listener_tokens_[i] is listeners_[i]'s registration on its reactor
+  /// (sharded: reactor i; fallback: the single token lives on reactor 0).
+  std::vector<std::uint64_t> listener_tokens_;
+  /// Sized to reactor_threads at construction and never resized, so
+  /// telemetry label series can bind before start().
+  std::vector<std::unique_ptr<LoopStats>> loop_stats_;
   std::atomic<size_t> next_reactor_{0};
   mutable std::mutex reactor_conns_mutex_;
   std::unordered_map<ReactorConn*, std::shared_ptr<ReactorConn>>

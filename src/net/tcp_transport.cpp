@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -17,6 +18,10 @@
 namespace spi::net {
 
 namespace {
+
+/// Gather width per sendmsg call. IOV_MAX is 1024 on Linux; 64 covers a
+/// response head + body plus a deep pipeline without a large stack array.
+constexpr size_t kMaxSendvSegments = 64;
 
 std::string errno_message(std::string_view what) {
   std::string out(what);
@@ -174,6 +179,41 @@ class TcpConnection final : public Connection {
     }
   }
 
+  bool supports_sendv() const override { return true; }
+
+  Result<size_t> try_sendv(const ConstBuffer* segments,
+                           size_t count) override {
+    // sendmsg is writev(2) with flags: the gather semantics we want plus
+    // MSG_NOSIGNAL so a dead peer surfaces as EPIPE, not SIGPIPE.
+    iovec iov[kMaxSendvSegments];
+    size_t vecs = 0;
+    for (size_t i = 0; i < count && vecs < kMaxSendvSegments; ++i) {
+      if (segments[i].size == 0) continue;
+      iov[vecs].iov_base = const_cast<char*>(segments[i].data);
+      iov[vecs].iov_len = segments[i].size;
+      ++vecs;
+    }
+    if (vecs == 0) return size_t{0};
+    msghdr message{};
+    message.msg_iov = iov;
+    message.msg_iovlen = vecs;
+    while (true) {
+      ssize_t n = ::sendmsg(fd_.get(), &message, MSG_NOSIGNAL);
+      if (n >= 0) {
+        stats_->on_send(static_cast<std::uint64_t>(n));
+        return static_cast<size_t>(n);
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Error(ErrorCode::kWouldBlock, "outbound buffer full");
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Error(ErrorCode::kConnectionClosed, errno_message("sendmsg"));
+      }
+      return Error(ErrorCode::kConnectionFailed, errno_message("sendmsg"));
+    }
+  }
+
   Result<size_t> try_send(std::string_view bytes) override {
     while (true) {
       ssize_t n = ::send(fd_.get(), bytes.data(), bytes.size(),
@@ -275,6 +315,19 @@ class TcpListener final : public Listener {
 }  // namespace
 
 Result<std::unique_ptr<Listener>> TcpTransport::listen(const Endpoint& at) {
+  return listen(at, ListenOptions{});
+}
+
+bool TcpTransport::supports_reuse_port() const {
+#ifdef SO_REUSEPORT
+  return true;
+#else
+  return false;
+#endif
+}
+
+Result<std::unique_ptr<Listener>> TcpTransport::listen(
+    const Endpoint& at, const ListenOptions& options) {
   auto addr = make_addr(at);
   if (!addr.ok()) return addr.error();
 
@@ -284,6 +337,21 @@ Result<std::unique_ptr<Listener>> TcpTransport::listen(const Endpoint& at) {
   }
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options.reuse_port) {
+#ifdef SO_REUSEPORT
+    // Kernel-level accept sharding: every listener bound to this endpoint
+    // gets its own accept queue, and the kernel spreads connections across
+    // them by 4-tuple hash — no shared accept hotspot.
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   errno_message("setsockopt(SO_REUSEPORT)"));
+    }
+#else
+    return Error(ErrorCode::kInvalidArgument,
+                 "SO_REUSEPORT unavailable on this platform");
+#endif
+  }
 
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
              sizeof(sockaddr_in)) != 0) {

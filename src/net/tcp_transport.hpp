@@ -17,6 +17,14 @@ class TcpTransport final : public Transport {
   /// Listener::endpoint()). Host must be an IPv4 literal, e.g. 127.0.0.1.
   Result<std::unique_ptr<Listener>> listen(const Endpoint& at) override;
 
+  /// With options.reuse_port, binds with SO_REUSEPORT so multiple
+  /// listeners can shard accepts on one endpoint (one per reactor loop).
+  Result<std::unique_ptr<Listener>> listen(
+      const Endpoint& at, const ListenOptions& options) override;
+
+  /// True where SO_REUSEPORT exists (Linux ≥3.9, BSDs).
+  bool supports_reuse_port() const override;
+
   Result<std::unique_ptr<Connection>> connect(const Endpoint& to) override;
 
   WireStats stats() const override { return stats_.snapshot(); }

@@ -20,6 +20,22 @@
 
 namespace spi::net {
 
+/// One segment of a vectored send: mirrors `struct iovec` without pulling
+/// <sys/uio.h> into the interface. Segments are written to the wire in
+/// order, as if concatenated.
+struct ConstBuffer {
+  const char* data = nullptr;
+  size_t size = 0;
+};
+
+/// Options for Transport::listen. reuse_port asks for kernel-level accept
+/// sharding (SO_REUSEPORT): several listeners bound to the same endpoint,
+/// each with its own accept queue, so every reactor loop can accept
+/// locally instead of funnelling through one listener.
+struct ListenOptions {
+  bool reuse_port = false;
+};
+
 /// Wire counters. Benches read these to report message/byte reductions
 /// (the mechanism behind the paper's Figures 5-7).
 struct WireStats {
@@ -125,6 +141,22 @@ class Connection {
     return Error(ErrorCode::kInvalidArgument,
                  "transport does not support non-blocking I/O");
   }
+
+  /// True when try_sendv() gathers natively (writev/sendmsg). Callers keep
+  /// a coalesced single-buffer fallback for transports that return false.
+  virtual bool supports_sendv() const { return false; }
+
+  /// Non-blocking vectored send: writes the segments in order as one
+  /// gather and returns bytes accepted — possibly short, possibly ending
+  /// mid-segment; the caller advances its segment cursor and retries.
+  /// kWouldBlock when nothing could be accepted.
+  virtual Result<size_t> try_sendv(const ConstBuffer* segments,
+                                   size_t count) {
+    (void)segments;
+    (void)count;
+    return Error(ErrorCode::kInvalidArgument,
+                 "transport does not support vectored I/O");
+  }
 };
 
 /// Blocking accept() source bound to an Endpoint.
@@ -166,6 +198,21 @@ class Transport {
   virtual ~Transport() = default;
 
   virtual Result<std::unique_ptr<Listener>> listen(const Endpoint& at) = 0;
+
+  /// listen() with options. Transports without SO_REUSEPORT support reject
+  /// reuse_port requests, so callers fall back to one shared listener.
+  virtual Result<std::unique_ptr<Listener>> listen(
+      const Endpoint& at, const ListenOptions& options) {
+    if (options.reuse_port) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "transport does not support SO_REUSEPORT");
+    }
+    return listen(at);
+  }
+
+  /// True when listen() honors ListenOptions::reuse_port.
+  virtual bool supports_reuse_port() const { return false; }
+
   virtual Result<std::unique_ptr<Connection>> connect(const Endpoint& to) = 0;
 
   /// Aggregate wire counters for connections made through this transport.

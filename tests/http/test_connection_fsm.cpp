@@ -19,7 +19,8 @@ TimePoint at(Duration offset) { return TimePoint{} + offset; }
 
 struct FakeHost : ConnectionFsm::Host {
   struct Send {
-    std::string bytes;
+    std::string bytes;  // segments joined, for wire-content assertions
+    std::vector<std::string> segments;
     bool close_after;
   };
   std::vector<Send> sends;
@@ -28,8 +29,13 @@ struct FakeHost : ConnectionFsm::Host {
   int cancels = 0;
   int closes = 0;
 
-  void send_bytes(std::string bytes, bool close_after) override {
-    sends.push_back({std::move(bytes), close_after});
+  void send_bytes(std::vector<std::string> segments,
+                  bool close_after) override {
+    Send send;
+    for (const std::string& segment : segments) send.bytes += segment;
+    send.segments = std::move(segments);
+    send.close_after = close_after;
+    sends.push_back(std::move(send));
   }
   void dispatch(Request request) override {
     dispatched.push_back(std::move(request));
@@ -91,6 +97,27 @@ TEST_F(ConnectionFsmTest, FullRequestDispatchesAndKeepsAlive) {
   EXPECT_TRUE(fsm.wants_read());
   EXPECT_EQ(active_requests_.load(), 0u);
   EXPECT_EQ(host_.closes, 0);
+}
+
+TEST_F(ConnectionFsmTest, ResponseArrivesAsHeadAndBodySegments) {
+  auto fsm = make();
+  fsm.on_open(at(0ms));
+  fsm.on_bytes(simple_request(), at(1ms));
+
+  fsm.on_response(Response::make(200, "OK", "payload"), false, at(2ms));
+  ASSERT_EQ(host_.sends.size(), 1u);
+  // Head and body travel as separate segments so the host can hand the
+  // body straight to writev without re-copying it into the head buffer.
+  ASSERT_EQ(host_.sends[0].segments.size(), 2u);
+  EXPECT_NE(host_.sends[0].segments[0].find("200 OK"), std::string::npos);
+  EXPECT_EQ(host_.sends[0].segments[1], "payload");
+
+  // Empty bodies do not produce an empty trailing segment.
+  fsm.on_send_complete(at(3ms));
+  fsm.on_bytes(simple_request(), at(4ms));
+  fsm.on_response(Response::make(204, "No Content", ""), false, at(5ms));
+  ASSERT_EQ(host_.sends.size(), 2u);
+  EXPECT_EQ(host_.sends[1].segments.size(), 1u);
 }
 
 TEST_F(ConnectionFsmTest, ByteAtATimeRequestStillParses) {

@@ -262,6 +262,93 @@ TEST_F(ReactorServerTest, MultipleReactorsShardConnections) {
   EXPECT_EQ(server->requests_served(), 8u);
 }
 
+TEST_F(ReactorServerTest, AcceptShardingGivesEveryLoopAListener) {
+  ServerOptions options;
+  options.reactor_threads = 2;
+  auto server = make_server(options);
+  if (!transport_.supports_reuse_port()) {
+    GTEST_SKIP() << "no SO_REUSEPORT on this platform";
+  }
+  ASSERT_TRUE(server->accept_sharded());
+  ASSERT_EQ(server->loop_count(), 2u);
+
+  // Kernel 4-tuple hashing spreads distinct client ports across the two
+  // accept queues; with 32 connections each loop gets some (the chance of
+  // an empty loop is 2^-32). Every accept is local: loop accepts sum to
+  // the connection count, and connections stay on the loop that accepted
+  // them.
+  std::vector<std::unique_ptr<net::Connection>> parked;
+  for (int i = 0; i < 32; ++i) parked.push_back(connect(*server));
+  for (int i = 0; i < 200 && server->open_connections() < 32; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(server->open_connections(), 32u);
+
+  auto loop0 = server->loop_snapshot(0);
+  auto loop1 = server->loop_snapshot(1);
+  EXPECT_EQ(loop0.accepts + loop1.accepts, 32u);
+  EXPECT_EQ(loop0.connections + loop1.connections, 32u);
+  EXPECT_GT(loop0.accepts, 0u);
+  EXPECT_GT(loop1.accepts, 0u);
+  EXPECT_EQ(loop0.connections, loop0.accepts);
+  EXPECT_EQ(loop1.connections, loop1.accepts);
+
+  // Requests still flow through the sharded listeners.
+  HttpClient client(transport_, server->endpoint());
+  auto response = client.post("/x", "sharded");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response.value().body, "echo:sharded");
+}
+
+TEST_F(ReactorServerTest, AcceptShardingOffFallsBackToRoundRobin) {
+  ServerOptions options;
+  options.reactor_threads = 2;
+  options.accept_sharding = false;
+  auto server = make_server(options);
+  EXPECT_FALSE(server->accept_sharded());
+
+  // Round-robin handoff from the loop-0 listener: connections alternate
+  // across loops deterministically.
+  std::vector<std::unique_ptr<net::Connection>> parked;
+  for (int i = 0; i < 8; ++i) parked.push_back(connect(*server));
+  for (int i = 0; i < 200 && server->open_connections() < 8; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(server->open_connections(), 8u);
+  EXPECT_EQ(server->loop_snapshot(0).connections, 4u);
+  EXPECT_EQ(server->loop_snapshot(1).connections, 4u);
+}
+
+TEST_F(ReactorServerTest, SingleLoopServerDoesNotShard) {
+  ServerOptions options;
+  options.reactor_threads = 1;
+  auto server = make_server(options);
+  EXPECT_FALSE(server->accept_sharded());
+  HttpClient client(transport_, server->endpoint());
+  auto response = client.post("/x", "one");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+}
+
+TEST_F(ReactorServerTest, AcceptBatchCapStillDrainsFullBacklog) {
+  // A tiny per-wake cap may take several wakes, but the level-triggered
+  // poller re-reports the listener until the backlog is dry: every
+  // connect is eventually served.
+  ServerOptions options;
+  options.accept_batch_per_wake = 2;
+  auto server = make_server(options);
+
+  std::vector<std::unique_ptr<net::Connection>> parked;
+  for (int i = 0; i < 16; ++i) parked.push_back(connect(*server));
+  for (int i = 0; i < 200 && server->open_connections() < 16; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server->open_connections(), 16u);
+
+  HttpClient client(transport_, server->endpoint());
+  auto response = client.post("/x", "drained");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+}
+
 TEST_F(ReactorServerTest, StopAcceptingThenStopJoinsExactlyOnce) {
   // Satellite regression: stop_accepting() followed by stop() used to
   // double-join the acceptor. Both orders and repeats must be safe.

@@ -2,6 +2,7 @@
 // a typed parameterized suite, plus transport-specific cases.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "net/endpoint.hpp"
@@ -276,6 +277,96 @@ TEST(TcpTransportTest, RejectsNonIpv4Host) {
   auto listener = transport.listen(Endpoint{"not-an-ip", 0});
   ASSERT_FALSE(listener.ok());
   EXPECT_EQ(listener.error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TcpTransportTest, TrySendvGathersSegmentsInOrder) {
+  TcpTransport transport;
+  EXPECT_TRUE(transport.supports_reuse_port());
+  auto listener = transport.listen(Endpoint{"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+
+  std::jthread server([&] {
+    auto accepted = listener.value()->accept();
+    ASSERT_TRUE(accepted.ok());
+    std::string received;
+    while (received.size() < 11) {
+      auto chunk = accepted.value()->receive(64);
+      if (!chunk.ok()) break;
+      received += chunk.value();
+    }
+    // Segments land concatenated in order, empties skipped.
+    EXPECT_EQ(received, "HEAD|body|!");
+    ASSERT_TRUE(accepted.value()->send("k").ok());
+  });
+
+  auto client = transport.connect(listener.value()->endpoint());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->supports_sendv());
+  const std::string head = "HEAD|";
+  const std::string body = "body|";
+  ConstBuffer segments[4] = {{head.data(), head.size()},
+                             {nullptr, 0},  // empty segments are skipped
+                             {body.data(), body.size()},
+                             {"!", 1}};
+  // An idle loopback socket accepts 11 bytes whole; a short return here
+  // would mean the gather itself is broken.
+  auto sent = client.value()->try_sendv(segments, 4);
+  ASSERT_TRUE(sent.ok()) << sent.error().to_string();
+  ASSERT_EQ(sent.value(), 11u);
+  auto ack = client.value()->receive(1);
+  ASSERT_TRUE(ack.ok());
+
+  // The gather is counted once in the wire stats, not per segment.
+  EXPECT_EQ(transport.stats().bytes_sent, 12u);  // 11 + the server's "k"
+}
+
+TEST(TcpTransportTest, ReusePortListenersShareOneEndpoint) {
+  TcpTransport transport;
+  ListenOptions options;
+  options.reuse_port = true;
+  auto first = transport.listen(Endpoint{"127.0.0.1", 0}, options);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  const Endpoint endpoint = first.value()->endpoint();
+
+  // Second listener binds the SAME resolved port: kernel accept sharding.
+  auto second = transport.listen(endpoint, options);
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_EQ(second.value()->endpoint().port, endpoint.port);
+
+  // Connections land on exactly one of the two accept queues; with both
+  // listeners drained by one thread each, every connect is served.
+  std::atomic<int> accepted{0};
+  auto drain = [&](Listener& listener) {
+    while (true) {
+      auto connection = listener.accept();
+      if (!connection.ok()) return;  // kShutdown after close()
+      accepted.fetch_add(1);
+      ASSERT_TRUE(connection.value()->send("hi").ok());
+    }
+  };
+  std::jthread a([&] { drain(*first.value()); });
+  std::jthread b([&] { drain(*second.value()); });
+
+  constexpr int kClients = 8;
+  for (int i = 0; i < kClients; ++i) {
+    auto client = transport.connect(endpoint);
+    ASSERT_TRUE(client.ok());
+    auto greeting = client.value()->receive(2);
+    ASSERT_TRUE(greeting.ok()) << greeting.error().to_string();
+  }
+  EXPECT_EQ(accepted.load(), kClients);
+  first.value()->close();
+  second.value()->close();
+}
+
+TEST(TcpTransportTest, PlainListenRejectsSecondBind) {
+  // Without reuse_port the second bind must still fail — the sharding
+  // flag is opt-in, not ambient.
+  TcpTransport transport;
+  auto first = transport.listen(Endpoint{"127.0.0.1", 0});
+  ASSERT_TRUE(first.ok());
+  auto second = transport.listen(first.value()->endpoint());
+  EXPECT_FALSE(second.ok());
 }
 
 }  // namespace
