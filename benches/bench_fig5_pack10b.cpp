@@ -4,7 +4,7 @@
 
 int main() {
   return spi::bench::run_figure_bench(
-      {"Figure 5", 10,
+      {"Figure 5", "fig5_pack10b", 10,
        "Our Approach fastest for M>1; ~10x over No Optimization at M=128; "
        "slightly slower than No Optimization at M=1 (packing overhead)"});
 }

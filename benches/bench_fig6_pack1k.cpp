@@ -4,7 +4,7 @@
 
 int main() {
   return spi::bench::run_figure_bench(
-      {"Figure 6", 1000,
+      {"Figure 6", "fig6_pack1k", 1000,
        "Our Approach fastest for M>1 (moderate payload); overhead still "
        "dominated by per-message costs"});
 }

@@ -5,7 +5,7 @@
 
 int main() {
   return spi::bench::run_figure_bench(
-      {"Figure 7", 100'000,
+      {"Figure 7", "fig7_pack100k", 100'000,
        "Our Approach slowest (pack/unpack overhead on huge bodies exceeds "
        "the per-message savings); Multiple Threads fastest"});
 }

@@ -1,21 +1,43 @@
 // Shared runner for the paper's Figures 5/6/7: latency of M echo requests
 // (M = 1..128) under the three client strategies, at a fixed payload size.
 // Each figure binary calls run_figure_bench with its payload.
+//
+// PR 7 adds a wire-codec sweep axis: the whole figure is repeated once per
+// codec (identity / deflate / bxml, override with SPI_BENCH_CODECS), each
+// pass on a fresh fixture so the transport byte counters isolate that
+// codec's wire footprint. Results also land in BENCH_<json_name>.json
+// (benchsupport/json_report.hpp) with one row per (codec, M) cell.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "benchsupport/harness.hpp"
+#include "benchsupport/json_report.hpp"
+#include "common/string_util.hpp"
 
 namespace spi::bench {
 
 struct FigureSpec {
   std::string figure;        // "Figure 5"
+  std::string json_name;     // "fig5_pack10b" -> BENCH_fig5_pack10b.json
   size_t payload_bytes = 0;  // the paper's N
   std::string paper_expectation;  // one-line description of the paper shape
 };
+
+/// Codec sweep list: SPI_BENCH_CODECS ("identity,deflate" etc.), default
+/// all three built-ins.
+inline std::vector<std::string> bench_codecs() {
+  const char* env = std::getenv("SPI_BENCH_CODECS");
+  std::vector<std::string> codecs;
+  for (std::string_view name :
+       split_trimmed(env ? env : "identity,deflate,bxml", ',')) {
+    if (!name.empty()) codecs.emplace_back(name);
+  }
+  return codecs;
+}
 
 inline int run_figure_bench(const FigureSpec& spec) {
   const net::LinkParams link = link_params_from_env();
@@ -43,45 +65,80 @@ inline int run_figure_bench(const FigureSpec& spec) {
               .count()),
       pack_cost.ns_per_byte, reps);
 
-  FixtureOptions options;
-  options.link = link;
-  // Tomcat-era server sizing: wide protocol stage (one thread per live
-  // connection), application stage sized for the dual-CPU testbed server.
-  options.server.protocol_threads = 160;
-  options.server.application_threads = 16;
-  options.server.pack_cost = pack_cost;
-  options.client.pack_cost = pack_cost;
-  EchoFixture fixture(options);
+  JsonReport report(spec.json_name);
+  report.set("figure", spec.figure);
+  report.set("payload_bytes", spec.payload_bytes);
+  report.set("reps", reps);
+  report.set("pack_ns_per_byte", pack_cost.ns_per_byte);
 
-  Table table({"M", "No Optimization (ms)", "Multiple Threads (ms)",
-               "Our Approach (ms)", "speedup vs serial", "fastest"});
+  for (const std::string& codec : bench_codecs()) {
+    FixtureOptions options;
+    options.link = link;
+    // Tomcat-era server sizing: wide protocol stage (one thread per live
+    // connection), application stage sized for the dual-CPU testbed server.
+    options.server.protocol_threads = 160;
+    options.server.application_threads = 16;
+    options.server.pack_cost = pack_cost;
+    options.client.pack_cost = pack_cost;
+    if (codec != "identity") {
+      options.client.request_codec = codec;
+      options.client.accept_codecs = {codec};
+    }
+    EchoFixture fixture(options);
 
-  for (size_t m = 1; m <= max_m; m *= 2) {
-    auto calls = make_echo_calls(m, spec.payload_bytes,
-                                 /*seed=*/0xF1900 + m);
-    double serial =
-        run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
-            .median_ms;
-    double threaded =
-        run_repeated(fixture.client(), calls, Strategy::kMultithreaded, reps)
-            .median_ms;
-    double packed =
-        run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
-            .median_ms;
+    std::printf("--- codec: %s ---\n", codec.c_str());
+    Table table({"M", "No Optimization (ms)", "Multiple Threads (ms)",
+                 "Our Approach (ms)", "speedup vs serial",
+                 "packed wire (KB)", "fastest"});
 
-    const char* fastest = "Our Approach";
-    if (serial <= threaded && serial <= packed) fastest = "No Optimization";
-    else if (threaded <= packed) fastest = "Multiple Threads";
+    for (size_t m = 1; m <= max_m; m *= 2) {
+      auto calls = make_echo_calls_text(m, spec.payload_bytes,
+                                        /*seed=*/0xF1900 + m);
+      double serial =
+          run_repeated(fixture.client(), calls, Strategy::kSerial, reps)
+              .median_ms;
+      double threaded =
+          run_repeated(fixture.client(), calls, Strategy::kMultithreaded, reps)
+              .median_ms;
+      const auto wire_before = fixture.transport().stats();
+      double packed =
+          run_repeated(fixture.client(), calls, Strategy::kPacked, reps)
+              .median_ms;
+      const auto wire_after = fixture.transport().stats();
+      // Bytes both directions for ONE packed exchange (run_repeated sends
+      // reps + 1 counting the warm-up): the figure's wire-efficiency axis.
+      const double packed_wire_bytes =
+          static_cast<double>(wire_after.bytes_sent - wire_before.bytes_sent) /
+          static_cast<double>(reps + 1);
 
-    table.add_row({std::to_string(m), fmt_ms(serial), fmt_ms(threaded),
-                   fmt_ms(packed), fmt_ratio(serial / packed), fastest});
+      const char* fastest = "Our Approach";
+      if (serial <= threaded && serial <= packed) fastest = "No Optimization";
+      else if (threaded <= packed) fastest = "Multiple Threads";
+
+      table.add_row({std::to_string(m), fmt_ms(serial), fmt_ms(threaded),
+                     fmt_ms(packed), fmt_ratio(serial / packed),
+                     fmt_ms(packed_wire_bytes / 1024.0), fastest});
+
+      JsonObject& row = report.add_row();
+      row.set("codec", codec);
+      row.set("m", m);
+      row.set("serial_ms", serial);
+      row.set("threaded_ms", threaded);
+      row.set("packed_ms", packed);
+      row.set("speedup_vs_serial", serial / packed);
+      row.set("packed_wire_bytes", packed_wire_bytes);
+      row.set("fastest", std::string(fastest));
+    }
+    table.print();
+
+    auto wire = fixture.transport().stats();
+    std::printf("wire totals: %llu connections, %.2f MB sent\n\n",
+                static_cast<unsigned long long>(wire.connections_opened),
+                static_cast<double>(wire.bytes_sent) / 1e6);
   }
-  table.print();
 
-  auto wire = fixture.transport().stats();
-  std::printf("\nwire totals: %llu connections, %.2f MB sent\n",
-              static_cast<unsigned long long>(wire.connections_opened),
-              static_cast<double>(wire.bytes_sent) / 1e6);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("json: %s\n", path.c_str());
   return 0;
 }
 

@@ -18,6 +18,38 @@ std::vector<core::ServiceCall> make_echo_calls(size_t count,
   return calls;
 }
 
+std::vector<core::ServiceCall> make_echo_calls_text(size_t count,
+                                                    size_t payload_bytes,
+                                                    std::uint64_t seed) {
+  static constexpr std::string_view kFields[] = {
+      "orderId=",   "customerId=", "sku=",      "quantity=",
+      "warehouse=", "batchId=",    "invoiceId=", "shipmentId=",
+  };
+  static constexpr std::string_view kEnums[] = {
+      "status=confirmed;",      "status=pending;",
+      "priority=normal;",       "priority=high;",
+      "region=east;",           "region=west;",
+      "carrier=standard;",      "carrier=express;",
+  };
+  SplitMix64 rng(seed);
+  std::vector<core::ServiceCall> calls;
+  calls.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string payload;
+    payload.reserve(payload_bytes + 32);
+    while (payload.size() < payload_bytes) {
+      payload += kFields[rng.next() % std::size(kFields)];
+      payload += std::to_string(rng.next() % 100000);
+      payload += ';';
+      payload += kEnums[rng.next() % std::size(kEnums)];
+    }
+    payload.resize(payload_bytes);
+    calls.push_back(core::make_call("EchoService", "Echo",
+                                    {{"data", soap::Value(payload)}}));
+  }
+  return calls;
+}
+
 size_t count_echo_errors(const std::vector<core::ServiceCall>& calls,
                          const std::vector<core::CallOutcome>& outcomes) {
   if (calls.size() != outcomes.size()) return calls.size();

@@ -17,6 +17,16 @@ std::vector<core::ServiceCall> make_echo_calls(size_t count,
                                                size_t payload_bytes,
                                                std::uint64_t seed);
 
+/// Same shape, but the payload is service-record prose assembled from a
+/// small field vocabulary instead of uniform random ASCII — the structure
+/// of real SOAP payloads (repeated field names, enumerated values), and
+/// what gives a compressing wire codec something to find. Payloads still
+/// differ per call (ids/quantities drawn from `seed`), so caching cannot
+/// trivialize the workload.
+std::vector<core::ServiceCall> make_echo_calls_text(size_t count,
+                                                    size_t payload_bytes,
+                                                    std::uint64_t seed);
+
 /// Verifies echoed outcomes match the request payloads; returns the number
 /// of mismatches/faults (benchmarks assert this is zero — a benchmark that
 /// measures broken transfers measures nothing).

@@ -1,0 +1,71 @@
+#include "codec/registry.hpp"
+
+#include "codec/bxml.hpp"
+#include "codec/deflate.hpp"
+#include "common/string_util.hpp"
+
+namespace spi::codec {
+
+namespace {
+
+/// Non-owning adapter so the registry's shared_ptr scheme can hold the
+/// process-wide identity instance.
+std::shared_ptr<const WireCodec> identity_handle() {
+  return {std::shared_ptr<const WireCodec>{}, &identity_codec()};
+}
+
+}  // namespace
+
+CodecRegistry::CodecRegistry() { codecs_.push_back(identity_handle()); }
+
+void CodecRegistry::register_codec(std::shared_ptr<const WireCodec> codec) {
+  if (!codec) {
+    throw SpiError(ErrorCode::kInvalidArgument,
+                   "register_codec: null codec");
+  }
+  for (auto& existing : codecs_) {
+    if (iequals(existing->name(), codec->name())) {
+      existing = std::move(codec);
+      return;
+    }
+  }
+  codecs_.push_back(std::move(codec));
+}
+
+const WireCodec* CodecRegistry::find(std::string_view name) const {
+  for (const auto& codec : codecs_) {
+    if (iequals(codec->name(), name)) return codec.get();
+  }
+  return nullptr;
+}
+
+const WireCodec& CodecRegistry::negotiate(
+    std::span<const CodecPreference> preferences, bool* fell_back) const {
+  if (fell_back != nullptr) *fell_back = false;
+  for (const CodecPreference& preference : preferences) {
+    if (preference.q <= 0.0) continue;  // q=0 means "not acceptable"
+    if (preference.name == "*") return identity_codec();
+    if (const WireCodec* codec = find(preference.name)) return *codec;
+  }
+  if (fell_back != nullptr) *fell_back = !preferences.empty();
+  return identity_codec();
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(codecs_.size());
+  for (const auto& codec : codecs_) out.emplace_back(codec->name());
+  return out;
+}
+
+const CodecRegistry& CodecRegistry::builtin() {
+  static const CodecRegistry* instance = [] {
+    auto* registry = new CodecRegistry();
+    registry->register_codec(std::make_shared<const DeflateCodec>());
+    registry->register_codec(std::make_shared<const BxmlCodec>());
+    return registry;
+  }();
+  return *instance;
+}
+
+}  // namespace spi::codec

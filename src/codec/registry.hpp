@@ -1,0 +1,59 @@
+// CodecRegistry — the set of wire codecs a peer speaks, plus the
+// negotiation rule that picks one from an Accept-Encoding advertisement.
+//
+// Negotiation is deliberately boring (DESIGN.md §14): preferences arrive
+// already sorted by descending qvalue (http::parse_accept_encoding), the
+// first name the registry knows wins, and anything unknown — including an
+// empty or absent advertisement — falls back to identity so a foreign SOAP
+// client that never heard of bxml still gets text XML back. There is no
+// per-connection state: every request re-negotiates from its own headers,
+// which is what makes pooled keep-alive connections safe to reuse across
+// codec changes.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/wire_codec.hpp"
+
+namespace spi::codec {
+
+/// One advertised coding, registry-side view (core converts from
+/// http::AcceptEncodingEntry; codec does not depend on http).
+struct CodecPreference {
+  std::string name;
+  double q = 1.0;
+};
+
+class CodecRegistry {
+ public:
+  /// Starts with identity registered; identity cannot be removed.
+  CodecRegistry();
+
+  /// Registers a codec under its name() (case-insensitive lookups).
+  /// Re-registering a name replaces the previous codec.
+  void register_codec(std::shared_ptr<const WireCodec> codec);
+
+  /// Case-insensitive lookup; nullptr when unknown.
+  const WireCodec* find(std::string_view name) const;
+
+  /// Picks the first preference (descending q order) this registry knows.
+  /// "*" matches identity. Returns identity when nothing matches; in that
+  /// case *fell_back is set iff the advertisement was non-empty (a fallback
+  /// worth counting, as opposed to a client that asked for nothing).
+  const WireCodec& negotiate(std::span<const CodecPreference> preferences,
+                             bool* fell_back = nullptr) const;
+
+  /// Registered coding names, identity first (diagnostics, tests).
+  std::vector<std::string> names() const;
+
+  /// Process-wide registry with identity + deflate + bxml.
+  static const CodecRegistry& builtin();
+
+ private:
+  std::vector<std::shared_ptr<const WireCodec>> codecs_;
+};
+
+}  // namespace spi::codec

@@ -1,0 +1,87 @@
+#include "codec/response_cache.hpp"
+
+namespace spi::codec {
+
+EncodedResponseCache::EncodedResponseCache() : EncodedResponseCache(Options{}) {}
+
+EncodedResponseCache::EncodedResponseCache(Options options)
+    : options_(options) {}
+
+std::uint64_t EncodedResponseCache::hash_key(std::string_view codec_name,
+                                             std::string_view plain) {
+  // FNV-1a over codec name, a separator, and the plaintext.
+  std::uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](std::string_view bytes) {
+    for (char c : bytes) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+  };
+  mix(codec_name);
+  hash ^= 0xFF;
+  hash *= 1099511628211ull;
+  mix(plain);
+  return hash;
+}
+
+std::optional<std::string> EncodedResponseCache::get(
+    std::string_view codec_name, std::string_view plain) {
+  std::uint64_t hash = hash_key(codec_name, plain);
+  std::lock_guard lock(mutex_);
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    const Entry& entry = *it->second;
+    if (entry.codec == codec_name && entry.plain == plain) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return entry.encoded;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void EncodedResponseCache::put(std::string_view codec_name,
+                               std::string_view plain,
+                               std::string_view encoded) {
+  if (options_.capacity == 0) return;
+  if (plain.size() + encoded.size() > options_.max_entry_bytes) return;
+  std::uint64_t hash = hash_key(codec_name, plain);
+  std::lock_guard lock(mutex_);
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    const Entry& entry = *it->second;
+    if (entry.codec == codec_name && entry.plain == plain) return;  // present
+  }
+  while (lru_.size() >= options_.capacity) {
+    const Entry& victim = lru_.back();
+    auto [vb, ve] = index_.equal_range(victim.key_hash);
+    for (auto it = vb; it != ve; ++it) {
+      if (&*it->second == &victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{hash, std::string(codec_name), std::string(plain),
+                        std::string(encoded)});
+  index_.emplace(hash, lru_.begin());
+}
+
+std::uint64_t EncodedResponseCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t EncodedResponseCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+size_t EncodedResponseCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace spi::codec

@@ -1,0 +1,70 @@
+// EncodedResponseCache — server-side memo of encoded response bodies.
+//
+// The client-side RequestTemplateCache (core/request_cache.hpp) showed that
+// SPI traffic repeats envelope shapes heavily; on the server the same thing
+// is true of whole responses once a codec is in play (health probes, cached
+// reads, idempotent retries re-answering the same bytes). Encoding is the
+// expensive step — deflate runs LZ77 over megabytes — so the cache keys on
+// (codec, exact plaintext) and stores the finished wire bytes. A hit skips
+// the encoder entirely; the hash is checked first and full plaintext
+// equality second, so collisions cannot serve wrong bytes.
+//
+// Sized in entries with a per-entry byte ceiling; LRU eviction. All
+// methods are thread-safe (the server encodes from many workers).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace spi::codec {
+
+class EncodedResponseCache {
+ public:
+  struct Options {
+    /// Maximum cached responses; 0 disables the cache entirely.
+    size_t capacity = 64;
+    /// Entries whose plain+encoded footprint exceeds this are not cached
+    /// (one giant envelope must not evict the whole working set).
+    size_t max_entry_bytes = 16u << 20;
+  };
+
+  EncodedResponseCache();
+  explicit EncodedResponseCache(Options options);
+
+  /// Returns the encoded bytes for (codec, plain) if cached; refreshes LRU.
+  std::optional<std::string> get(std::string_view codec_name,
+                                 std::string_view plain);
+
+  /// Stores an encoding (no-op when over max_entry_bytes or capacity 0).
+  void put(std::string_view codec_name, std::string_view plain,
+           std::string_view encoded);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t key_hash;
+    std::string codec;
+    std::string plain;
+    std::string encoded;
+  };
+
+  static std::uint64_t hash_key(std::string_view codec_name,
+                                std::string_view plain);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_multimap<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace spi::codec

@@ -19,6 +19,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kCapacityExceeded: return "CapacityExceeded";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kUnavailable: return "Unavailable";
+    case ErrorCode::kCodecError: return "CodecError";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

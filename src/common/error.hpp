@@ -31,6 +31,7 @@ enum class ErrorCode {
   kCapacityExceeded,  // queue full, message too large, etc.
   kDeadlineExceeded,  // the exchange's deadline passed; work was shed
   kUnavailable,       // circuit breaker open: failing fast, no I/O attempted
+  kCodecError,        // wire-codec decode failed (corrupt compressed body)
   kInternal,
 };
 

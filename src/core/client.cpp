@@ -42,6 +42,67 @@ SpiClient::SpiClient(net::Transport& transport, net::Endpoint server,
 
 SpiClient::~SpiClient() = default;
 
+const codec::CodecRegistry& SpiClient::codec_registry() const {
+  return options_.codecs ? *options_.codecs : codec::CodecRegistry::builtin();
+}
+
+Result<std::string> SpiClient::encode_request(std::string envelope,
+                                              http::Headers& headers) {
+  if (!options_.accept_codecs.empty()) {
+    std::string accept;
+    for (const std::string& name : options_.accept_codecs) {
+      if (!accept.empty()) accept += ", ";
+      accept += name;
+    }
+    headers.set("Accept-Encoding", accept);
+  }
+  if (options_.request_codec.empty() || options_.request_codec == "identity") {
+    return envelope;
+  }
+  const codec::WireCodec* codec = codec_registry().find(options_.request_codec);
+  if (!codec) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "unknown request codec: " + options_.request_codec);
+  }
+  auto encoded = codec->encode(envelope);
+  if (!encoded.ok()) return encoded.wrap_error("encode request");
+  headers.set("Content-Encoding", std::string(codec->name()));
+  return encoded;
+}
+
+Result<wire::ParsedResponse> SpiClient::parse_wire_response(
+    const http::Response& response) {
+  std::string_view coding = "identity";
+  if (auto header = response.headers.get("Content-Encoding")) {
+    coding = *header;
+  }
+  const codec::WireCodec* codec = codec_registry().find(coding);
+  if (!codec) {
+    return Error(ErrorCode::kProtocolError,
+                 "response Content-Encoding \"" + std::string(coding) +
+                     "\" not supported");
+  }
+  if (codec->name() == "identity") {
+    return dispatcher_.parse_response(response.body);
+  }
+  const size_t budget = options_.http_limits.max_body_bytes;
+  if (codec->decodes_to_document()) {
+    auto document = codec->decode_document(response.body, budget,
+                                           dispatcher_.parse_limits());
+    if (!document.ok()) return document.wrap_error("decode response");
+    return dispatcher_.parse_response_document(std::move(document).value(),
+                                               response.body.size());
+  }
+  auto plain = codec->decode(response.body, budget);
+  if (!plain.ok()) return plain.wrap_error("decode response");
+  // The modeled stack would have handled the compressed wire bytes, not
+  // the expanded text: capture the parse charge and replay it at wire size.
+  PackCostDeferral deferral;
+  auto parsed = dispatcher_.parse_response(plain.value());
+  deferral.replay(response.body.size());
+  return parsed;
+}
+
 Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
     std::span<const ServiceCall> calls, PackMode mode,
     http::HttpClient& http, const resilience::Deadline& deadline,
@@ -74,12 +135,22 @@ Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
   if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
   telemetry::TraceScope trace_scope(trace);
 
-  std::string envelope = assembler_.assemble_request(calls, mode);
-
   http::Headers headers;
   headers.set("SOAPAction", "\"\"");
+  std::string body;
+  {
+    // The assemble charge is captured and replayed at the ENCODED size:
+    // the modeled stack copies wire bytes through its handlers, and with a
+    // codec in play the wire carries the compressed form.
+    PackCostDeferral deferral;
+    std::string envelope = assembler_.assemble_request(calls, mode);
+    auto encoded = encode_request(std::move(envelope), headers);
+    if (!encoded.ok()) return encoded.wrap_error("spi exchange");
+    body = std::move(encoded).value();
+    deferral.replay(body.size());
+  }
   auto response =
-      http.post(options_.target, std::move(envelope), "text/xml", &headers);
+      http.post(options_.target, std::move(body), "text/xml", &headers);
   if (!response.ok()) {
     // The breaker tracks transport-level health: a failed post means the
     // endpoint did not answer this connection.
@@ -98,7 +169,7 @@ Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
 
   // Parse the envelope regardless of HTTP status: SOAP faults ride on 500
   // (HTTP binding) and packed per-call faults on 200.
-  auto parsed = dispatcher_.parse_response(response.value().body);
+  auto parsed = parse_wire_response(response.value());
   if (!parsed.ok()) {
     if (response.value().status != 200) {
       return Error(ErrorCode::kProtocolError,
@@ -293,16 +364,23 @@ Result<std::vector<CallOutcome>> SpiClient::execute_plan(
   if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
   telemetry::TraceScope trace_scope(trace);
 
-  std::string envelope = assembler_.assemble_plan(plan);
-
   http::HttpClient http(transport_, server_, make_http_options(options_));
   http::Headers headers;
   headers.set("SOAPAction", "\"\"");
+  std::string body;
+  {
+    PackCostDeferral deferral;
+    std::string envelope = assembler_.assemble_plan(plan);
+    auto encoded = encode_request(std::move(envelope), headers);
+    if (!encoded.ok()) return encoded.wrap_error("spi plan");
+    body = std::move(encoded).value();
+    deferral.replay(body.size());
+  }
   auto response =
-      http.post(options_.target, std::move(envelope), "text/xml", &headers);
+      http.post(options_.target, std::move(body), "text/xml", &headers);
   if (!response.ok()) return response.wrap_error("spi plan");
 
-  auto parsed = dispatcher_.parse_response(response.value().body);
+  auto parsed = parse_wire_response(response.value());
   if (!parsed.ok()) return parsed.error();
   return dispatcher_.route(std::move(parsed).value(), plan.steps.size());
 }

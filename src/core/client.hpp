@@ -16,6 +16,7 @@
 #include <mutex>
 #include <span>
 
+#include "codec/registry.hpp"
 #include "common/timeout.hpp"
 #include "core/assembler.hpp"
 #include "core/dispatcher.hpp"
@@ -73,6 +74,23 @@ struct ClientOptions {
   bool trace_propagation = true;
 
   http::ParserLimits http_limits;
+
+  /// Wire codec applied to outbound request envelopes ("identity",
+  /// "deflate", "bxml" — DESIGN.md §14). The request body is labelled with
+  /// Content-Encoding; an unknown name fails the exchange locally with
+  /// kInvalidArgument. "identity" (the default) keeps the legacy text-XML
+  /// wire shape byte for byte.
+  std::string request_codec = "identity";
+
+  /// Codings advertised in Accept-Encoding so the server may encode its
+  /// response. Empty (the default) sends no Accept-Encoding header and the
+  /// server answers in identity. Order is preference order (highest first);
+  /// qvalues descend from 1.0 automatically.
+  std::vector<std::string> accept_codecs;
+
+  /// Registry resolving codec names for both directions (borrowed, not
+  /// owned). Null selects codec::CodecRegistry::builtin().
+  const codec::CodecRegistry* codecs = nullptr;
 };
 
 class SpiClient {
@@ -208,6 +226,21 @@ class SpiClient {
   /// pointless: the answer could not arrive in time).
   bool sleep_backoff(int retry_number, const resilience::Deadline& deadline,
                      Duration floor);
+
+  const codec::CodecRegistry& codec_registry() const;
+
+  /// Applies options_.request_codec to an assembled envelope and sets the
+  /// Content-Encoding / Accept-Encoding request headers. Identity with no
+  /// accept list leaves both the body and the headers untouched.
+  Result<std::string> encode_request(std::string envelope,
+                                     http::Headers& headers);
+
+  /// Decodes a response body per its Content-Encoding header (unknown
+  /// coding → kProtocolError) and parses it — through the document path
+  /// for codecs that carry structure natively (bxml), through the text
+  /// dispatcher otherwise. Pack cost is charged on the wire bytes.
+  Result<wire::ParsedResponse> parse_wire_response(
+      const http::Response& response);
 
   net::Transport& transport_;
   net::Endpoint server_;

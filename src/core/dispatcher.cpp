@@ -35,10 +35,22 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
   auto envelope =
       soap::Envelope::parse(envelope_xml, parse_limits_, envelope_limits_);
   if (!envelope.ok()) return envelope.error();
+  return parse_request_envelope(envelope.value(), envelope_xml.size());
+}
 
+Result<wire::ParsedRequest> Dispatcher::parse_request_document(
+    xml::Document document, std::uint64_t wire_bytes) {
+  auto envelope =
+      soap::Envelope::from_document(std::move(document), envelope_limits_);
+  if (!envelope.ok()) return envelope.error();
+  return parse_request_envelope(envelope.value(), wire_bytes);
+}
+
+Result<wire::ParsedRequest> Dispatcher::parse_request_envelope(
+    const soap::Envelope& envelope, std::uint64_t wire_bytes) {
   if (verifier_) {
     const xml::Element* security = nullptr;
-    for (const xml::Element* block : envelope.value().header_blocks) {
+    for (const xml::Element* block : envelope.header_blocks) {
       if (block->local_name() == "Security") {
         security = block;
         break;
@@ -54,19 +66,19 @@ Result<wire::ParsedRequest> Dispatcher::parse_request(
     }
   }
 
-  auto parsed = wire::parse_request(envelope.value());
+  auto parsed = wire::parse_request(envelope);
   if (parsed.ok()) {
     envelopes_.fetch_add(1, std::memory_order_relaxed);
     if (parsed.value().packed) {
       packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
-      pack_cost_.charge(envelope_xml.size(), parsed.value().calls.size());
+      pack_cost_.charge(wire_bytes, parsed.value().calls.size());
     }
     if (auto trace = telemetry::TraceContext::from_header_blocks(
-            envelope.value().header_blocks)) {
+            envelope.header_blocks)) {
       parsed.value().trace = std::move(*trace);
     }
     if (auto deadline = resilience::Deadline::from_header_blocks(
-            envelope.value().header_blocks, RealClock::instance().now())) {
+            envelope.header_blocks, RealClock::instance().now())) {
       parsed.value().deadline = *deadline;
     }
   }
@@ -278,15 +290,27 @@ Result<wire::ParsedResponse> Dispatcher::parse_response(
     std::string_view envelope_xml) {
   auto envelope = soap::Envelope::parse(envelope_xml);
   if (!envelope.ok()) return envelope.error();
-  auto parsed = wire::parse_response(envelope.value());
+  return parse_response_envelope(envelope.value(), envelope_xml.size());
+}
+
+Result<wire::ParsedResponse> Dispatcher::parse_response_document(
+    xml::Document document, std::uint64_t wire_bytes) {
+  auto envelope = soap::Envelope::from_document(std::move(document));
+  if (!envelope.ok()) return envelope.error();
+  return parse_response_envelope(envelope.value(), wire_bytes);
+}
+
+Result<wire::ParsedResponse> Dispatcher::parse_response_envelope(
+    const soap::Envelope& envelope, std::uint64_t wire_bytes) {
+  auto parsed = wire::parse_response(envelope);
   if (parsed.ok()) {
     envelopes_.fetch_add(1, std::memory_order_relaxed);
     if (parsed.value().packed) {
       packed_envelopes_.fetch_add(1, std::memory_order_relaxed);
-      pack_cost_.charge(envelope_xml.size(), parsed.value().outcomes.size());
+      pack_cost_.charge(wire_bytes, parsed.value().outcomes.size());
     }
     if (auto trace = telemetry::TraceContext::from_header_blocks(
-            envelope.value().header_blocks)) {
+            envelope.header_blocks)) {
       parsed.value().trace = std::move(*trace);
     }
   }

@@ -24,6 +24,8 @@
 #include <map>
 #include <memory>
 
+#include "codec/registry.hpp"
+#include "codec/response_cache.hpp"
 #include "concurrency/adaptive_limiter.hpp"
 #include "core/assembler.hpp"
 #include "core/handlers.hpp"
@@ -113,6 +115,23 @@ struct ServerOptions {
   /// Backoff hint attached as a Retry-After header (decimal seconds) to
   /// every 503 shed response; retrying clients use it as a backoff floor.
   Duration retry_after_hint = std::chrono::milliseconds(50);
+
+  /// Registry resolving wire-codec names for request Content-Encoding
+  /// decode and response Accept-Encoding negotiation (DESIGN.md §14).
+  /// Borrowed, not owned; null selects codec::CodecRegistry::builtin().
+  const codec::CodecRegistry* codecs = nullptr;
+
+  /// Output budget when decoding an encoded request body — the
+  /// decompression-bomb shed, rejected as HTTP 400 and counted under
+  /// spi_limit_rejections_total{limit="decoded-bytes"}. 0 derives the
+  /// bound from http_limits.max_body_bytes (an encoded body may not
+  /// expand past what an identity body could have carried).
+  size_t max_decoded_body_bytes = 0;
+
+  /// Entries in the per-codec encoded-response cache (0 = off). Keyed on
+  /// (codec, exact response text); a hit serves memoized wire bytes and
+  /// skips the encoder (codec/response_cache.hpp).
+  size_t response_cache_capacity = 0;
 };
 
 class SpiServer {
@@ -173,6 +192,16 @@ class SpiServer {
   /// Maps a rejection message carrying "limit exceeded: <limit>" to its
   /// spi_limit_rejections_total{limit=...} counter (null if unrecognized).
   telemetry::Counter* limit_rejection_counter(std::string_view message);
+  /// Negotiates the response codec from the request's Accept-Encoding
+  /// header (absent/unknown → identity), counting the choice and any
+  /// fallback.
+  const codec::WireCodec& negotiate_response_codec(
+      const http::Request& request);
+  /// Encodes an assembled response body with `codec` (through the response
+  /// cache when enabled). Returns the plain text unchanged — and leaves
+  /// *applied empty — for identity or on encode failure.
+  std::string encode_response(const codec::WireCodec& codec,
+                              std::string plain, std::string* applied);
 
   const ServiceRegistry& registry_;
   ServerOptions options_;
@@ -192,6 +221,12 @@ class SpiServer {
   telemetry::Counter* shed_concurrency_ = nullptr;
   telemetry::Counter* shed_adaptive_ = nullptr;
   std::map<std::string, telemetry::Counter*, std::less<>> limit_counters_;
+  const codec::CodecRegistry* codecs_ = nullptr;  // never null after ctor
+  std::unique_ptr<codec::EncodedResponseCache> response_cache_;
+  telemetry::Counter* codec_fallbacks_ = nullptr;  // registry-owned
+  std::map<std::string, telemetry::Counter*, std::less<>> codec_negotiations_;
+  std::map<std::string, telemetry::Counter*, std::less<>> codec_encoded_bytes_;
+  std::map<std::string, telemetry::Counter*, std::less<>> codec_decoded_bytes_;
   telemetry::Histogram* span_parse_ = nullptr;          // registry-owned
   telemetry::Histogram* span_execute_ = nullptr;
   telemetry::Histogram* span_assemble_ = nullptr;

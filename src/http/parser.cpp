@@ -1,8 +1,85 @@
 #include "http/parser.hpp"
 
+#include <algorithm>
+
 #include "common/string_util.hpp"
 
 namespace spi::http {
+
+namespace {
+
+/// Parses an RFC 9110 qvalue: "0", "1", "0.500", "1.000". Returns nullopt
+/// on anything else (including out-of-range) so the caller can drop just
+/// that list member.
+std::optional<double> parse_qvalue(std::string_view text) {
+  if (text.empty() || text.size() > 5) return std::nullopt;
+  if (text[0] != '0' && text[0] != '1') return std::nullopt;
+  double value = text[0] - '0';
+  if (text.size() == 1) return value;
+  if (text[1] != '.') return std::nullopt;
+  double scale = 0.1;
+  for (size_t i = 2; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    value += (text[i] - '0') * scale;
+    scale *= 0.1;
+  }
+  if (value > 1.0) return std::nullopt;  // "1.001"
+  return value;
+}
+
+bool valid_coding_token(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "*") return true;
+  for (char c : token) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '+' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<AcceptEncodingEntry> parse_accept_encoding(std::string_view value) {
+  std::vector<AcceptEncodingEntry> entries;
+  for (std::string_view member : split_trimmed(value, ',')) {
+    if (member.empty()) continue;  // stray commas are tolerated
+    AcceptEncodingEntry entry;
+    std::vector<std::string_view> parts = split_trimmed(member, ';');
+    if (parts.empty() || !valid_coding_token(parts[0])) continue;
+    entry.name = to_lower(parts[0]);
+    bool malformed = false;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string_view param = parts[i];
+      size_t eq = param.find('=');
+      if (eq == std::string_view::npos) {
+        malformed = true;
+        break;
+      }
+      std::string key = to_lower(trim(param.substr(0, eq)));
+      std::string_view raw = trim(param.substr(eq + 1));
+      if (key == "q") {
+        std::optional<double> q = parse_qvalue(raw);
+        if (!q) {
+          malformed = true;
+          break;
+        }
+        entry.q = *q;
+      }
+      // Unknown parameters are ignored per RFC 9110 extensibility rules.
+    }
+    if (malformed) continue;
+    // q=0 means "not acceptable" — the member parses fine, the coding is
+    // simply excluded from the negotiation set.
+    if (entry.q <= 0.0) continue;
+    entries.push_back(std::move(entry));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const AcceptEncodingEntry& a,
+                      const AcceptEncodingEntry& b) { return a.q > b.q; });
+  return entries;
+}
 
 MessageParser::MessageParser(Mode mode, ParserLimits limits)
     : mode_(mode), limits_(limits) {}

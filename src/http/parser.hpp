@@ -5,12 +5,28 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/byte_buffer.hpp"
 #include "common/error.hpp"
 #include "http/message.hpp"
 
 namespace spi::http {
+
+/// One coding from an Accept-Encoding header, after qvalue parsing.
+struct AcceptEncodingEntry {
+  std::string name;  // lower-cased coding token ("deflate", "bxml", "*")
+  double q = 1.0;    // quality in [0, 1]
+};
+
+/// Parses an Accept-Encoding value ("bxml, deflate;q=0.5, identity;q=0.1")
+/// into entries sorted by descending q (ties keep header order). Entries
+/// with q=0 — the client refusing a coding, e.g. "identity;q=0" — and
+/// malformed list members are dropped rather than faulting the exchange:
+/// content negotiation is best-effort and a server that cannot honor the
+/// preferences simply answers with whatever codings remain acceptable.
+std::vector<AcceptEncodingEntry> parse_accept_encoding(std::string_view value);
 
 struct ParserLimits {
   size_t max_header_bytes = 64 * 1024;

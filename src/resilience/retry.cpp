@@ -15,7 +15,11 @@ namespace {
 bool not_executed_code(ErrorCode code) {
   return code == ErrorCode::kDeadlineExceeded ||
          code == ErrorCode::kCapacityExceeded ||
-         code == ErrorCode::kShutdown;
+         code == ErrorCode::kShutdown ||
+         // The server could not decode the wire body, so nothing reached a
+         // handler; the client may retry (typically re-encoding or falling
+         // back to identity framing).
+         code == ErrorCode::kCodecError;
 }
 
 }  // namespace
@@ -36,7 +40,7 @@ ErrorCode fault_cause(const Error& error) {
        {ErrorCode::kDeadlineExceeded, ErrorCode::kCapacityExceeded,
         ErrorCode::kShutdown, ErrorCode::kTimeout, ErrorCode::kNotFound,
         ErrorCode::kInvalidArgument, ErrorCode::kInternal,
-        ErrorCode::kUnavailable}) {
+        ErrorCode::kUnavailable, ErrorCode::kCodecError}) {
     if (message == error_code_name(code)) return code;
   }
   return ErrorCode::kFault;

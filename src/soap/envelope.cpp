@@ -56,9 +56,13 @@ Result<Envelope> Envelope::parse(std::string_view text,
                                  const EnvelopeLimits& limits) {
   auto document = xml::parse_document(text, parse_limits);
   if (!document.ok()) return document.wrap_error("SOAP envelope");
+  return from_document(std::move(document).value(), limits);
+}
 
+Result<Envelope> Envelope::from_document(xml::Document document,
+                                         const EnvelopeLimits& limits) {
   Envelope envelope;
-  envelope.document = std::move(document).value();
+  envelope.document = std::move(document);
   const xml::Element& root = envelope.document.root;
 
   if (root.local_name() != "Envelope") {

@@ -1,0 +1,77 @@
+// EncodedResponseCache: exact-match semantics, per-codec keying, LRU
+// eviction, and the oversized-entry guard.
+#include <gtest/gtest.h>
+
+#include "codec/response_cache.hpp"
+
+namespace spi::codec {
+namespace {
+
+TEST(EncodedResponseCacheTest, MissThenHitReturnsExactBytes) {
+  EncodedResponseCache cache;
+  EXPECT_FALSE(cache.get("deflate", "plain-text").has_value());
+  cache.put("deflate", "plain-text", "wire-bytes");
+  auto hit = cache.get("deflate", "plain-text");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "wire-bytes");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(EncodedResponseCacheTest, KeyedPerCodec) {
+  EncodedResponseCache cache;
+  cache.put("deflate", "same-plain", "deflate-bytes");
+  cache.put("bxml", "same-plain", "bxml-bytes");
+  auto deflate_hit = cache.get("deflate", "same-plain");
+  auto bxml_hit = cache.get("bxml", "same-plain");
+  ASSERT_TRUE(deflate_hit.has_value());
+  ASSERT_TRUE(bxml_hit.has_value());
+  EXPECT_EQ(*deflate_hit, "deflate-bytes");
+  EXPECT_EQ(*bxml_hit, "bxml-bytes");
+}
+
+TEST(EncodedResponseCacheTest, EvictsLeastRecentlyUsed) {
+  EncodedResponseCache::Options options;
+  options.capacity = 2;
+  EncodedResponseCache cache(options);
+  cache.put("deflate", "a", "ea");
+  cache.put("deflate", "b", "eb");
+  ASSERT_TRUE(cache.get("deflate", "a").has_value());  // refresh a
+  cache.put("deflate", "c", "ec");                     // evicts b
+  EXPECT_TRUE(cache.get("deflate", "a").has_value());
+  EXPECT_FALSE(cache.get("deflate", "b").has_value());
+  EXPECT_TRUE(cache.get("deflate", "c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(EncodedResponseCacheTest, OversizedEntriesAreNotCached) {
+  EncodedResponseCache::Options options;
+  options.max_entry_bytes = 16;
+  EncodedResponseCache cache(options);
+  cache.put("deflate", std::string(100, 'p'), "e");
+  EXPECT_EQ(cache.size(), 0u);
+  cache.put("deflate", "small", "e");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EncodedResponseCacheTest, ZeroCapacityDisables) {
+  EncodedResponseCache::Options options;
+  options.capacity = 0;
+  EncodedResponseCache cache(options);
+  cache.put("deflate", "a", "ea");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("deflate", "a").has_value());
+}
+
+TEST(EncodedResponseCacheTest, DuplicatePutKeepsFirstEntry) {
+  EncodedResponseCache cache;
+  cache.put("deflate", "a", "first");
+  cache.put("deflate", "a", "second");
+  auto hit = cache.get("deflate", "a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "first");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace spi::codec

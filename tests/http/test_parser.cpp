@@ -246,5 +246,62 @@ TEST(HttpParserErrorTest, FeedAfterFailureIsIgnored) {
   EXPECT_TRUE(parser.failed());
 }
 
+TEST(AcceptEncodingTest, SimpleListKeepsOrderAtDefaultQ) {
+  auto entries = parse_accept_encoding("bxml, deflate, identity");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "bxml");
+  EXPECT_EQ(entries[1].name, "deflate");
+  EXPECT_EQ(entries[2].name, "identity");
+  for (const auto& entry : entries) EXPECT_DOUBLE_EQ(entry.q, 1.0);
+}
+
+TEST(AcceptEncodingTest, SortsByDescendingQWithStableTies) {
+  auto entries =
+      parse_accept_encoding("identity;q=0.2, bxml;q=0.8, deflate;q=0.8");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "bxml");  // ties keep header order
+  EXPECT_EQ(entries[1].name, "deflate");
+  EXPECT_EQ(entries[2].name, "identity");
+}
+
+TEST(AcceptEncodingTest, ToleratesWhitespaceAndLowercasesTokens) {
+  auto entries = parse_accept_encoding("  DEFLATE ;  q=0.5 ,\tBxml  ");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "bxml");
+  EXPECT_EQ(entries[1].name, "deflate");
+  EXPECT_DOUBLE_EQ(entries[1].q, 0.5);
+}
+
+TEST(AcceptEncodingTest, QZeroMeansRefusedAndIsDropped) {
+  auto entries = parse_accept_encoding("identity;q=0, deflate;q=0.000");
+  EXPECT_TRUE(entries.empty());
+}
+
+TEST(AcceptEncodingTest, MalformedMembersAreDroppedNotFatal) {
+  auto entries =
+      parse_accept_encoding("deflate;q=banana, ;q=1, bxml, =0.5, ,");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "bxml");
+}
+
+TEST(AcceptEncodingTest, UnknownParametersAreIgnored) {
+  auto entries = parse_accept_encoding("deflate;level=9;q=0.5");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "deflate");
+  EXPECT_DOUBLE_EQ(entries[0].q, 0.5);
+}
+
+TEST(AcceptEncodingTest, WildcardIsAnOrdinaryEntry) {
+  auto entries = parse_accept_encoding("*;q=0.1, deflate");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "deflate");
+  EXPECT_EQ(entries[1].name, "*");
+}
+
+TEST(AcceptEncodingTest, EmptyValueYieldsNoEntries) {
+  EXPECT_TRUE(parse_accept_encoding("").empty());
+  EXPECT_TRUE(parse_accept_encoding("   ").empty());
+}
+
 }  // namespace
 }  // namespace spi::http
