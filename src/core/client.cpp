@@ -129,10 +129,17 @@ Result<std::vector<CallOutcome>> SpiClient::attempt_exchange(
                                        deadline.remaining_or_unbounded(now)));
 
   // One trace per message: every packed sibling shares the trace-id the
-  // Assembler injects from this scope; the server echoes it back. (The
+  // Assembler injects from this scope; the server echoes it back. An
+  // ambient trace (a proxy forwarding someone else's request, a handler
+  // calling downstream) is continued as a child — same trace-id, fresh
+  // parent-id — so one origin request stays one trace across hops. (The
   // deadline header rides along from the ambient DeadlineScope.)
   telemetry::TraceContext trace;
-  if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
+  if (options_.trace_propagation) {
+    const telemetry::TraceContext* ambient = telemetry::current_trace();
+    trace = (ambient && ambient->valid()) ? ambient->child()
+                                          : telemetry::TraceContext::generate();
+  }
   telemetry::TraceScope trace_scope(trace);
 
   http::Headers headers;
@@ -195,7 +202,11 @@ bool SpiClient::sleep_backoff(int retry_number,
 
 Result<std::vector<CallOutcome>> SpiClient::exchange(
     std::span<const ServiceCall> calls, PackMode mode,
-    http::HttpClient& http) {
+    http::HttpClient& http, Duration* observed_retry_after) {
+  Duration max_retry_after = Duration::zero();
+  auto note_retry_after = [&max_retry_after](Duration hint) {
+    if (hint > max_retry_after) max_retry_after = hint;
+  };
   // The exchange deadline: an ambient DeadlineScope (nested call, caller
   // with its own budget) wins; otherwise call_timeout starts one here.
   resilience::Deadline deadline;
@@ -224,13 +235,16 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
   int attempts = 1;
   Duration retry_after = Duration::zero();
   auto result = attempt_exchange(calls, mode, http, deadline, retry_after);
+  note_retry_after(retry_after);
   while (!result.ok() &&
          retry_policy_.should_retry(result.error(), attempts,
                                     all_idempotent(calls)) &&
          sleep_backoff(attempts, deadline, retry_after)) {
     ++attempts;
     result = attempt_exchange(calls, mode, http, deadline, retry_after);
+    note_retry_after(retry_after);
   }
+  if (observed_retry_after) *observed_retry_after = max_retry_after;
   if (!result.ok()) return result;
 
   // --- partial-batch re-pack ---------------------------------------------
@@ -268,6 +282,8 @@ Result<std::vector<CallOutcome>> SpiClient::exchange(
 
     auto replay =
         attempt_exchange(subset, replay_mode, http, deadline, retry_after);
+    note_retry_after(retry_after);
+    if (observed_retry_after) *observed_retry_after = max_retry_after;
     if (!replay.ok()) {
       // Keep the original per-call faults; the next round gates on this
       // replay error (e.g. a terminal breaker rejection stops the loop).
@@ -355,13 +371,28 @@ Result<std::vector<CallOutcome>> SpiClient::execute_packed(
   return exchange(calls, mode, http);
 }
 
+Result<std::vector<CallOutcome>> SpiClient::execute_packed_on(
+    http::HttpClient& http, std::span<const ServiceCall> calls, PackMode mode,
+    Duration* retry_after) {
+  if (calls.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "empty call batch");
+  }
+  return exchange(calls, mode, http, retry_after);
+}
+
 Result<std::vector<CallOutcome>> SpiClient::execute_plan(
     const RemotePlan& plan) {
   if (Status valid = plan.validate(); !valid.ok()) {
     return valid.error();
   }
   telemetry::TraceContext trace;
-  if (options_.trace_propagation) trace = telemetry::TraceContext::generate();
+  if (options_.trace_propagation) {
+    // Continue the caller's ambient trace as a child (a proxy forwarding a
+    // plan keeps the origin trace id); start a fresh one otherwise.
+    const telemetry::TraceContext* ambient = telemetry::current_trace();
+    trace = (ambient && ambient->valid()) ? ambient->child()
+                                          : telemetry::TraceContext::generate();
+  }
   telemetry::TraceScope trace_scope(trace);
 
   http::HttpClient http(transport_, server_, make_http_options(options_));

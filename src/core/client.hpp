@@ -147,6 +147,16 @@ class SpiClient {
   Result<std::vector<CallOutcome>> execute_packed(
       std::span<const ServiceCall> calls, PackMode mode = PackMode::kPacked);
 
+  /// Same transfer over a caller-supplied HTTP connection: the packing
+  /// proxy keeps per-backend keep-alive pools and hands a pooled client
+  /// in, so scatter legs reuse warm connections instead of dialing per
+  /// message. When `retry_after` is non-null it receives the LARGEST
+  /// Retry-After hint any attempt observed (zero when none) — the proxy
+  /// surfaces the max across backends to the origin client on all-shed.
+  Result<std::vector<CallOutcome>> execute_packed_on(
+      http::HttpClient& http, std::span<const ServiceCall> calls,
+      PackMode mode = PackMode::kPacked, Duration* retry_after = nullptr);
+
   // --- remote execution (the SPI suite's second interface) -----------------
 
   /// Ships a dependent-call plan in ONE message; the server executes the
@@ -206,9 +216,11 @@ class SpiClient {
   /// message-level retry with jittered backoff, and partial-batch re-pack
   /// of failed retryable sub-calls. Delegates single attempts to
   /// attempt_exchange().
+  /// `observed_retry_after`, when non-null, receives the maximum
+  /// Retry-After hint seen across every attempt of the exchange.
   Result<std::vector<CallOutcome>> exchange(
       std::span<const ServiceCall> calls, PackMode mode,
-      http::HttpClient& http);
+      http::HttpClient& http, Duration* observed_retry_after = nullptr);
 
   /// One HTTP exchange attempt: assembled envelope out, parsed outcomes
   /// back. Gated by the endpoint breaker; receive timeout clamped to the

@@ -1,0 +1,118 @@
+#include "proxy/baseline.hpp"
+
+#include "common/error.hpp"
+#include "soap/envelope.hpp"
+
+namespace spi::proxy {
+
+RoundRobinProxy::RoundRobinProxy(net::Transport& transport, net::Endpoint at,
+                                 RoundRobinOptions options)
+    : transport_(transport), options_(std::move(options)) {
+  for (const net::Endpoint& endpoint : options_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->endpoint = endpoint;
+    backends_.push_back(std::move(backend));
+  }
+  http::ServerOptions http_options;
+  http_options.protocol_threads = options_.protocol_threads;
+  http_options.reactor_threads = options_.reactor_threads;
+  http_options.limits = options_.http_limits;
+  http_server_ = std::make_unique<http::HttpServer>(
+      transport, std::move(at),
+      [this](const http::Request& request) { return handle(request); },
+      http_options);
+}
+
+RoundRobinProxy::~RoundRobinProxy() { stop(); }
+
+Status RoundRobinProxy::start() { return http_server_->start(); }
+
+void RoundRobinProxy::stop() { http_server_->stop(); }
+
+net::Endpoint RoundRobinProxy::endpoint() const {
+  return http_server_->endpoint();
+}
+
+std::unique_ptr<http::HttpClient> RoundRobinProxy::checkout(Backend& backend) {
+  {
+    std::lock_guard lock(backend.pool_mutex);
+    if (!backend.idle.empty()) {
+      auto http = std::move(backend.idle.back());
+      backend.idle.pop_back();
+      return http;
+    }
+  }
+  http::ClientOptions options;
+  options.keep_alive = true;
+  options.limits = options_.http_limits;
+  options.receive_timeout = options_.receive_timeout;
+  return std::make_unique<http::HttpClient>(transport_, backend.endpoint,
+                                            options);
+}
+
+void RoundRobinProxy::checkin(Backend& backend,
+                              std::unique_ptr<http::HttpClient> http) {
+  std::lock_guard lock(backend.pool_mutex);
+  if (backend.idle.size() < options_.max_pooled_connections_per_backend) {
+    backend.idle.push_back(std::move(http));
+  }
+}
+
+http::Response RoundRobinProxy::handle(const http::Request& request) {
+  if (request.method != "POST") {
+    return http::Response::make(405, "Method Not Allowed",
+                                "SOAP endpoint accepts POST only");
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (backends_.empty()) {
+    return http::Response::make(503, "Service Unavailable", "no backends");
+  }
+  Backend& backend =
+      *backends_[next_.fetch_add(1, std::memory_order_relaxed) %
+                 backends_.size()];
+
+  // Opaque byte forwarding: the body and the headers that describe it
+  // cross unmodified — the baseline understands nothing about packs,
+  // codecs, traces, or deadlines.
+  http::Headers forward;
+  for (const char* name :
+       {"Content-Encoding", "Accept-Encoding", "SOAPAction"}) {
+    if (auto value = request.headers.get(name)) forward.set(name, *value);
+  }
+  std::string content_type = "text/xml";
+  if (auto value = request.headers.get("Content-Type")) {
+    content_type = std::string(*value);
+  }
+
+  std::unique_ptr<http::HttpClient> http = checkout(backend);
+  auto response =
+      http->post(options_.target, request.body, content_type, &forward);
+  if (!response.ok()) {
+    backend_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::string body = soap::build_envelope(
+        soap::Fault::from_error(response.error()).to_xml());
+    return http::Response::make(502, "Bad Gateway", std::move(body),
+                                "text/xml");
+  }
+  checkin(backend, std::move(http));
+
+  http::Response out = http::Response::make(
+      response.value().status,
+      http::default_reason(response.value().status),
+      std::move(response.value().body), "text/xml");
+  for (const char* name : {"Content-Encoding", "Retry-After"}) {
+    if (auto value = response.value().headers.get(name)) {
+      out.headers.set(name, *value);
+    }
+  }
+  return out;
+}
+
+RoundRobinProxy::Stats RoundRobinProxy::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.backend_errors = backend_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spi::proxy

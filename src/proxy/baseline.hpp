@@ -1,0 +1,72 @@
+// Pack-oblivious L7 baseline for the proxy bench: a classic round-robin
+// reverse proxy that treats every SOAP body as opaque bytes. One incoming
+// message — no matter how many calls it packs — is forwarded WHOLE to the
+// next backend in rotation; no unpack, no shard routing, no re-pack, no
+// merge. This is what a generic HTTP load balancer does with SPI traffic,
+// and what the PackingProxy's goodput/tail-latency numbers are measured
+// against: the baseline cannot spread one M-call pack over K backends, so
+// a single pack's work always serializes on one member.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "net/transport.hpp"
+
+namespace spi::proxy {
+
+struct RoundRobinOptions {
+  std::vector<net::Endpoint> backends;
+  std::string target = "/spi";
+  size_t protocol_threads = 8;
+  size_t reactor_threads = 1;
+  /// Idle keep-alive connections retained per backend.
+  size_t max_pooled_connections_per_backend = 8;
+  Duration receive_timeout = kNoTimeout;
+  http::ParserLimits http_limits;
+};
+
+class RoundRobinProxy {
+ public:
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t backend_errors = 0;  ///< forwards that failed transport-level
+  };
+
+  RoundRobinProxy(net::Transport& transport, net::Endpoint at,
+                  RoundRobinOptions options = {});
+  ~RoundRobinProxy();
+
+  RoundRobinProxy(const RoundRobinProxy&) = delete;
+  RoundRobinProxy& operator=(const RoundRobinProxy&) = delete;
+
+  Status start();
+  void stop();
+  net::Endpoint endpoint() const;
+  Stats stats() const;
+
+ private:
+  struct Backend {
+    net::Endpoint endpoint;
+    std::mutex pool_mutex;
+    std::vector<std::unique_ptr<http::HttpClient>> idle;
+  };
+
+  http::Response handle(const http::Request& request);
+  std::unique_ptr<http::HttpClient> checkout(Backend& backend);
+  void checkin(Backend& backend, std::unique_ptr<http::HttpClient> http);
+
+  net::Transport& transport_;
+  RoundRobinOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::atomic<size_t> next_{0};
+  std::unique_ptr<http::HttpServer> http_server_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> backend_errors_{0};
+};
+
+}  // namespace spi::proxy

@@ -1,0 +1,85 @@
+#include "proxy/hash_ring.hpp"
+
+#include <string>
+
+namespace spi::proxy {
+
+std::uint64_t ring_hash(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a mixes low-to-high, so short keys that differ only in a few
+  // trailing bytes ("host:80#0" vs "host:80#1") leave the HIGH bits nearly
+  // unchanged — and the ring orders points by the full 64-bit value, so
+  // those bits decide placement. Finalize with murmur3's fmix64 to get
+  // full avalanche; without it a 2-member ring can split 4%/96%.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  hash *= 0xc4ceb9fe1a85ec53ull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+namespace {
+
+std::string vnode_name(const net::Endpoint& backend, size_t index) {
+  return backend.to_string() + "#" + std::to_string(index);
+}
+
+}  // namespace
+
+HashRing::HashRing(size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes == 0 ? 1 : virtual_nodes) {}
+
+void HashRing::add(const net::Endpoint& backend) {
+  if (!members_.insert(backend).second) return;
+  for (size_t i = 0; i < virtual_nodes_; ++i) {
+    ring_.emplace(ring_hash(vnode_name(backend, i)), backend);
+  }
+}
+
+void HashRing::remove(const net::Endpoint& backend) {
+  if (members_.erase(backend) == 0) return;
+  for (size_t i = 0; i < virtual_nodes_; ++i) {
+    auto found = ring_.find(ring_hash(vnode_name(backend, i)));
+    if (found != ring_.end() && found->second == backend) {
+      ring_.erase(found);
+    }
+  }
+}
+
+bool HashRing::contains(const net::Endpoint& backend) const {
+  return members_.contains(backend);
+}
+
+std::vector<net::Endpoint> HashRing::members() const {
+  return {members_.begin(), members_.end()};
+}
+
+std::optional<net::Endpoint> HashRing::route(std::string_view key) const {
+  if (ring_.empty()) return std::nullopt;
+  auto at = ring_.lower_bound(ring_hash(key));
+  if (at == ring_.end()) at = ring_.begin();  // wrap past the top
+  return at->second;
+}
+
+std::optional<net::Endpoint> HashRing::route_excluding(
+    std::string_view key, const std::set<net::Endpoint>& avoid) const {
+  if (ring_.empty()) return std::nullopt;
+  auto start = ring_.lower_bound(ring_hash(key));
+  if (start == ring_.end()) start = ring_.begin();
+  // Walk clockwise at most once around: the first point owned by a
+  // non-avoided member wins. Bounded by ring size, not by luck.
+  auto at = start;
+  for (size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (!avoid.contains(at->second)) return at->second;
+    ++at;
+    if (at == ring_.end()) at = ring_.begin();
+  }
+  return std::nullopt;
+}
+
+}  // namespace spi::proxy

@@ -1,0 +1,766 @@
+#include "proxy/proxy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "concurrency/wait_group.hpp"
+#include "http/parser.hpp"
+#include "soap/envelope.hpp"
+#include "telemetry/trace.hpp"
+
+namespace spi::proxy {
+
+namespace {
+
+std::string format_retry_after(Duration value) {
+  double seconds =
+      std::chrono::duration<double>(std::max(value, Duration::zero())).count();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  return buffer;
+}
+
+/// "Nothing executed, come back later": the error a backend's admission
+/// control produces when it sheds a sub-pack (503 fault body) or drains.
+bool shed_cause(ErrorCode code) {
+  return code == ErrorCode::kCapacityExceeded || code == ErrorCode::kShutdown;
+}
+
+bool outcome_shed(const core::CallOutcome& outcome) {
+  if (outcome.ok()) return false;
+  if (shed_cause(outcome.error().code())) return true;
+  return outcome.error().code() == ErrorCode::kFault &&
+         shed_cause(resilience::fault_cause(outcome.error()));
+}
+
+}  // namespace
+
+PackingProxy::PackingProxy(net::Transport& transport, net::Endpoint at,
+                           ProxyOptions options)
+    : transport_(transport),
+      options_(std::move(options)),
+      owned_metrics_(options_.metrics
+                         ? nullptr
+                         : std::make_unique<telemetry::MetricsRegistry>()),
+      metrics_(options_.metrics ? options_.metrics : owned_metrics_.get()),
+      codecs_(options_.codecs ? options_.codecs
+                              : &codec::CodecRegistry::builtin()),
+      breakers_(options_.breaker),
+      dispatcher_(nullptr, {}, false),
+      assembler_(nullptr, {}),
+      retry_after_value_(format_retry_after(options_.retry_after_hint)),
+      ring_(options_.virtual_nodes) {
+  dispatcher_.set_limits(options_.parse_limits, options_.envelope_limits);
+
+  telemetry::MetricsRegistry& reg = *metrics_;
+  codec_fallbacks_ = &reg.counter(
+      "spi_codec_fallbacks_total",
+      "Accept-Encoding advertisements that matched no registered codec "
+      "(response fell back to identity)");
+  for (const std::string& name : codecs_->names()) {
+    codec_negotiations_.emplace(
+        name, &reg.counter("spi_codec_negotiations_total",
+                           "Response codec negotiations by chosen codec",
+                           "codec=\"" + name + "\""));
+  }
+  fanout_width_ = &reg.histogram(
+      "spi_proxy_fanout_width", "Calls carried per proxied message", {},
+      telemetry::HistogramUnit::kNone);
+  subpacks_per_request_ = &reg.histogram(
+      "spi_proxy_subpacks_per_request",
+      "Per-backend sub-packs a proxied message scattered into", {},
+      telemetry::HistogramUnit::kNone);
+
+  struct CounterView {
+    const char* name;
+    const char* help;
+    const std::atomic<std::uint64_t>* value;
+  };
+  const CounterView views[] = {
+      {"spi_proxy_requests_total", "POST messages the proxy handled",
+       &requests_},
+      {"spi_proxy_scattered_subpacks_total",
+       "Per-backend sub-packs sent downstream", &scattered_subpacks_},
+      {"spi_proxy_reroutes_total",
+       "Sub-packs re-packed onto surviving ring members", &reroutes_},
+      {"spi_proxy_rerouted_calls_total",
+       "Sub-calls answered by a survivor after their owner failed",
+       &rerouted_calls_},
+      {"spi_proxy_all_backend_sheds_total",
+       "Messages answered 503 because every backend shed", &all_backend_sheds_},
+      {"spi_proxy_deadline_shed_total",
+       "Messages shed at the proxy because their deadline had passed",
+       &deadline_shed_},
+      {"spi_proxy_local_sheds_total",
+       "Sub-packs shed at the proxy by a backend's adaptive limiter",
+       &local_sheds_},
+  };
+  for (const CounterView& view : views) {
+    reg.add_callback(view.name, view.help, telemetry::CallbackKind::kCounter,
+                     {}, [value = view.value]() -> double {
+                       return static_cast<double>(
+                           value->load(std::memory_order_relaxed));
+                     });
+  }
+  dispatcher_.bind_metrics(reg, "proxy");
+  assembler_.bind_metrics(reg, "proxy");
+
+  for (const net::Endpoint& backend : options_.backends) add_backend(backend);
+  breakers_.bind_metrics(reg);
+
+  scatter_pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(1, options_.scatter_threads), "spi-proxy-scatter");
+
+  http::ServerOptions http_options;
+  http_options.protocol_threads = options_.protocol_threads;
+  http_options.reactor_threads = options_.reactor_threads;
+  http_options.limits = options_.http_limits;
+  http_server_ = std::make_unique<http::HttpServer>(
+      transport, std::move(at),
+      [this](const http::Request& request) { return handle(request); },
+      http_options);
+}
+
+PackingProxy::~PackingProxy() { stop(); }
+
+Status PackingProxy::start() { return http_server_->start(); }
+
+void PackingProxy::stop() {
+  // Handler threads are the only scatter submitters: stop them first, then
+  // the pool drains and shuts down with nothing left to race.
+  http_server_->stop();
+  scatter_pool_->shutdown();
+}
+
+net::Endpoint PackingProxy::endpoint() const {
+  return http_server_->endpoint();
+}
+
+std::unique_ptr<PackingProxy::Backend> PackingProxy::make_backend(
+    const net::Endpoint& endpoint) {
+  auto backend = std::make_unique<Backend>();
+  backend->endpoint = endpoint;
+
+  core::ClientOptions client_options;
+  client_options.keep_alive = true;  // pooled connections stay warm
+  client_options.target = options_.target;
+  client_options.receive_timeout = options_.receive_timeout;
+  client_options.retry = options_.backend_retry;
+  client_options.breakers = &breakers_;
+  client_options.trace_propagation = true;
+  client_options.http_limits = options_.http_limits;
+  client_options.request_codec = options_.backend_request_codec;
+  client_options.accept_codecs = options_.backend_accept_codecs;
+  client_options.codecs = codecs_;
+  backend->client = std::make_unique<core::SpiClient>(
+      transport_, endpoint, std::move(client_options));
+  // Materialize the endpoint's breaker now: the ctor's bind_metrics pass
+  // only sees breakers that already exist.
+  breakers_.for_endpoint(endpoint);
+  if (options_.adaptive_limit) {
+    backend->limiter =
+        std::make_unique<AdaptiveLimiter>(*options_.adaptive_limit);
+  }
+
+  const std::string label = "backend=\"" + endpoint.to_string() + "\"";
+  Backend* raw = backend.get();
+  metrics_->add_callback("spi_proxy_backend_subpacks_total",
+                         "Sub-packs sent to this backend",
+                         telemetry::CallbackKind::kCounter, label,
+                         [raw]() -> double {
+                           return static_cast<double>(
+                               raw->subpacks.load(std::memory_order_relaxed));
+                         });
+  metrics_->add_callback("spi_proxy_backend_calls_total",
+                         "Sub-calls routed to this backend",
+                         telemetry::CallbackKind::kCounter, label,
+                         [raw]() -> double {
+                           return static_cast<double>(
+                               raw->calls.load(std::memory_order_relaxed));
+                         });
+  metrics_->add_callback("spi_proxy_backend_faults_total",
+                         "Sub-calls this backend answered with a fault (or "
+                         "failed at the message level)",
+                         telemetry::CallbackKind::kCounter, label,
+                         [raw]() -> double {
+                           return static_cast<double>(
+                               raw->faults.load(std::memory_order_relaxed));
+                         });
+  return backend;
+}
+
+void PackingProxy::add_backend(const net::Endpoint& backend) {
+  std::unique_lock lock(fleet_mutex_);
+  if (fleet_.contains(backend)) return;
+  fleet_.emplace(backend, make_backend(backend));
+  ring_.add(backend);
+}
+
+void PackingProxy::remove_backend(const net::Endpoint& backend) {
+  std::unique_lock lock(fleet_mutex_);
+  auto found = fleet_.find(backend);
+  if (found == fleet_.end()) return;
+  std::unique_ptr<Backend> retired = std::move(found->second);
+  fleet_.erase(found);
+  ring_.remove(backend);
+  {
+    // Close its warm connections; in-flight sub-packs finish (or fault)
+    // on the connections they already hold.
+    std::lock_guard pool_lock(retired->pool_mutex);
+    retired->idle.clear();
+  }
+  retired_.push_back(std::move(retired));
+}
+
+std::vector<net::Endpoint> PackingProxy::backends() const {
+  std::shared_lock lock(fleet_mutex_);
+  return ring_.members();
+}
+
+std::string PackingProxy::route_key(const core::ServiceCall& call) const {
+  if (!options_.shard_param.empty()) {
+    for (const auto& [name, value] : call.params) {
+      if (name == options_.shard_param && value.is_string()) {
+        return value.as_string();
+      }
+    }
+  }
+  // Operation affinity: every GetWeather lands on one backend, which is
+  // what makes backend-local caches and specialization possible.
+  return call.service + "/" + call.operation;
+}
+
+std::unique_ptr<http::HttpClient> PackingProxy::checkout_connection(
+    Backend& backend) {
+  {
+    std::lock_guard lock(backend.pool_mutex);
+    if (!backend.idle.empty()) {
+      auto http = std::move(backend.idle.back());
+      backend.idle.pop_back();
+      return http;
+    }
+  }
+  http::ClientOptions options;
+  options.keep_alive = true;
+  options.limits = options_.http_limits;
+  return std::make_unique<http::HttpClient>(transport_, backend.endpoint,
+                                            options);
+}
+
+void PackingProxy::checkin_connection(Backend& backend,
+                                      std::unique_ptr<http::HttpClient> http) {
+  std::lock_guard lock(backend.pool_mutex);
+  if (backend.idle.size() < options_.max_pooled_connections_per_backend) {
+    backend.idle.push_back(std::move(http));
+  }
+}
+
+const codec::WireCodec& PackingProxy::negotiate_response_codec(
+    const http::Request& request) {
+  auto accept = request.headers.get("Accept-Encoding");
+  if (!accept) return codec::identity_codec();
+  auto entries = http::parse_accept_encoding(*accept);
+  std::vector<codec::CodecPreference> preferences;
+  preferences.reserve(entries.size());
+  for (http::AcceptEncodingEntry& entry : entries) {
+    preferences.push_back({std::move(entry.name), entry.q});
+  }
+  bool fell_back = false;
+  const codec::WireCodec& chosen = codecs_->negotiate(preferences, &fell_back);
+  if (fell_back) codec_fallbacks_->inc();
+  if (auto found = codec_negotiations_.find(chosen.name());
+      found != codec_negotiations_.end()) {
+    found->second->inc();
+  }
+  return chosen;
+}
+
+std::string PackingProxy::encode_response(const codec::WireCodec& codec,
+                                          std::string plain,
+                                          std::string* applied) {
+  applied->clear();
+  if (codec.name() == "identity") return plain;
+  auto encoded = codec.encode(plain);
+  // Encode failure falls back to identity text, same rule as the server:
+  // compression is an optimization, never a reason to fault a message.
+  if (!encoded.ok()) return plain;
+  *applied = std::string(codec.name());
+  return std::move(encoded).value();
+}
+
+void PackingProxy::scatter_group(Group& group,
+                                 const resilience::Deadline& deadline,
+                                 const telemetry::TraceContext& trace,
+                                 core::PackMode mode) {
+  Backend& backend = *group.backend;
+  backend.subpacks.fetch_add(1, std::memory_order_relaxed);
+  backend.calls.fetch_add(group.calls.size(), std::memory_order_relaxed);
+  scattered_subpacks_.fetch_add(1, std::memory_order_relaxed);
+
+  // Thread-locals do not cross the scatter pool: re-install the message's
+  // deadline and trace inside the leg, so the sub-pack the backend client
+  // assembles carries the REMAINING budget and a child of the origin
+  // trace (same trace id on every sibling sub-pack).
+  resilience::DeadlineScope deadline_scope(deadline);
+  telemetry::TraceScope trace_scope(trace);
+
+  if (deadline.expired(RealClock::instance().now())) {
+    group.result = Error(ErrorCode::kDeadlineExceeded,
+                         "deadline expired before scatter to " +
+                             backend.endpoint.to_string());
+    backend.faults.fetch_add(group.calls.size(), std::memory_order_relaxed);
+    return;
+  }
+
+  AdaptiveLimiter* limiter = backend.limiter.get();
+  if (limiter && !limiter->try_acquire()) {
+    // Shed locally instead of piling onto a backend already past its
+    // learned limit; the reroute pass may still land these calls on a
+    // sibling with headroom.
+    local_sheds_.fetch_add(1, std::memory_order_relaxed);
+    group.shed = true;
+    group.result =
+        Error(ErrorCode::kCapacityExceeded,
+              "proxy shed sub-pack at " + backend.endpoint.to_string() +
+                  "'s adaptive concurrency limit");
+    backend.faults.fetch_add(group.calls.size(), std::memory_order_relaxed);
+    return;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::unique_ptr<http::HttpClient> http = checkout_connection(backend);
+  Duration retry_after = Duration::zero();
+  auto result =
+      backend.client->execute_packed_on(*http, group.calls, mode, &retry_after);
+  if (limiter) {
+    limiter->release(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - started)
+                         .count());
+  }
+  group.retry_after = retry_after;
+
+  if (result.ok()) {
+    // Message-level success: the connection is positioned at a message
+    // boundary, safe to reuse.
+    checkin_connection(backend, std::move(http));
+    size_t faults = 0;
+    bool all_shed = !result.value().empty();
+    for (const core::CallOutcome& outcome : result.value()) {
+      if (!outcome.ok()) ++faults;
+      if (!outcome_shed(outcome)) all_shed = false;
+    }
+    backend.faults.fetch_add(faults, std::memory_order_relaxed);
+    group.shed = all_shed;
+  } else {
+    // Message-level failure: the connection may hold half a response —
+    // drop it (checkout will dial fresh next time).
+    group.shed = shed_cause(result.error().code());
+    backend.faults.fetch_add(group.calls.size(), std::memory_order_relaxed);
+  }
+  group.result = std::move(result);
+}
+
+void PackingProxy::scatter_all(std::vector<Group>& groups,
+                               const resilience::Deadline& deadline,
+                               const telemetry::TraceContext& trace,
+                               core::PackMode mode) {
+  if (groups.empty()) return;
+  WaitGroup pending;
+  for (size_t i = 0; i + 1 < groups.size(); ++i) {
+    Group* group = &groups[i];
+    pending.add();
+    const bool queued = scatter_pool_->try_submit(
+        [this, group, &deadline, &trace, mode, &pending] {
+          scatter_group(*group, deadline, trace, mode);
+          pending.done();
+        });
+    if (!queued) {
+      // Pool saturated (or shutting down): run on the handler thread.
+      // Slower, but a full pool can never deadlock a message whose own
+      // handler is part of the fan-out.
+      scatter_group(*group, deadline, trace, mode);
+      pending.done();
+    }
+  }
+  // The last group always runs inline: the handler thread contributes a
+  // worker instead of sleeping, so K groups need only K-1 pool slots.
+  scatter_group(groups.back(), deadline, trace, mode);
+  pending.wait();
+}
+
+void PackingProxy::reroute_failures(std::vector<Group>& groups,
+                                    std::vector<core::CallOutcome>& outcomes,
+                                    const resilience::Deadline& deadline,
+                                    const telemetry::TraceContext& trace,
+                                    core::PackMode mode) {
+  std::set<net::Endpoint> failed;
+  for (const Group& group : groups) {
+    if (group.shed || !group.result.ok()) {
+      failed.insert(group.backend->endpoint);
+    }
+  }
+  if (failed.empty()) return;
+  if (deadline.expired(RealClock::instance().now())) return;
+
+  const auto& idempotent = options_.backend_retry.idempotent;
+  auto reroutable = [&](const Error& error, const core::ServiceCall& call) {
+    // A breaker fast-fail refused the sub-pack before a byte was written
+    // (the breaker for a dead backend stays open long after the first
+    // connect failure): safe to move, same as connect-refused.
+    if (error.code() == ErrorCode::kUnavailable) return true;
+    switch (resilience::classify(error)) {
+      case resilience::FaultClass::kRetryableBeforeWrite:
+      case resilience::FaultClass::kRetryableNotExecuted:
+        return true;  // guaranteed not executed: safe on any operation
+      case resilience::FaultClass::kRetryableIfIdempotent:
+        // The owner may have executed the call before failing; moving it
+        // to a survivor risks double execution unless the deployment
+        // declared the operation idempotent.
+        return idempotent && idempotent(call.service, call.operation);
+      case resilience::FaultClass::kTerminal:
+        return false;
+    }
+    return false;
+  };
+
+  // Collect every movable sub-call, re-packed per surviving owner.
+  struct Source {
+    Group* group;
+    size_t index;  ///< position within the source group
+  };
+  std::vector<Group> regroups;
+  std::vector<std::vector<Source>> sources;
+  {
+    std::shared_lock lock(fleet_mutex_);
+    std::map<Backend*, size_t> index_of;
+    for (Group& group : groups) {
+      for (size_t k = 0; k < group.calls.size(); ++k) {
+        const core::CallOutcome& current = outcomes[group.slots[k]];
+        if (current.ok() || !reroutable(current.error(), group.calls[k])) {
+          continue;
+        }
+        auto owner = ring_.route_excluding(route_key(group.calls[k]), failed);
+        if (!owner) continue;  // no survivor: the fault stands
+        auto found = fleet_.find(*owner);
+        if (found == fleet_.end()) continue;
+        Backend* target = found->second.get();
+        size_t gi;
+        if (auto at = index_of.find(target); at != index_of.end()) {
+          gi = at->second;
+        } else {
+          gi = regroups.size();
+          index_of.emplace(target, gi);
+          regroups.emplace_back();
+          regroups.back().backend = target;
+          sources.emplace_back();
+        }
+        regroups[gi].slots.push_back(group.slots[k]);
+        regroups[gi].calls.push_back(group.calls[k]);
+        sources[gi].push_back({&group, k});
+      }
+    }
+  }
+  if (regroups.empty()) return;
+
+  reroutes_.fetch_add(regroups.size(), std::memory_order_relaxed);
+  scatter_all(regroups, deadline, trace, mode);
+
+  for (Group& regroup : regroups) {
+    if (!regroup.result.ok()) continue;  // original faults stand
+    for (size_t k = 0; k < regroup.slots.size(); ++k) {
+      // Take the survivor's answer whether value or fault: it EXECUTED
+      // (or authoritatively refused), which beats the dead owner's
+      // transport error.
+      outcomes[regroup.slots[k]] = std::move(regroup.result.value()[k]);
+      rerouted_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+http::Response PackingProxy::handle_metrics() {
+  return http::Response::make(200, "OK", metrics_->expose(),
+                              "text/plain; version=0.0.4");
+}
+
+http::Response PackingProxy::handle_healthz() {
+  Stats s = stats();
+  size_t fleet_size;
+  {
+    std::shared_lock lock(fleet_mutex_);
+    fleet_size = fleet_.size();
+  }
+  std::string body = "{\"status\":\"";
+  body += fleet_size == 0 ? "no-backends" : "ok";
+  body += "\",\"backends\":";
+  body += std::to_string(fleet_size);
+  body += ",\"requests\":";
+  body += std::to_string(s.requests);
+  body += ",\"scattered_subpacks\":";
+  body += std::to_string(s.scattered_subpacks);
+  body += ",\"reroutes\":";
+  body += std::to_string(s.reroutes);
+  body += "}";
+  const int status = fleet_size == 0 ? 503 : 200;
+  return http::Response::make(status, http::default_reason(status),
+                              std::move(body), "application/json");
+}
+
+http::Response PackingProxy::handle(const http::Request& request) {
+  if (request.method == "GET") {
+    if (request.target == "/metrics") return handle_metrics();
+    if (request.target == "/healthz") return handle_healthz();
+  }
+  if (request.method != "POST") {
+    return http::Response::make(405, "Method Not Allowed",
+                                "SOAP endpoint accepts POST only");
+  }
+
+  auto respond_fault = [&](const Error& error, int status) {
+    std::string body =
+        soap::build_envelope(soap::Fault::from_error(error).to_xml());
+    return http::Response::make(status, http::default_reason(status),
+                                std::move(body), "text/xml");
+  };
+  auto respond_shed = [&](const Error& error, const std::string& hint) {
+    http::Response response = respond_fault(error, 503);
+    response.headers.set("Retry-After", hint);
+    return response;
+  };
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // --- client->proxy hop decode (DESIGN.md §14, independent per hop) ------
+  const codec::WireCodec* request_codec = &codec::identity_codec();
+  if (auto coding = request.headers.get("Content-Encoding")) {
+    const codec::WireCodec* found = codecs_->find(*coding);
+    if (!found) {
+      return respond_fault(
+          Error(ErrorCode::kInvalidArgument,
+                "unsupported Content-Encoding: " + std::string(*coding)),
+          415);
+    }
+    request_codec = found;
+  }
+  const size_t decoded_budget = options_.http_limits.max_body_bytes;
+  auto parsed = [&]() -> Result<core::wire::ParsedRequest> {
+    if (request_codec->name() == "identity") {
+      return dispatcher_.parse_request(request.body);
+    }
+    if (request_codec->decodes_to_document()) {
+      auto document = request_codec->decode_document(
+          request.body, decoded_budget, options_.parse_limits);
+      if (!document.ok()) return document.wrap_error("decode request");
+      return dispatcher_.parse_request_document(std::move(document).value(),
+                                                request.body.size());
+    }
+    auto plain = request_codec->decode(request.body, decoded_budget);
+    if (!plain.ok()) return plain.wrap_error("decode request");
+    return dispatcher_.parse_request(plain.value());
+  }();
+  if (!parsed.ok()) {
+    SPI_LOG(kDebug, "spi.proxy")
+        << "rejecting request: " << parsed.error().to_string();
+    return respond_fault(parsed.error(), 400);
+  }
+  core::wire::ParsedRequest& message = parsed.value();
+  fanout_width_->observe(static_cast<double>(message.call_count()));
+
+  // Response codec for the client hop, negotiated per request from the
+  // ORIGIN client's Accept-Encoding — completely independent of what the
+  // backend hop speaks.
+  const codec::WireCodec& response_codec = negotiate_response_codec(request);
+
+  // The deadline was re-anchored to this host at parse time; if the origin
+  // budget is already spent, shed without touching a backend.
+  if (message.deadline.expired(RealClock::instance().now())) {
+    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+    return respond_fault(Error(ErrorCode::kDeadlineExceeded,
+                               "deadline expired at the proxy hop"),
+                         504);
+  }
+
+  // Origin trace: echoed in the merged response (scope on this thread)
+  // and continued as a child on every sub-pack. A trace-less origin still
+  // gets ONE generated context so its sub-packs correlate with each other.
+  std::optional<telemetry::TraceScope> trace_scope;
+  if (message.trace.valid()) trace_scope.emplace(message.trace);
+  const telemetry::TraceContext forward_trace =
+      message.trace.valid() ? message.trace
+                            : telemetry::TraceContext::generate();
+
+  // --- remote-execution plans route whole -------------------------------
+  // A plan is a dependency chain (step N consumes step N-1's result);
+  // split across backends it would need cross-backend result forwarding,
+  // so it rides to ONE ring member keyed by its first step.
+  if (message.kind == core::wire::ParsedRequest::Kind::kPlan) {
+    Backend* backend = nullptr;
+    {
+      std::shared_lock lock(fleet_mutex_);
+      std::string key = message.plan.steps.empty()
+                            ? std::string()
+                            : message.plan.steps.front().service + "/" +
+                                  message.plan.steps.front().operation;
+      if (auto owner = ring_.route(key)) {
+        backend = fleet_.find(*owner)->second.get();
+      }
+    }
+    if (!backend) {
+      return respond_shed(
+          Error(ErrorCode::kUnavailable, "no backends in the ring"),
+          retry_after_value_);
+    }
+    resilience::DeadlineScope deadline_scope(message.deadline);
+    telemetry::TraceScope forward_scope(forward_trace);
+    scattered_subpacks_.fetch_add(1, std::memory_order_relaxed);
+    backend->subpacks.fetch_add(1, std::memory_order_relaxed);
+    backend->calls.fetch_add(message.plan.steps.size(),
+                             std::memory_order_relaxed);
+    auto plan_result = backend->client->execute_plan(message.plan);
+    if (!plan_result.ok()) {
+      backend->faults.fetch_add(message.plan.steps.size(),
+                                std::memory_order_relaxed);
+      return respond_fault(plan_result.error(), 500);
+    }
+    std::vector<core::IndexedOutcome> indexed;
+    indexed.reserve(plan_result.value().size());
+    for (size_t i = 0; i < plan_result.value().size(); ++i) {
+      indexed.push_back({static_cast<std::uint32_t>(i),
+                         std::move(plan_result.value()[i])});
+    }
+    static const core::ServiceCall kNoCall{};
+    std::string content_encoding;
+    std::string body =
+        encode_response(response_codec,
+                        assembler_.assemble_response(indexed, kNoCall, true),
+                        &content_encoding);
+    http::Response response =
+        http::Response::make(200, "OK", std::move(body), "text/xml");
+    if (!content_encoding.empty()) {
+      response.headers.set("Content-Encoding", content_encoding);
+    }
+    return response;
+  }
+
+  // --- group sub-calls by ring owner ------------------------------------
+  std::vector<Group> groups;
+  {
+    std::shared_lock lock(fleet_mutex_);
+    if (fleet_.empty()) {
+      return respond_shed(
+          Error(ErrorCode::kUnavailable, "no backends in the ring"),
+          retry_after_value_);
+    }
+    std::map<Backend*, size_t> index_of;
+    for (size_t slot = 0; slot < message.calls.size(); ++slot) {
+      const core::ServiceCall& call = message.calls[slot].call;
+      auto owner = ring_.route(route_key(call));
+      Backend* backend = fleet_.find(*owner)->second.get();
+      size_t gi;
+      if (auto at = index_of.find(backend); at != index_of.end()) {
+        gi = at->second;
+      } else {
+        gi = groups.size();
+        index_of.emplace(backend, gi);
+        groups.emplace_back();
+        groups.back().backend = backend;
+      }
+      groups[gi].slots.push_back(slot);
+      groups[gi].calls.push_back(call);
+    }
+  }
+  subpacks_per_request_->observe(static_cast<double>(groups.size()));
+
+  // Sub-packs keep packed framing when the origin was packed (kAuto lets a
+  // one-call group ride traditional framing); a traditional origin stays
+  // traditional end to end.
+  const core::PackMode mode =
+      message.packed ? core::PackMode::kAuto : core::PackMode::kSingle;
+
+  scatter_all(groups, message.deadline, forward_trace, mode);
+
+  // --- all-shed: relay the fleet's LARGEST Retry-After ------------------
+  // Every backend said "not now". The origin client should come back when
+  // the whole fleet has headroom again, which is governed by the slowest
+  // member — so the hints merge by MAX, not first-wins.
+  bool all_shed = true;
+  Duration max_hint = Duration::zero();
+  for (const Group& group : groups) {
+    if (!group.shed) all_shed = false;
+    max_hint = std::max(max_hint, group.retry_after);
+  }
+  if (all_shed && !groups.empty()) {
+    all_backend_sheds_.fetch_add(1, std::memory_order_relaxed);
+    const std::string hint = max_hint > Duration::zero()
+                                 ? format_retry_after(max_hint)
+                                 : retry_after_value_;
+    return respond_shed(Error(ErrorCode::kCapacityExceeded,
+                              "every backend shed this message"),
+                        hint);
+  }
+
+  // --- merge, preserving original slots ---------------------------------
+  std::vector<core::CallOutcome> outcomes(
+      message.calls.size(),
+      core::CallOutcome(Error(ErrorCode::kInternal, "sub-call not scattered")));
+  for (Group& group : groups) {
+    if (group.result.ok()) {
+      for (size_t k = 0; k < group.slots.size(); ++k) {
+        outcomes[group.slots[k]] = std::move(group.result.value()[k]);
+      }
+    } else {
+      // A message-level failure of one sub-pack becomes per-call faults on
+      // exactly that backend's calls — never on its siblings' (partial
+      // failure is per-call, the pack survives).
+      for (size_t slot : group.slots) {
+        outcomes[slot] = core::CallOutcome(group.result.error());
+      }
+    }
+  }
+
+  if (options_.reroute_on_failure) {
+    reroute_failures(groups, outcomes, message.deadline, forward_trace, mode);
+  }
+
+  std::vector<core::IndexedOutcome> indexed;
+  indexed.reserve(outcomes.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    indexed.push_back({message.calls[i].id, std::move(outcomes[i])});
+  }
+
+  static const core::ServiceCall kNoCall{};
+  const core::ServiceCall& single_call =
+      message.calls.empty() ? kNoCall : message.calls.front().call;
+  std::string content_encoding;
+  std::string body = encode_response(
+      response_codec,
+      assembler_.assemble_response(indexed, single_call, message.packed),
+      &content_encoding);
+
+  // Per-call faults ride inside a 200 for packed messages; a traditional
+  // single-call fault surfaces as HTTP 500 like classic SOAP stacks.
+  int status = 200;
+  if (!message.packed && !indexed.empty() && !indexed.front().outcome.ok()) {
+    status = 500;
+  }
+  http::Response response = http::Response::make(
+      status, http::default_reason(status), std::move(body), "text/xml");
+  if (!content_encoding.empty()) {
+    response.headers.set("Content-Encoding", content_encoding);
+  }
+  return response;
+}
+
+PackingProxy::Stats PackingProxy::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.scattered_subpacks = scattered_subpacks_.load(std::memory_order_relaxed);
+  s.reroutes = reroutes_.load(std::memory_order_relaxed);
+  s.rerouted_calls = rerouted_calls_.load(std::memory_order_relaxed);
+  s.all_backend_sheds = all_backend_sheds_.load(std::memory_order_relaxed);
+  s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  s.local_sheds = local_sheds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spi::proxy
