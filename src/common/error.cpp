@@ -20,6 +20,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kCodecError: return "CodecError";
+    case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -32,6 +32,7 @@ enum class ErrorCode {
   kDeadlineExceeded,  // the exchange's deadline passed; work was shed
   kUnavailable,       // circuit breaker open: failing fast, no I/O attempted
   kCodecError,        // wire-codec decode failed (corrupt compressed body)
+  kCancelled,         // caller cancelled the in-flight request (hedge loser)
   kInternal,
 };
 

@@ -47,7 +47,8 @@ void AutoBatcher::flush() {
   std::uint64_t my_generation = ++flush_generation_;
   wake_.notify_one();
   flush_done_.wait(lock, [&] {
-    return flushed_generation_ >= my_generation || shutdown_;
+    return (flushed_generation_ >= my_generation && outstanding_async_ == 0) ||
+           shutdown_;
   });
 }
 
@@ -59,6 +60,10 @@ void AutoBatcher::shutdown() {
   }
   wake_.notify_all();
   if (flusher_.joinable()) flusher_.join();
+  // Async batches shipped before shutdown complete on the reactor loop;
+  // wait for them so no completion touches a destroyed batcher.
+  std::unique_lock lock(mutex_);
+  flush_done_.wait(lock, [&] { return outstanding_async_ == 0; });
 }
 
 size_t AutoBatcher::pending() const {
@@ -71,18 +76,9 @@ AutoBatcher::Stats AutoBatcher::stats() const {
   return stats_;
 }
 
-void AutoBatcher::send_batch(std::vector<PendingCall> batch,
-                             bool timer_triggered) {
-  std::vector<ServiceCall> calls;
-  calls.reserve(batch.size());
-  for (PendingCall& entry : batch) {
-    calls.push_back(entry.call);
-  }
-
-  // kAuto: a lone call still travels as a cheap traditional message.
-  std::vector<CallOutcome> outcomes =
-      client_.call_packed(calls, PackMode::kAuto);
-
+void AutoBatcher::complete_batch(std::vector<PendingCall>& batch,
+                                 bool timer_triggered,
+                                 Result<std::vector<CallOutcome>> result) {
   // Count the batch BEFORE fulfilling the promises: a caller woken by
   // future.get() must already see this flush in stats().
   {
@@ -96,9 +92,53 @@ void AutoBatcher::send_batch(std::vector<PendingCall> batch,
     stats_.largest_batch = std::max(stats_.largest_batch, batch.size());
   }
 
-  for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::move(outcomes[i]));
+  if (result.ok()) {
+    std::vector<CallOutcome>& outcomes = result.value();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(outcomes[i]));
+    }
+  } else {
+    // Message-level failure: every member sees it, like call_packed().
+    for (PendingCall& entry : batch) {
+      entry.promise.set_value(CallOutcome(result.error()));
+    }
   }
+}
+
+void AutoBatcher::send_batch(std::vector<PendingCall> batch,
+                             bool timer_triggered) {
+  std::vector<ServiceCall> calls;
+  calls.reserve(batch.size());
+  for (PendingCall& entry : batch) {
+    calls.push_back(entry.call);
+  }
+
+  if (client_.async_enabled()) {
+    // The reactor drives the exchange; this flusher thread goes straight
+    // back to forming the next batch instead of being tied up for one
+    // round trip per batch. Completion (promise fulfilment) runs on the
+    // loop thread; flush()/shutdown() rendezvous via outstanding_async_.
+    auto shipped = std::make_shared<std::vector<PendingCall>>(std::move(batch));
+    {
+      std::lock_guard lock(mutex_);
+      ++outstanding_async_;
+    }
+    client_.execute_packed_async(
+        std::move(calls), PackMode::kAuto,
+        [this, shipped, timer_triggered](SpiClient::PackedResult result) {
+          complete_batch(*shipped, timer_triggered, std::move(result));
+          {
+            std::lock_guard lock(mutex_);
+            --outstanding_async_;
+          }
+          flush_done_.notify_all();
+        });
+    return;
+  }
+
+  // kAuto: a lone call still travels as a cheap traditional message.
+  complete_batch(batch, timer_triggered,
+                 client_.execute_packed(calls, PackMode::kAuto));
 }
 
 void AutoBatcher::flusher_loop() {

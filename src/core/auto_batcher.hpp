@@ -75,8 +75,16 @@ class AutoBatcher {
   };
 
   void flusher_loop();
-  /// Takes the current batch out under the lock; sends it unlocked.
+  /// Takes the current batch out under the lock; sends it unlocked. With
+  /// an async-enabled client the batch rides execute_packed_async — the
+  /// flusher thread is free to form the NEXT batch while this one is on
+  /// the wire, instead of blocking for the round trip; completion lands
+  /// on the reactor loop thread.
   void send_batch(std::vector<PendingCall> batch, bool timer_triggered);
+  /// Fulfils one shipped batch's promises (values, per-call faults, or a
+  /// message-level error replicated into every slot) and counts it.
+  void complete_batch(std::vector<PendingCall>& batch, bool timer_triggered,
+                      Result<std::vector<CallOutcome>> result);
 
   SpiClient& client_;
   Options options_;
@@ -89,6 +97,10 @@ class AutoBatcher {
   std::uint64_t flush_generation_ = 0;  // flush() rendezvous
   std::uint64_t flushed_generation_ = 0;
   std::condition_variable flush_done_;
+  /// Async batches on the wire (issued, completion not yet fired).
+  /// flush()/shutdown() wait for zero so "flushed" keeps meaning "the
+  /// exchange finished", not "the exchange was started".
+  size_t outstanding_async_ = 0;
 
   Stats stats_;
   std::jthread flusher_;

@@ -38,9 +38,18 @@ SpiClient::SpiClient(net::Transport& transport, net::Endpoint server,
       assembler_(wsse_factory_.get(), options_.pack_cost),
       dispatcher_(nullptr, options_.pack_cost),
       retry_policy_(options_.retry),
+      hedge_policy_(options_.hedge),
       http_(transport_, server_, make_http_options(options_)) {}
 
-SpiClient::~SpiClient() = default;
+SpiClient::~SpiClient() {
+  // Async leg callbacks reference this client; wait until every in-flight
+  // exchange has completed (the async runtime's reactor must be running,
+  // or its destruction must have failed them, before we are destroyed).
+  std::unique_lock lock(async_mutex_);
+  async_cv_.wait(lock, [this] {
+    return async_inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
 
 const codec::CodecRegistry& SpiClient::codec_registry() const {
   return options_.codecs ? *options_.codecs : codec::CodecRegistry::builtin();
@@ -366,6 +375,13 @@ Result<std::vector<CallOutcome>> SpiClient::execute_packed(
   if (calls.empty()) {
     return Error(ErrorCode::kInvalidArgument, "empty call batch");
   }
+  if (options_.async_client) {
+    // Thin wrapper: the reactor drives the exchange; this thread only
+    // waits on the completion future (never call from the loop thread).
+    return execute_packed_future(
+               std::vector<ServiceCall>(calls.begin(), calls.end()), mode)
+        .get();
+  }
   // A packed transfer is one message on one fresh connection.
   http::HttpClient http(transport_, server_, make_http_options(options_));
   return exchange(calls, mode, http);
@@ -465,6 +481,10 @@ SpiClient::Stats SpiClient::stats() const {
   s.partial_repacks = partial_repacks_.load(std::memory_order_relaxed);
   s.breaker_fast_fails = breaker_fast_fails_.load(std::memory_order_relaxed);
   s.retry_budget = retry_policy_.budget_level();
+  s.async_inflight = async_inflight_.load(std::memory_order_relaxed);
+  s.hedges_sent = hedges_sent_.load(std::memory_order_relaxed);
+  s.hedges_won = hedges_won_.load(std::memory_order_relaxed);
+  s.hedges_cancelled = hedges_cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -498,6 +518,34 @@ void SpiClient::bind_metrics(telemetry::MetricsRegistry& registry,
         return static_cast<double>(
             breaker_fast_fails_.load(std::memory_order_relaxed));
       });
+  registry.add_callback("spi_client_inflight",
+                        "Async packed exchanges accepted and not completed",
+                        telemetry::CallbackKind::kGauge, labels,
+                        [this]() -> double {
+                          return static_cast<double>(
+                              async_inflight_.load(std::memory_order_relaxed));
+                        });
+  registry.add_callback("spi_hedges_sent_total",
+                        "Hedge attempts fired at the latency-quantile trigger",
+                        telemetry::CallbackKind::kCounter, labels,
+                        [this]() -> double {
+                          return static_cast<double>(
+                              hedges_sent_.load(std::memory_order_relaxed));
+                        });
+  registry.add_callback("spi_hedges_won_total",
+                        "Exchanges where the hedge answered before the primary",
+                        telemetry::CallbackKind::kCounter, labels,
+                        [this]() -> double {
+                          return static_cast<double>(
+                              hedges_won_.load(std::memory_order_relaxed));
+                        });
+  registry.add_callback("spi_hedges_cancelled_total",
+                        "Hedge legs cancelled after the primary won",
+                        telemetry::CallbackKind::kCounter, labels,
+                        [this]() -> double {
+                          return static_cast<double>(
+                              hedges_cancelled_.load(std::memory_order_relaxed));
+                        });
 }
 
 }  // namespace spi::core

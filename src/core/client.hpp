@@ -11,6 +11,7 @@
 // future from the matching CallResponse.
 #pragma once
 
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -20,9 +21,11 @@
 #include "common/timeout.hpp"
 #include "core/assembler.hpp"
 #include "core/dispatcher.hpp"
+#include "http/async_client.hpp"
 #include "http/client.hpp"
 #include "resilience/circuit_breaker.hpp"
 #include "resilience/deadline.hpp"
+#include "resilience/hedge.hpp"
 #include "resilience/retry.hpp"
 
 namespace spi::core {
@@ -91,6 +94,23 @@ struct ClientOptions {
   /// Registry resolving codec names for both directions (borrowed, not
   /// owned). Null selects codec::CodecRegistry::builtin().
   const codec::CodecRegistry* codecs = nullptr;
+
+  /// Reactor-driven async runtime (borrowed; DESIGN.md §16). When set,
+  /// execute_packed_async() is available, and the blocking
+  /// execute_packed() becomes a thin wrapper over it — one reactor loop
+  /// thread drives every outstanding exchange instead of one blocked
+  /// thread each. The runtime's reactor must be running for exchanges to
+  /// progress, and must keep running until this client is destroyed or
+  /// all exchanges have completed. Never call the blocking wrappers from
+  /// the reactor loop thread (they would wait on themselves).
+  http::AsyncHttpClient* async_client = nullptr;
+
+  /// Hedged requests on the async path (resilience/hedge.hpp): fire a
+  /// second identical attempt once the first outlives the learned latency
+  /// quantile, take the first success, cancel the loser. Only exchanges
+  /// whose every call is idempotent (per retry.idempotent) hedge, and
+  /// each hedge debits the retry token budget.
+  resilience::HedgeOptions hedge;
 };
 
 class SpiClient {
@@ -107,6 +127,13 @@ class SpiClient {
     std::uint64_t breaker_fast_fails = 0;
     /// Retry-budget tokens currently available (0 when unlimited).
     double retry_budget = 0.0;
+    /// Async packed exchanges accepted and not yet completed.
+    std::uint64_t async_inflight = 0;
+    /// Hedge attempts fired / won (hedge answered first) / cancelled
+    /// (primary answered first, hedge leg abandoned).
+    std::uint64_t hedges_sent = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_cancelled = 0;
   };
 
   SpiClient(net::Transport& transport, net::Endpoint server,
@@ -143,9 +170,41 @@ class SpiClient {
                                        PackMode mode = PackMode::kPacked);
 
   /// Lower-level packed transfer that surfaces message-level failure as a
-  /// single error (used by tests and Batch).
+  /// single error (used by tests and Batch). With an async runtime
+  /// configured this is a thin blocking wrapper over
+  /// execute_packed_async().
   Result<std::vector<CallOutcome>> execute_packed(
       std::span<const ServiceCall> calls, PackMode mode = PackMode::kPacked);
+
+  // --- async packed transfer (DESIGN.md §16) -------------------------------
+
+  using PackedResult = Result<std::vector<CallOutcome>>;
+  using PackedCallback = std::function<void(PackedResult)>;
+  /// Extended completion: also delivers the LARGEST Retry-After hint any
+  /// attempt observed (zero when none) — the async twin of
+  /// execute_packed_on's retry_after out-param (the proxy relays the max
+  /// across backends to the origin client on all-shed).
+  using PackedCallbackEx =
+      std::function<void(PackedResult, Duration observed_retry_after)>;
+
+  /// Packed transfer on the configured async runtime: the full resilience
+  /// pipeline — deadline capture, breaker gating, retries with wheel-timer
+  /// backoff, partial-batch re-pack, hedging — runs as a state machine on
+  /// the reactor loop thread; no caller thread blocks. The ambient
+  /// deadline/trace are captured NOW, on the calling thread. `done` fires
+  /// exactly once, on the loop thread; it must not block. Requires
+  /// options.async_client (completes with kInvalidArgument otherwise).
+  void execute_packed_async(std::vector<ServiceCall> calls, PackMode mode,
+                            PackedCallback done);
+  void execute_packed_async(std::vector<ServiceCall> calls, PackMode mode,
+                            PackedCallbackEx done);
+
+  /// Future-returning convenience over execute_packed_async().
+  std::future<PackedResult> execute_packed_future(
+      std::vector<ServiceCall> calls, PackMode mode = PackMode::kPacked);
+
+  /// True when an async runtime is configured.
+  bool async_enabled() const { return options_.async_client != nullptr; }
 
   /// Same transfer over a caller-supplied HTTP connection: the packing
   /// proxy keeps per-backend keep-alive pools and hands a pooled client
@@ -212,6 +271,10 @@ class SpiClient {
                     std::string_view label);
 
  private:
+  /// The async exchange state machine (client_async.cpp): lives on the
+  /// reactor loop thread from start() to completion.
+  struct AsyncExchange;
+
   /// Resilient HTTP exchange: deadline installation, breaker gating,
   /// message-level retry with jittered backoff, and partial-batch re-pack
   /// of failed retryable sub-calls. Delegates single attempts to
@@ -261,8 +324,18 @@ class SpiClient {
   Assembler assembler_;
   Dispatcher dispatcher_;
   resilience::RetryPolicy retry_policy_;
+  resilience::HedgePolicy hedge_policy_;
   std::atomic<std::uint64_t> partial_repacks_{0};
   std::atomic<std::uint64_t> breaker_fast_fails_{0};
+  std::atomic<std::uint64_t> hedges_sent_{0};
+  std::atomic<std::uint64_t> hedges_won_{0};
+  std::atomic<std::uint64_t> hedges_cancelled_{0};
+
+  /// Async exchanges in flight; the destructor waits for zero so leg
+  /// callbacks never outlive the client they reference.
+  std::atomic<std::uint64_t> async_inflight_{0};
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
 
   /// Connection used by call()/call_serial (guarded: SpiClient may be
   /// shared across threads; call_multithreaded uses per-thread clients).

@@ -1,0 +1,136 @@
+// Reactor-driven HTTP/1.1 client (DESIGN.md §16). Where HttpClient parks
+// one blocked thread per in-flight exchange, AsyncHttpClient keeps tens of
+// thousands of exchanges outstanding from ONE reactor loop thread:
+//
+//   * non-blocking connect: Transport::connect_nonblocking returns an
+//     EINPROGRESS dial; the connection FSM waits for writability and
+//     completes the handshake with finish_connect()
+//   * per-attempt deadlines live on the reactor's timer wheel — no
+//     per-receive socket timeouts, no blocked receive to interrupt
+//   * keep-alive connections are pooled per endpoint and multiplexed with
+//     bounded HTTP/1.1 pipelining; responses are matched to requests
+//     in order (the only order HTTP/1.1 permits)
+//   * cancel() abandons an in-flight exchange without tearing down its
+//     connection: the stale response is drained off the wire and the
+//     connection returns to the pool (how a hedge loser releases its
+//     connection instead of burning it)
+//
+// Thread-safety: send()/cancel()/stats() may be called from any thread.
+// Completion callbacks always run on the reactor loop thread and must not
+// block; a callback may call send()/cancel() freely (re-entry is marshaled
+// through Reactor::post).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/timeout.hpp"
+#include "concurrency/reactor.hpp"
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/transport.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace spi::http {
+
+struct AsyncClientOptions {
+  /// Connections opened per endpoint before exchanges queue.
+  size_t max_connections_per_endpoint = 8;
+
+  /// Exchanges written to one connection before its response arrives.
+  /// 1 = strict request/response; >1 enables HTTP/1.1 pipelining with
+  /// in-order response matching.
+  size_t max_pipeline_depth = 1;
+
+  /// Bound on the dial (EINPROGRESS -> writable) phase.
+  Duration connect_timeout = std::chrono::seconds(10);
+
+  /// How long a connection whose in-flight exchanges have ALL been
+  /// abandoned (cancelled or expired) may keep draining stale responses
+  /// before it is torn down instead of returned to the pool.
+  Duration drain_timeout = std::chrono::seconds(2);
+
+  ParserLimits limits;
+
+  /// Value for the Host header when the request does not carry one.
+  std::string host = "localhost";
+};
+
+class AsyncHttpClient {
+ public:
+  using Callback = std::function<void(Result<Response>)>;
+  using RequestId = std::uint64_t;
+  static constexpr RequestId kInvalidRequest = 0;
+
+  struct Stats {
+    std::uint64_t requests = 0;         // exchanges accepted by send()
+    std::uint64_t responses = 0;        // completed with an HTTP response
+    std::uint64_t connects_started = 0; // dials initiated
+    std::uint64_t connect_failures = 0;
+    std::uint64_t reused = 0;     // exchanges placed on a warm idle connection
+    std::uint64_t pipelined = 0;  // exchanges written behind an in-flight one
+    std::uint64_t timeouts = 0;   // attempt deadlines fired on the wheel
+    std::uint64_t cancelled = 0;  // exchanges cancelled by the caller
+    std::uint64_t drained = 0;    // stale responses drained, connection kept
+  };
+
+  /// `reactor` and `transport` are borrowed and must outlive the client.
+  /// The reactor may be started before or after construction; exchanges
+  /// only make progress while it runs. The transport must produce
+  /// fd-backed (pollable) connections.
+  AsyncHttpClient(Reactor& reactor, net::Transport& transport,
+                  AsyncClientOptions options = {});
+  ~AsyncHttpClient();
+
+  AsyncHttpClient(const AsyncHttpClient&) = delete;
+  AsyncHttpClient& operator=(const AsyncHttpClient&) = delete;
+
+  /// Starts an exchange: `request` goes to `endpoint` and `done` fires on
+  /// the loop thread with the response or the attempt's failure. `timeout`
+  /// bounds the WHOLE attempt — queue wait, connect, write, response —
+  /// via one wheel timer (kNoTimeout = unbounded). Transport errors and
+  /// framing errors surface as Result errors; HTTP error statuses are
+  /// successful Results, as with the blocking client.
+  RequestId send(const net::Endpoint& endpoint, Request request,
+                 Duration timeout, Callback done);
+
+  /// Future-returning convenience over send().
+  std::future<Result<Response>> send_future(const net::Endpoint& endpoint,
+                                            Request request,
+                                            Duration timeout = kNoTimeout);
+
+  /// Abandons an exchange. Queued: completes immediately with kCancelled.
+  /// In-flight: completes with kCancelled and the connection drains the
+  /// stale response before rejoining the pool. Completed/unknown: no-op.
+  void cancel(RequestId id);
+
+  /// Exchanges accepted and not yet completed.
+  size_t inflight() const;
+
+  Stats stats() const;
+
+  /// Established connections currently idle (no in-flight exchange) for
+  /// `endpoint`. Synchronizes with the loop thread; test/diagnostic use.
+  size_t idle_connections(const net::Endpoint& endpoint) const;
+
+  Reactor& reactor() { return reactor_; }
+
+  /// Registers scrape-time views:
+  ///   spi_async_client_inflight, spi_async_client_requests_total,
+  ///   spi_async_client_timeouts_total, spi_async_client_drained_total
+  void bind_metrics(telemetry::MetricsRegistry& registry);
+
+ private:
+  struct Impl;
+
+  Reactor& reactor_;
+  /// Shared so tasks already posted to the loop (send/cancel marshals)
+  /// stay safe if they drain after this client is destroyed: they hold
+  /// the Impl and see shutting_down.
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace spi::http

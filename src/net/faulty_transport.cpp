@@ -61,6 +61,68 @@ class FaultyTransport::FaultyConnection final : public Connection {
     return inner_->set_receive_timeout(timeout);
   }
 
+  // --- non-blocking passthrough -----------------------------------------
+  // Same sever/corrupt schedule applied to the readiness-driven path so
+  // the async client can run under chaos. Injected first-send DELAYS are
+  // not applied here: try_send runs on a reactor loop thread and must
+  // never sleep. supports_sendv() stays false so callers funnel through
+  // try_send, where byte-offset accounting lives.
+
+  int native_handle() const override { return inner_->native_handle(); }
+
+  Status set_nonblocking(bool enabled) override {
+    return inner_->set_nonblocking(enabled);
+  }
+
+  Status finish_connect() override { return inner_->finish_connect(); }
+
+  Result<std::string> try_receive(size_t max_bytes) override {
+    return inner_->try_receive(max_bytes);
+  }
+
+  Result<size_t> try_send(std::string_view bytes) override {
+    if (severed_) {
+      return Error(ErrorCode::kConnectionClosed, "injected sever");
+    }
+
+    std::string mutated;
+    std::string_view to_send = bytes;
+    bool corrupts = faults_.corrupt_at != FaultPlan::npos &&
+                    faults_.corrupt_at >= sent_ &&
+                    faults_.corrupt_at < sent_ + bytes.size();
+    if (corrupts) {
+      mutated = std::string(bytes);
+      mutated[faults_.corrupt_at - sent_] ^= 0x01;
+      to_send = mutated;
+    }
+
+    if (faults_.sever_at != 0 && sent_ + to_send.size() > faults_.sever_at) {
+      size_t allowed =
+          faults_.sever_at > sent_ ? faults_.sever_at - sent_ : 0;
+      if (allowed > 0) {
+        auto n = inner_->try_send(to_send.substr(0, allowed));
+        if (!n.ok()) return n;  // kWouldBlock: retry later, not severed yet
+        sent_ += n.value();
+        if (sent_ < faults_.sever_at) return n;  // short write, not there yet
+      }
+      severed_ = true;
+      owner_->severs_.fetch_add(1, std::memory_order_relaxed);
+      inner_->close();
+      if (allowed > 0) return allowed;  // partial bytes made it out
+      return Error(ErrorCode::kConnectionClosed, "injected sever");
+    }
+
+    auto n = inner_->try_send(to_send);
+    if (n.ok()) {
+      // Only count the corruption once the flipped byte actually left.
+      if (corrupts && sent_ + n.value() > faults_.corrupt_at) {
+        owner_->corruptions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      sent_ += n.value();
+    }
+    return n;
+  }
+
  private:
   std::unique_ptr<Connection> inner_;
   ConnectionFaults faults_;
@@ -124,6 +186,22 @@ Result<std::unique_ptr<Connection>> FaultyTransport::connect(
   if (!connection.ok()) return connection.error();
   return std::unique_ptr<Connection>(std::make_unique<FaultyConnection>(
       std::move(connection).value(), draw_connection_faults(), this));
+}
+
+Result<AsyncConnect> FaultyTransport::connect_nonblocking(
+    const Endpoint& to) {
+  connects_.fetch_add(1, std::memory_order_relaxed);
+  if (draw_refusal()) {
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    return Error(ErrorCode::kConnectionFailed, "injected connect failure");
+  }
+  auto dial = inner_.connect_nonblocking(to);
+  if (!dial.ok()) return dial.error();
+  AsyncConnect out;
+  out.pending = dial.value().pending;
+  out.connection = std::make_unique<FaultyConnection>(
+      std::move(dial.value().connection), draw_connection_faults(), this);
+  return out;
 }
 
 FaultStats FaultyTransport::fault_stats() const {

@@ -87,6 +87,14 @@ class FaultyTransport final : public Transport {
   Result<std::unique_ptr<Listener>> listen(const Endpoint& at) override;
   Result<std::unique_ptr<Connection>> connect(const Endpoint& to) override;
 
+  /// Non-blocking dials get the same refusal draw and per-connection fault
+  /// schedule; the decorated connection passes readiness I/O through with
+  /// sever/corrupt applied in try_send.
+  bool supports_nonblocking_connect() const override {
+    return inner_.supports_nonblocking_connect();
+  }
+  Result<AsyncConnect> connect_nonblocking(const Endpoint& to) override;
+
   WireStats stats() const override { return inner_.stats(); }
   void reset_stats() override { inner_.reset_stats(); }
 

@@ -233,6 +233,22 @@ class TcpConnection final : public Connection {
     }
   }
 
+  Status finish_connect() override {
+    // The result of an EINPROGRESS dial is published through SO_ERROR once
+    // the socket polls writable.
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Error(ErrorCode::kConnectionFailed,
+                   errno_message("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return Error(ErrorCode::kConnectionFailed,
+                   std::string("connect: ") + std::strerror(err));
+    }
+    return Status();
+  }
+
   Status set_receive_timeout(Duration timeout) override {
     if (timeout < Duration::zero()) {
       return Error(ErrorCode::kInvalidArgument, "negative timeout");
@@ -394,6 +410,34 @@ Result<std::unique_ptr<Connection>> TcpTransport::connect(const Endpoint& to) {
   stats_.on_connect();
   return std::unique_ptr<Connection>(
       std::make_unique<TcpConnection>(std::move(fd), &stats_));
+}
+
+Result<AsyncConnect> TcpTransport::connect_nonblocking(const Endpoint& to) {
+  auto addr = make_addr(to);
+  if (!addr.ok()) return addr.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Error(ErrorCode::kConnectionFailed, errno_message("socket"));
+  }
+  if (Status s = set_fd_nonblocking(fd.get(), true); !s.ok()) return s.error();
+
+  AsyncConnect out;
+  while (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                   sizeof(sockaddr_in)) != 0) {
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      out.pending = true;
+      break;
+    }
+    return Error(ErrorCode::kConnectionFailed,
+                 errno_message("connect " + to.to_string()));
+  }
+  // Counted at dial initiation: a SYN went out. Failed pending dials are
+  // rare and the counter feeds throughput reports, not billing.
+  stats_.on_connect();
+  out.connection = std::make_unique<TcpConnection>(std::move(fd), &stats_);
+  return out;
 }
 
 }  // namespace spi::net

@@ -75,6 +75,15 @@ class WireStatsCollector {
   std::atomic<std::uint64_t> bytes_received_{0};
 };
 
+/// Result of Transport::connect_nonblocking. When `pending` is true the
+/// connection handshake is still in flight (the kernel said EINPROGRESS):
+/// the caller must wait for WRITABILITY on native_handle() and then call
+/// Connection::finish_connect() to learn whether the dial succeeded.
+struct AsyncConnect {
+  std::unique_ptr<class Connection> connection;
+  bool pending = false;
+};
+
 /// Bidirectional blocking byte stream.
 class Connection {
  public:
@@ -157,6 +166,13 @@ class Connection {
     return Error(ErrorCode::kInvalidArgument,
                  "transport does not support vectored I/O");
   }
+
+  /// Completes a dial started by Transport::connect_nonblocking that came
+  /// back pending. Call once the socket polls WRITABLE: Ok means the
+  /// connection is established; an error means the dial failed (SO_ERROR)
+  /// and the connection must be discarded. For connections that were never
+  /// pending this is a no-op.
+  virtual Status finish_connect() { return Status(); }
 };
 
 /// Blocking accept() source bound to an Endpoint.
@@ -214,6 +230,23 @@ class Transport {
   virtual bool supports_reuse_port() const { return false; }
 
   virtual Result<std::unique_ptr<Connection>> connect(const Endpoint& to) = 0;
+
+  /// True when connect_nonblocking() can return a pending, pollable dial
+  /// (the connection FSM path the async client needs).
+  virtual bool supports_nonblocking_connect() const { return false; }
+
+  /// Starts a dial without blocking. When the result's `pending` flag is
+  /// true, wait for writability on the connection's native_handle() and
+  /// then call Connection::finish_connect(). The default falls back to the
+  /// blocking connect() (pending=false) so non-fd transports keep working.
+  virtual Result<AsyncConnect> connect_nonblocking(const Endpoint& to) {
+    auto connection = connect(to);
+    if (!connection.ok()) return connection.error();
+    AsyncConnect out;
+    out.connection = std::move(connection).value();
+    out.pending = false;
+    return out;
+  }
 
   /// Aggregate wire counters for connections made through this transport.
   virtual WireStats stats() const = 0;

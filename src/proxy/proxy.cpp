@@ -95,6 +95,9 @@ PackingProxy::PackingProxy(net::Transport& transport, net::Endpoint at,
       {"spi_proxy_local_sheds_total",
        "Sub-packs shed at the proxy by a backend's adaptive limiter",
        &local_sheds_},
+      {"spi_proxy_rebalanced_calls_total",
+       "Sub-calls moved between a pair of sub-packs by K=2 balancing",
+       &rebalanced_calls_},
   };
   for (const CounterView& view : views) {
     reg.add_callback(view.name, view.help, telemetry::CallbackKind::kCounter,
@@ -106,11 +109,31 @@ PackingProxy::PackingProxy(net::Transport& transport, net::Endpoint at,
   dispatcher_.bind_metrics(reg, "proxy");
   assembler_.bind_metrics(reg, "proxy");
 
+  // Async scatter runtime: one reactor loop thread drives EVERY sub-pack
+  // to every backend (DESIGN.md §16). Built before the fleet so
+  // make_backend can hand the shared client to each backend SpiClient.
+  if (transport_.supports_nonblocking_connect()) {
+    Reactor::Options reactor_options;
+    reactor_options.name = "spi-proxy-scatter";
+    async_reactor_ = std::make_unique<Reactor>(reactor_options);
+    http::AsyncClientOptions async_options;
+    async_options.max_connections_per_endpoint =
+        options_.max_pooled_connections_per_backend;
+    async_options.limits = options_.http_limits;
+    async_http_ = std::make_unique<http::AsyncHttpClient>(
+        *async_reactor_, transport_, async_options);
+    async_http_->bind_metrics(reg);
+  }
+
   for (const net::Endpoint& backend : options_.backends) add_backend(backend);
   breakers_.bind_metrics(reg);
 
-  scatter_pool_ = std::make_unique<ThreadPool>(
-      std::max<size_t>(1, options_.scatter_threads), "spi-proxy-scatter");
+  // The pool only exists on the blocking fallback path; async scatter
+  // costs zero dedicated threads per sub-pack.
+  if (!async_http_) {
+    scatter_pool_ = std::make_unique<ThreadPool>(
+        std::max<size_t>(1, options_.scatter_threads), "spi-proxy-scatter");
+  }
 
   http::ServerOptions http_options;
   http_options.protocol_threads = options_.protocol_threads;
@@ -124,13 +147,18 @@ PackingProxy::PackingProxy(net::Transport& transport, net::Endpoint at,
 
 PackingProxy::~PackingProxy() { stop(); }
 
-Status PackingProxy::start() { return http_server_->start(); }
+Status PackingProxy::start() {
+  if (async_reactor_ && !async_reactor_->running()) async_reactor_->start();
+  return http_server_->start();
+}
 
 void PackingProxy::stop() {
   // Handler threads are the only scatter submitters: stop them first, then
-  // the pool drains and shuts down with nothing left to race.
+  // the pool/reactor drain and shut down with nothing left to race (every
+  // handler waited out its own fan-out before returning).
   http_server_->stop();
-  scatter_pool_->shutdown();
+  if (scatter_pool_) scatter_pool_->shutdown();
+  if (async_reactor_) async_reactor_->stop();
 }
 
 net::Endpoint PackingProxy::endpoint() const {
@@ -153,6 +181,7 @@ std::unique_ptr<PackingProxy::Backend> PackingProxy::make_backend(
   client_options.request_codec = options_.backend_request_codec;
   client_options.accept_codecs = options_.backend_accept_codecs;
   client_options.codecs = codecs_;
+  client_options.async_client = async_http_.get();  // null on fallback path
   backend->client = std::make_unique<core::SpiClient>(
       transport_, endpoint, std::move(client_options));
   // Materialize the endpoint's breaker now: the ctor's bind_metrics pass
@@ -361,11 +390,119 @@ void PackingProxy::scatter_group(Group& group,
   group.result = std::move(result);
 }
 
+void PackingProxy::scatter_all_async(std::vector<Group>& groups,
+                                     const resilience::Deadline& deadline,
+                                     const telemetry::TraceContext& trace,
+                                     core::PackMode mode) {
+  // The async exchange captures the ambient deadline/trace at SUBMIT time
+  // on this thread, so one pair of scopes covers the whole fan-out; the
+  // sub-pack each backend client assembles (on the loop thread) carries
+  // the remaining budget and a child of the origin trace.
+  resilience::DeadlineScope deadline_scope(deadline);
+  telemetry::TraceScope trace_scope(trace);
+
+  WaitGroup pending;
+  for (Group& group : groups) {
+    Backend& backend = *group.backend;
+    backend.subpacks.fetch_add(1, std::memory_order_relaxed);
+    backend.calls.fetch_add(group.calls.size(), std::memory_order_relaxed);
+    scattered_subpacks_.fetch_add(1, std::memory_order_relaxed);
+
+    if (deadline.expired(RealClock::instance().now())) {
+      group.result = Error(ErrorCode::kDeadlineExceeded,
+                           "deadline expired before scatter to " +
+                               backend.endpoint.to_string());
+      backend.faults.fetch_add(group.calls.size(), std::memory_order_relaxed);
+      continue;
+    }
+
+    AdaptiveLimiter* limiter = backend.limiter.get();
+    if (limiter && !limiter->try_acquire()) {
+      local_sheds_.fetch_add(1, std::memory_order_relaxed);
+      group.shed = true;
+      group.result =
+          Error(ErrorCode::kCapacityExceeded,
+                "proxy shed sub-pack at " + backend.endpoint.to_string() +
+                    "'s adaptive concurrency limit");
+      backend.faults.fetch_add(group.calls.size(), std::memory_order_relaxed);
+      continue;
+    }
+
+    pending.add();
+    const auto started = std::chrono::steady_clock::now();
+    Group* g = &group;
+    Backend* be = &backend;
+    // The completion runs on the reactor loop thread; it only classifies
+    // the result and releases the latch — never blocks.
+    backend.client->execute_packed_async(
+        g->calls, mode,
+        [g, be, limiter, started, &pending](
+            core::SpiClient::PackedResult result, Duration retry_after) {
+          if (limiter) {
+            limiter->release(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count());
+          }
+          g->retry_after = retry_after;
+          if (result.ok()) {
+            size_t faults = 0;
+            bool all_shed = !result.value().empty();
+            for (const core::CallOutcome& outcome : result.value()) {
+              if (!outcome.ok()) ++faults;
+              if (!outcome_shed(outcome)) all_shed = false;
+            }
+            be->faults.fetch_add(faults, std::memory_order_relaxed);
+            g->shed = all_shed;
+          } else {
+            g->shed = shed_cause(result.error().code());
+            be->faults.fetch_add(g->calls.size(), std::memory_order_relaxed);
+          }
+          g->result = std::move(result);
+          pending.done();
+        });
+  }
+  // The handler thread blocks ONCE for its whole fan-out instead of
+  // tying up one scatter thread per sub-pack.
+  pending.wait();
+}
+
+void PackingProxy::rebalance_two_groups(std::vector<Group>& groups) {
+  const size_t round = options_.rebalance_handler_round;
+  if (round == 0 || groups.size() != 2) return;
+  const bool first_larger = groups[0].calls.size() >= groups[1].calls.size();
+  Group& larger = first_larger ? groups[0] : groups[1];
+  Group& smaller = first_larger ? groups[1] : groups[0];
+
+  // A backend's application pool executes a sub-pack in rounds of `round`
+  // calls, so the pair's latency is max(rounds(a), rounds(b)). The best
+  // achievable maximum is rounds(ceil(total/2)); when the larger group
+  // exceeds it, move just enough TAIL calls onto the less-loaded sibling
+  // to reach it — never more, shard affinity is worth keeping.
+  auto rounds = [round](size_t n) { return (n + round - 1) / round; };
+  const size_t total = larger.calls.size() + smaller.calls.size();
+  const size_t best = rounds((total + 1) / 2);
+  if (rounds(larger.calls.size()) <= best) return;
+
+  const size_t cap = best * round;  // larger's new size, rounds(cap) == best
+  const size_t move = larger.calls.size() - cap;
+  for (size_t i = cap; i < larger.calls.size(); ++i) {
+    smaller.slots.push_back(larger.slots[i]);
+    smaller.calls.push_back(std::move(larger.calls[i]));
+  }
+  larger.slots.resize(cap);
+  larger.calls.resize(cap);
+  rebalanced_calls_.fetch_add(move, std::memory_order_relaxed);
+}
+
 void PackingProxy::scatter_all(std::vector<Group>& groups,
                                const resilience::Deadline& deadline,
                                const telemetry::TraceContext& trace,
                                core::PackMode mode) {
   if (groups.empty()) return;
+  if (async_http_) {
+    scatter_all_async(groups, deadline, trace, mode);
+    return;
+  }
   WaitGroup pending;
   for (size_t i = 0; i + 1 < groups.size(); ++i) {
     Group* group = &groups[i];
@@ -670,6 +807,7 @@ http::Response PackingProxy::handle(const http::Request& request) {
     }
   }
   subpacks_per_request_->observe(static_cast<double>(groups.size()));
+  rebalance_two_groups(groups);
 
   // Sub-packs keep packed framing when the origin was packed (kAuto lets a
   // one-call group ride traditional framing); a traditional origin stays
@@ -760,6 +898,7 @@ PackingProxy::Stats PackingProxy::stats() const {
   s.all_backend_sheds = all_backend_sheds_.load(std::memory_order_relaxed);
   s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   s.local_sheds = local_sheds_.load(std::memory_order_relaxed);
+  s.rebalanced_calls = rebalanced_calls_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -73,8 +73,12 @@ struct ProxyOptions {
   size_t protocol_threads = 8;
   size_t reactor_threads = 1;
 
-  /// Workers scattering sub-packs. A handler thread scatters its LAST
-  /// group inline, so even a full pool cannot deadlock a message.
+  /// Workers scattering sub-packs on the BLOCKING fallback path (a
+  /// transport without non-blocking connect). A handler thread scatters
+  /// its LAST group inline, so even a full pool cannot deadlock a
+  /// message. When the transport supports non-blocking connect the proxy
+  /// scatters through its reactor-driven async client instead — no pool
+  /// thread per sub-pack, and 0 is a fine value here.
   size_t scatter_threads = 8;
 
   /// Idle keep-alive connections retained per backend.
@@ -84,6 +88,14 @@ struct ProxyOptions {
   /// before answering. Off = partial failures surface immediately as
   /// per-call faults (the chaos bench compares both).
   bool reroute_on_failure = true;
+
+  /// K=2 sub-pack balancing: when a message scatters into exactly TWO
+  /// sub-packs, a backend's application pool executes each sub-pack in
+  /// rounds of this many calls, so end-to-end latency is governed by the
+  /// LARGER group's round count. Tail calls move from the larger onto the
+  /// less-loaded group whenever that lowers the maximum round count —
+  /// trading strict shard affinity for one dispatch round. 0 disables.
+  size_t rebalance_handler_round = 8;
 
   /// Per-backend circuit breaking (one CircuitBreakerSet shared by every
   /// backend client, so observations aggregate per endpoint).
@@ -136,6 +148,7 @@ class PackingProxy {
     std::uint64_t deadline_shed = 0;      ///< messages dead on arrival
     std::uint64_t local_sheds = 0;        ///< sub-packs shed by a backend's
                                           ///< adaptive limiter at the proxy
+    std::uint64_t rebalanced_calls = 0;   ///< calls moved by K=2 balancing
   };
 
   PackingProxy(net::Transport& transport, net::Endpoint at,
@@ -165,6 +178,10 @@ class PackingProxy {
   Stats stats() const;
   telemetry::MetricsRegistry& metrics() { return *metrics_; }
   resilience::CircuitBreakerSet& breakers() { return breakers_; }
+
+  /// True when sub-packs scatter through the reactor-driven async client
+  /// (transport supports non-blocking connect) instead of the thread pool.
+  bool async_scatter() const { return async_http_ != nullptr; }
 
  private:
   /// One ring member: its SPI client (assembly/parse/resilience) plus a
@@ -206,12 +223,23 @@ class PackingProxy {
                      const telemetry::TraceContext& trace,
                      core::PackMode mode);
 
-  /// Runs every group to completion: all but the last on the scatter
-  /// pool (inline fallback when saturated), the last inline on the
-  /// calling handler thread.
+  /// Runs every group to completion. Async mode: every group is issued
+  /// as one execute_packed_async on the shared reactor runtime and the
+  /// handler thread blocks ONCE for the whole fan-out (K sub-packs cost
+  /// zero pool threads). Fallback: all but the last group on the scatter
+  /// pool (inline when saturated), the last inline on the handler thread.
   void scatter_all(std::vector<Group>& groups,
                    const resilience::Deadline& deadline,
                    const telemetry::TraceContext& trace, core::PackMode mode);
+  void scatter_all_async(std::vector<Group>& groups,
+                         const resilience::Deadline& deadline,
+                         const telemetry::TraceContext& trace,
+                         core::PackMode mode);
+
+  /// K=2 balancing (Options::rebalance_handler_round): moves tail calls
+  /// from the larger of exactly two groups onto the smaller when that
+  /// lowers the maximum handler-round count of the pair.
+  void rebalance_two_groups(std::vector<Group>& groups);
 
   /// The second pass: sub-calls whose outcome is retryable-and-safe are
   /// re-packed onto surviving ring members (route_excluding the failed
@@ -243,6 +271,14 @@ class PackingProxy {
   core::Assembler assembler_;    // client<->proxy hop: merge responses
   std::string retry_after_value_;
 
+  /// Async scatter runtime (DESIGN.md §16): one reactor loop thread and
+  /// one AsyncHttpClient shared by every backend SpiClient. Present only
+  /// when the transport supports non-blocking connect. Declared before
+  /// the fleet so backends (whose in-flight async exchanges reference the
+  /// client) are destroyed first.
+  std::unique_ptr<Reactor> async_reactor_;
+  std::unique_ptr<http::AsyncHttpClient> async_http_;
+
   mutable std::shared_mutex fleet_mutex_;
   HashRing ring_;
   std::map<net::Endpoint, std::unique_ptr<Backend>> fleet_;
@@ -261,6 +297,7 @@ class PackingProxy {
   std::atomic<std::uint64_t> all_backend_sheds_{0};
   std::atomic<std::uint64_t> deadline_shed_{0};
   std::atomic<std::uint64_t> local_sheds_{0};
+  std::atomic<std::uint64_t> rebalanced_calls_{0};
 
   telemetry::Counter* codec_fallbacks_ = nullptr;
   std::map<std::string, telemetry::Counter*, std::less<>>

@@ -136,38 +136,48 @@ CircuitBreaker& CircuitBreakerSet::for_endpoint(
     const net::Endpoint& endpoint) {
   std::lock_guard lock(mutex_);
   auto& slot = breakers_[endpoint];
-  if (!slot) slot = std::make_unique<CircuitBreaker>(options_, *clock_);
+  if (!slot) {
+    slot = std::make_unique<CircuitBreaker>(options_, *clock_);
+    // A breaker born after bind_metrics (backend added to the fleet at
+    // runtime) must export the same views as its founding peers.
+    if (registry_ != nullptr) bind_one_locked(endpoint, slot.get());
+  }
   return *slot;
 }
 
-void CircuitBreakerSet::bind_metrics(telemetry::MetricsRegistry& registry) {
-  std::lock_guard lock(mutex_);
-  for (const auto& [endpoint, breaker] : breakers_) {
-    std::string labels = "endpoint=\"" + endpoint.to_string() + "\"";
-    CircuitBreaker* b = breaker.get();
-    registry.add_callback(
-        "spi_breaker_state",
-        "Circuit breaker state (0=closed, 1=half-open, 2=open)",
-        telemetry::CallbackKind::kGauge, labels, [b]() -> double {
-          switch (b->state()) {
-            case BreakerState::kClosed: return 0.0;
-            case BreakerState::kHalfOpen: return 1.0;
-            case BreakerState::kOpen: return 2.0;
-          }
-          return 0.0;
-        });
-    registry.add_callback("spi_breaker_opens_total",
+void CircuitBreakerSet::bind_one_locked(const net::Endpoint& endpoint,
+                                        CircuitBreaker* b) {
+  std::string labels = "endpoint=\"" + endpoint.to_string() + "\"";
+  registry_->add_callback(
+      "spi_breaker_state",
+      "Circuit breaker state (0=closed, 1=half-open, 2=open)",
+      telemetry::CallbackKind::kGauge, labels, [b]() -> double {
+        switch (b->state()) {
+          case BreakerState::kClosed: return 0.0;
+          case BreakerState::kHalfOpen: return 1.0;
+          case BreakerState::kOpen: return 2.0;
+        }
+        return 0.0;
+      });
+  registry_->add_callback("spi_breaker_opens_total",
                           "Transitions into the open state",
                           telemetry::CallbackKind::kCounter, labels,
                           [b]() -> double {
                             return static_cast<double>(b->opens());
                           });
-    registry.add_callback("spi_breaker_rejections_total",
+  registry_->add_callback("spi_breaker_rejections_total",
                           "Checkouts failed fast while open/half-open",
                           telemetry::CallbackKind::kCounter, labels,
                           [b]() -> double {
                             return static_cast<double>(b->rejections());
                           });
+}
+
+void CircuitBreakerSet::bind_metrics(telemetry::MetricsRegistry& registry) {
+  std::lock_guard lock(mutex_);
+  registry_ = &registry;
+  for (const auto& [endpoint, breaker] : breakers_) {
+    bind_one_locked(endpoint, breaker.get());
   }
 }
 

@@ -107,14 +107,21 @@ class CircuitBreakerSet {
   ///   spi_breaker_state{endpoint=...}       0=closed 1=half-open 2=open
   ///   spi_breaker_opens_total{endpoint=...}
   ///   spi_breaker_rejections_total{endpoint=...}
-  /// Endpoints first seen after binding are picked up on the next bind.
+  /// The registry is remembered: breakers created AFTER binding (a backend
+  /// added to the fleet at runtime) are bound the moment for_endpoint
+  /// creates them, so spi_breaker_state covers the whole fleet, not just
+  /// the members that existed at bind time. The registry must outlive
+  /// this set.
   void bind_metrics(telemetry::MetricsRegistry& registry);
 
  private:
+  void bind_one_locked(const net::Endpoint& endpoint, CircuitBreaker* breaker);
+
   CircuitBreakerOptions options_;
   const Clock* clock_;
   std::mutex mutex_;
   std::map<net::Endpoint, std::unique_ptr<CircuitBreaker>> breakers_;
+  telemetry::MetricsRegistry* registry_ = nullptr;
 };
 
 }  // namespace spi::resilience

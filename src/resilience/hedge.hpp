@@ -1,0 +1,90 @@
+// Hedged requests (DESIGN.md §16). The tail of a latency distribution is
+// usually one slow server moment — a GC pause, a queue spike — not a slow
+// request. Firing a SECOND identical attempt once the first has outlived
+// the observed p95 (Dean & Barroso's "tail at scale" recipe) converts
+// that tail into the fast path's latency at ~5% extra load.
+//
+// Discipline, enforced by the caller (SpiClient's async exchange FSM):
+//   * never hedge a non-idempotent call — the server may execute BOTH
+//   * debit the same token bucket as retries (RetryPolicy::try_spend_hedge)
+//     so hedging cannot multiply load during an outage
+//   * first success wins; the loser is cancelled and its connection
+//     drains back into the pool
+//
+// HedgePolicy itself is just the trigger: a lock-free latency histogram
+// plus "when should attempt #2 fire?".
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+
+namespace spi::resilience {
+
+struct HedgeOptions {
+  bool enabled = false;
+
+  /// Fire the hedge once the primary has been outstanding this quantile
+  /// of observed completion latency.
+  double quantile = 0.95;
+
+  /// Clamp on the learned delay: min_delay keeps hedges off the fast path
+  /// when the service is uniformly quick; max_delay keeps the trigger
+  /// meaningful when the histogram holds outliers.
+  Duration min_delay = std::chrono::milliseconds(1);
+  Duration max_delay = std::chrono::seconds(2);
+
+  /// Completed attempts observed before hedging arms — until the
+  /// histogram has some mass, a "p95" is noise.
+  std::uint64_t warmup = 20;
+
+  /// Extra attempts per exchange (1 = classic hedging; kept to 1 by the
+  /// client today, reserved for future tiered hedges).
+  int max_hedges = 1;
+};
+
+/// Learns the completion-latency distribution and answers "after how long
+/// should a hedge fire?". Thread-safe: records are lock-free histogram
+/// increments; delay() reads a quantile snapshot.
+class HedgePolicy {
+ public:
+  explicit HedgePolicy(HedgeOptions options = {}) : options_(options) {}
+
+  const HedgeOptions& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+
+  /// Records one completed attempt (success path only: failures already
+  /// feed retries, and a refused connect says nothing about service time).
+  void record(Duration latency) {
+    latency_.record_us(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(latency)
+                .count()));
+  }
+
+  /// The delay after which the caller should fire a hedge, or nullopt
+  /// while hedging is disabled or still warming up.
+  std::optional<Duration> delay() const {
+    if (!options_.enabled) return std::nullopt;
+    if (latency_.count() < options_.warmup) return std::nullopt;
+    auto learned = std::chrono::microseconds(
+        static_cast<std::int64_t>(latency_.quantile_us(options_.quantile)));
+    Duration d = std::chrono::duration_cast<Duration>(learned);
+    return std::clamp(d, options_.min_delay, options_.max_delay);
+  }
+
+  std::uint64_t observed() const { return latency_.count(); }
+
+  /// The learned trigger quantile in microseconds (telemetry view).
+  double trigger_us() const {
+    return latency_.quantile_us(options_.quantile);
+  }
+
+ private:
+  HedgeOptions options_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace spi::resilience

@@ -147,6 +147,11 @@ class RetryPolicy {
   double budget_level() const { return budget_.level(); }
   std::uint64_t retries_granted() const;
 
+  /// Hedged requests spend from the SAME token bucket as retries: a hedge
+  /// is speculative extra load exactly like a retry, so one budget bounds
+  /// both. False = budget exhausted, do not hedge.
+  bool try_spend_hedge() { return budget_.try_spend(); }
+
  private:
   RetryOptions options_;
   RetryBudget budget_;

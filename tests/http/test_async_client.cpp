@@ -1,0 +1,204 @@
+// AsyncHttpClient (DESIGN.md §16) over real TCP sockets: non-blocking
+// connect through completion, pipelined in-order response matching on ONE
+// pooled connection, wheel-timer attempt expiry against a peer that never
+// answers, and cancel/drain returning the loser's connection to the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/async_client.hpp"
+#include "http/server.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace spi::http {
+namespace {
+
+using namespace std::chrono_literals;
+
+Response echo_handler(const Request& request) {
+  return Response::make(200, "OK", "echo:" + request.body);
+}
+
+class AsyncClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reactor_.start(); }
+
+  std::unique_ptr<HttpServer> make_server(ServerOptions options = {}) {
+    auto server = std::make_unique<HttpServer>(
+        transport_, net::Endpoint{"127.0.0.1", 0}, echo_handler, options);
+    EXPECT_TRUE(server->start().ok());
+    return server;
+  }
+
+  static Request post(std::string body) {
+    Request request;
+    request.method = "POST";
+    request.target = "/svc";
+    request.body = std::move(body);
+    return request;
+  }
+
+  net::TcpTransport transport_;
+  Reactor reactor_;
+};
+
+TEST_F(AsyncClientTest, RoundTripAndKeepAliveReuse) {
+  auto server = make_server();
+  AsyncHttpClient client(reactor_, transport_);
+
+  auto first = client.send_future(server->endpoint(), post("one"), 5s).get();
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_EQ(first.value().status, 200);
+  EXPECT_EQ(first.value().body, "echo:one");
+
+  auto second = client.send_future(server->endpoint(), post("two"), 5s).get();
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_EQ(second.value().body, "echo:two");
+
+  auto stats = client.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.responses, 2u);
+  // The second exchange rode the first one's warm connection.
+  EXPECT_EQ(stats.connects_started, 1u);
+  EXPECT_GE(stats.reused, 1u);
+}
+
+TEST_F(AsyncClientTest, ManyConcurrentExchangesFromOneLoopThread) {
+  auto server = make_server();
+  AsyncHttpClient client(reactor_, transport_);
+
+  constexpr int kN = 64;
+  std::vector<std::future<Result<Response>>> futures;
+  futures.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    futures.push_back(client.send_future(server->endpoint(),
+                                         post(std::to_string(i)), 10s));
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    EXPECT_EQ(result.value().body, "echo:" + std::to_string(i));
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
+// The satellite case: several exchanges multiplexed onto ONE connection
+// with bounded pipelining; HTTP/1.1 answers in write order, and each
+// response must land on ITS request even though they share the socket.
+TEST_F(AsyncClientTest, PipelinedResponsesMatchRequestsInOrderOnOneConnection) {
+  auto server = make_server();
+  AsyncClientOptions options;
+  options.max_connections_per_endpoint = 1;
+  options.max_pipeline_depth = 8;
+  AsyncHttpClient client(reactor_, transport_, options);
+
+  constexpr int kN = 24;
+  std::vector<std::future<Result<Response>>> futures;
+  futures.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    futures.push_back(client.send_future(server->endpoint(),
+                                         post("req-" + std::to_string(i)),
+                                         10s));
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    EXPECT_EQ(result.value().body, "echo:req-" + std::to_string(i));
+  }
+
+  auto stats = client.stats();
+  // One endpoint, a hard cap of one connection: everything multiplexed.
+  EXPECT_EQ(stats.connects_started, 1u);
+  EXPECT_GE(stats.pipelined, 1u);
+}
+
+// The attempt deadline lives on the reactor's timer wheel, so it fires
+// even though the socket never becomes readable (no blocked receive, no
+// per-socket timeout).
+TEST_F(AsyncClientTest, TimerWheelExpiresAttemptAgainstSilentPeer) {
+  auto listener = transport_.listen(net::Endpoint{"127.0.0.1", 0});
+  ASSERT_TRUE(listener.ok());
+  std::atomic<bool> stop{false};
+  std::vector<std::unique_ptr<net::Connection>> held;
+  std::mutex held_mutex;
+  std::thread acceptor([&] {
+    while (!stop.load()) {
+      auto connection = listener.value()->accept();
+      if (!connection.ok()) break;
+      // Accept, read nothing, answer nothing: the peer that hangs.
+      std::lock_guard lock(held_mutex);
+      held.push_back(std::move(connection).value());
+    }
+  });
+
+  AsyncHttpClient client(reactor_, transport_);
+  auto result =
+      client.send_future(listener.value()->endpoint(), post("hello"), 100ms)
+          .get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kTimeout);
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  EXPECT_EQ(client.inflight(), 0u);
+
+  stop.store(true);
+  listener.value()->close();
+  acceptor.join();
+}
+
+// cancel() must not burn the connection: the stale response is drained
+// off the wire and the connection rejoins the pool for the next exchange
+// (how a hedge loser releases its connection).
+TEST_F(AsyncClientTest, CancelDrainsStaleResponseAndReturnsConnectionToPool) {
+  ServerOptions slow_options;
+  auto server = std::make_unique<HttpServer>(
+      transport_, net::Endpoint{"127.0.0.1", 0},
+      [](const Request& request) {
+        std::this_thread::sleep_for(50ms);
+        return Response::make(200, "OK", "late:" + request.body);
+      },
+      slow_options);
+  ASSERT_TRUE(server->start().ok());
+
+  AsyncClientOptions options;
+  options.max_connections_per_endpoint = 1;
+  AsyncHttpClient client(reactor_, transport_, options);
+
+  std::promise<Result<Response>> cancelled;
+  auto cancelled_future = cancelled.get_future();
+  AsyncHttpClient::RequestId id = client.send(
+      server->endpoint(), post("victim"), 5s,
+      [&cancelled](Result<Response> r) { cancelled.set_value(std::move(r)); });
+  // Let the request reach the wire before abandoning it.
+  std::this_thread::sleep_for(10ms);
+  client.cancel(id);
+
+  auto result = cancelled_future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCancelled);
+  EXPECT_GE(client.stats().cancelled, 1u);
+
+  // The stale response drains and the connection comes back idle.
+  for (int i = 0; i < 200 && client.idle_connections(server->endpoint()) == 0;
+       ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(client.idle_connections(server->endpoint()), 1u);
+  EXPECT_GE(client.stats().drained, 1u);
+
+  // And the NEXT exchange reuses it instead of dialing.
+  auto followup =
+      client.send_future(server->endpoint(), post("after"), 5s).get();
+  ASSERT_TRUE(followup.ok()) << followup.error().to_string();
+  EXPECT_EQ(followup.value().body, "late:after");
+  auto stats = client.stats();
+  EXPECT_EQ(stats.connects_started, 1u);
+  EXPECT_GE(stats.reused, 1u);
+}
+
+}  // namespace
+}  // namespace spi::http

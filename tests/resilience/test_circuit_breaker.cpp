@@ -164,6 +164,25 @@ TEST(CircuitBreakerSet, BindMetricsExportsStateAndCounters) {
       << "endpoint label present:\n" << scrape;
 }
 
+TEST(CircuitBreakerSet, BackendsAddedAfterBindMetricsAreExported) {
+  // The proxy binds metrics at construction and grows the fleet at
+  // runtime (add_backend): breakers minted AFTER bind_metrics must join
+  // the scrape, not vanish from observability.
+  ManualClock clock;
+  CircuitBreakerSet set(small_options(), clock);
+  telemetry::MetricsRegistry registry;
+  set.bind_metrics(registry);
+
+  net::Endpoint late{"late-backend", 8080};
+  fail_n(set.for_endpoint(late), 4);
+  EXPECT_EQ(set.for_endpoint(late).state(), BreakerState::kOpen);
+
+  std::string scrape = registry.expose();
+  EXPECT_NE(scrape.find("spi_breaker_state"), std::string::npos) << scrape;
+  EXPECT_NE(scrape.find("late-backend:8080"), std::string::npos)
+      << "runtime-added endpoint missing from scrape:\n" << scrape;
+}
+
 TEST(BreakerStateName, NamesAllStates) {
   EXPECT_EQ(breaker_state_name(BreakerState::kClosed), "closed");
   EXPECT_EQ(breaker_state_name(BreakerState::kOpen), "open");
