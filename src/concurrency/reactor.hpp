@@ -84,6 +84,12 @@ class Reactor {
   /// after stop() are dropped (shutdown races resolve to "not run").
   void post(std::function<void()> task);
 
+  /// post() that reports acceptance: false means the loop is already past
+  /// its final drain and the task will never run, so the caller must
+  /// handle completion itself. True guarantees the task runs (the final
+  /// drain executes everything enqueued before the gate closed).
+  bool try_post(std::function<void()> task);
+
   /// post() + wait for completion. Runs inline when already on the loop
   /// thread or when the loop is not running (then there is nothing to
   /// race with).
@@ -111,7 +117,6 @@ class Reactor {
 
   void run();
   void drain_posted();
-  bool try_post(std::function<void()> task);
 
   Options options_;
   std::unique_ptr<net::Poller> poller_;

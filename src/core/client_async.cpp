@@ -11,10 +11,11 @@
 // calls still outstanding) and may grow a second identical leg — the
 // hedge — once the primary outlives the learned latency quantile. The
 // first leg to answer settles the round; the loser is cancelled and its
-// connection drains back into the pool. A round sequence number guards
-// every callback: anything arriving for a superseded round (the
-// cancelled loser's kCancelled completion, a stale hedge timer) is
-// dropped on the floor.
+// connection drains back into the pool. Two guards protect every
+// callback: a round sequence number drops anything from a superseded
+// round, and a round-settled flag drops the cancelled loser's kCancelled
+// completion in the window after the winner decided the round but before
+// the next round (if any) bumps the sequence.
 #include <memory>
 #include <utility>
 
@@ -65,6 +66,12 @@ struct SpiClient::AsyncExchange
       http::AsyncHttpClient::kInvalidRequest;
   bool primary_settled = false;
   bool hedge_settled = false;
+  /// The round's result is decided (winner taken or both legs failed).
+  /// Set BEFORE the result is processed: processing may schedule another
+  /// round with a backoff pause, and until begin_round bumps round_seq
+  /// the cancelled loser's kCancelled completion would otherwise pass
+  /// the seq guard and feed the breaker / retry ladder a phantom failure.
+  bool round_settled = false;
   std::optional<Error> primary_error;
   TimerWheel::TimerId hedge_timer = TimerWheel::kInvalidTimer;
 
@@ -109,6 +116,7 @@ struct SpiClient::AsyncExchange
     ++round_seq;
     primary_id = hedge_id = http::AsyncHttpClient::kInvalidRequest;
     primary_settled = hedge_settled = false;
+    round_settled = false;
     primary_error.reset();
     round_retry_after = Duration::zero();
     round_idempotent = all_idempotent(round_calls);
@@ -199,7 +207,9 @@ struct SpiClient::AsyncExchange
 
   void fire_hedge(std::uint64_t seq) {
     hedge_timer = TimerWheel::kInvalidTimer;
-    if (completed || seq != round_seq || primary_settled) return;
+    if (completed || seq != round_seq || round_settled || primary_settled) {
+      return;
+    }
     // Speculative load debits the same token bucket as retries, so
     // hedging cannot multiply traffic during an outage.
     if (!client->retry_policy_.try_spend_hedge()) return;
@@ -224,13 +234,18 @@ struct SpiClient::AsyncExchange
   }
 
   void on_leg(std::uint64_t seq, bool is_hedge, Result<http::Response> r) {
-    if (completed || seq != round_seq) return;  // superseded round / loser
+    // Superseded round, or this round's outcome is already decided (the
+    // cancelled loser reporting kCancelled while the winner's result is
+    // still being processed — e.g. waiting out a repack backoff timer).
+    if (completed || seq != round_seq || round_settled) return;
     (is_hedge ? hedge_settled : primary_settled) = true;
 
     if (r.ok()) {
-      // First success wins the round. Cancel the outstanding loser: its
-      // completion arrives later with kCancelled and is dropped by the
-      // seq guard after we bump it in begin_round / by `completed`.
+      // First success wins the round — settle it NOW, so the cancelled
+      // loser's kCancelled completion is dropped by the round_settled
+      // guard even before begin_round bumps the seq (or the exchange
+      // completes without another round).
+      round_settled = true;
       cancel_hedge_timer();
       if (is_hedge) {
         client->hedges_won_.fetch_add(1, std::memory_order_relaxed);
@@ -259,6 +274,7 @@ struct SpiClient::AsyncExchange
     bool primary_outstanding = !primary_settled;
     if (hedge_outstanding || primary_outstanding) return;
 
+    round_settled = true;  // both legs failed: this round is decided
     cancel_hedge_timer();
     if (breaker) breaker->on_failure();
     // Prefer the primary's error: it is the attempt the retry ladder

@@ -138,6 +138,29 @@ struct AsyncHttpClient::Impl : std::enable_shared_from_this<Impl> {
     }
     Conn* conn = ex->conn;
     finish(ex, std::move(error));
+    // If the request's bytes have not left the process at all (still
+    // dialing, or the socket back-pressured) and nothing is pipelined
+    // behind it, prune it from the wire outright: a cancelled
+    // non-idempotent call must not execute server-side, and the
+    // connection then has no stale response to drain. The unwritten
+    // outbox segments map onto the pipeline TAIL, so this is exactly the
+    // case "ex is inflight.back() and its segment is outbox.back() with
+    // no byte of it consumed".
+    bool tail = !conn->inflight.empty() && conn->inflight.back().get() == ex;
+    bool unwritten = !conn->outbox.empty() &&
+                     conn->outbox.size() <= conn->inflight.size() &&
+                     (conn->outbox.size() > 1 || conn->outbox_off == 0);
+    if (tail && unwritten) {
+      conn->outbox.pop_back();
+      conn->inflight.pop_back();
+      if (!conn->connecting) update_interest(conn);
+      maybe_arm_drain(conn);
+      auto ep_it = endpoints.find(conn->endpoint);
+      if (ep_it != endpoints.end() && !ep_it->second.queue.empty()) {
+        pump(ep_it->second, conn->endpoint);  // a pipeline slot freed up
+      }
+      return;
+    }
     ex->abandoned = true;
     maybe_arm_drain(conn);
   }
@@ -498,12 +521,24 @@ AsyncHttpClient::RequestId AsyncHttpClient::send(const net::Endpoint& endpoint,
   RequestId id = ex->id;
   impl_->requests.fetch_add(1, std::memory_order_relaxed);
   impl_->inflight_count.fetch_add(1, std::memory_order_relaxed);
-  // Boxed: Reactor::post needs a copyable task. A dropped post (reactor
-  // already stopped) frees the exchange instead of leaking it.
+  // Boxed: Reactor tasks must be copyable. If the reactor has already
+  // stopped, the post would be silently dropped — the exchange would die
+  // without its callback and inflight_count would stay incremented, so
+  // send_future() callers would block forever. Complete inline instead:
+  // every accepted send() observably terminates.
   auto box = std::make_shared<std::unique_ptr<Impl::Exchange>>(std::move(ex));
-  reactor_.post([impl = impl_, box, timeout] {
+  bool queued = reactor_.try_post([impl = impl_, box, timeout] {
     if (*box) impl->start_exchange(std::move(*box), timeout);
   });
+  if (!queued) {
+    std::unique_ptr<Impl::Exchange> dropped = std::move(*box);
+    impl_->inflight_count.fetch_sub(1, std::memory_order_relaxed);
+    if (dropped->done) {
+      Callback done = std::move(dropped->done);
+      done(Error(ErrorCode::kShutdown,
+                 "async client reactor stopped before send"));
+    }
+  }
   return id;
 }
 

@@ -102,6 +102,12 @@ class FaultyTransport::FaultyConnection final : public Connection {
       if (allowed > 0) {
         auto n = inner_->try_send(to_send.substr(0, allowed));
         if (!n.ok()) return n;  // kWouldBlock: retry later, not severed yet
+        // Same "flipped byte actually left" accounting as the normal
+        // path: the corrupted offset may sit inside the prefix the sever
+        // still lets through.
+        if (corrupts && sent_ + n.value() > faults_.corrupt_at) {
+          owner_->corruptions_.fetch_add(1, std::memory_order_relaxed);
+        }
         sent_ += n.value();
         if (sent_ < faults_.sever_at) return n;  // short write, not there yet
       }

@@ -43,9 +43,25 @@ class AsyncSpiClientTest : public ::testing::Test {
       }
       return Value("fast");
     };
+    // TailService.Race scripts the hedge/repack race: invocation 0 (the
+    // primary leg) stalls; invocation 1 (the hedge leg) answers fast with
+    // a retryable not-executed fault, so the winning round schedules a
+    // partial re-pack; invocation 2 (the replay) succeeds.
+    auto race = [this](const soap::Struct&) -> Result<Value> {
+      int n = race_seq_.fetch_add(1, std::memory_order_acq_rel);
+      if (n == 0) {
+        std::this_thread::sleep_for(300ms);
+        return Value("slow");
+      }
+      if (n == 1) {
+        return Error(ErrorCode::kCapacityExceeded, "induced rejection");
+      }
+      return Value("ok");
+    };
     core::ServiceBinder(registry_, "TailService")
         .bind_idempotent("Get", stalling)
-        .bind("Put", stalling);
+        .bind("Put", stalling)
+        .bind_idempotent("Race", race);
     server_ = std::make_unique<core::SpiServer>(
         transport_, net::Endpoint{"127.0.0.1", 0}, registry_);
     ASSERT_TRUE(server_->start().ok());
@@ -98,6 +114,7 @@ class AsyncSpiClientTest : public ::testing::Test {
   net::TcpTransport transport_;
   core::ServiceRegistry registry_;
   std::atomic<int> stall_next_{0};
+  std::atomic<int> race_seq_{0};
   std::unique_ptr<core::SpiServer> server_;
   Reactor reactor_;
   std::unique_ptr<http::AsyncHttpClient> async_http_;
@@ -196,6 +213,36 @@ TEST_F(AsyncSpiClientTest, AutoBatcherFlushesThroughAsyncPathWithoutPoolThread) 
   EXPECT_EQ(stats.calls, 24u);
   EXPECT_GE(stats.batches, 1u);
   batcher.shutdown();
+  wait_inflight_zero(*client);
+}
+
+// Regression: the hedge loser's kCancelled completion lands in the window
+// AFTER the winner's result scheduled a re-pack round but BEFORE that
+// round begins (round_seq is only bumped when the new round starts, so
+// the seq guard alone does not stop it). It must be dropped like any
+// stale callback — not fed to the retry ladder, where its terminal
+// classification would abort the scheduled replay, orphan the backoff
+// timer, and hand the caller the unretried per-call fault.
+TEST_F(AsyncSpiClientTest, CancelledHedgeLoserDoesNotAbortScheduledRepack) {
+  auto options = hedged_options();
+  options.retry.max_attempts = 3;
+  auto client = make_client(options);
+  warm_hedge_policy(*client, 8);
+
+  std::vector<ServiceCall> calls;
+  calls.push_back(core::make_call("TailService", "Race", {}));
+  auto result = client->execute_packed_future(std::move(calls)).get();
+
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  ASSERT_EQ(result.value().size(), 1u);
+  ASSERT_TRUE(result.value()[0].ok()) << result.value()[0].error().to_string();
+  EXPECT_EQ(result.value()[0].value().as_string(), "ok");
+
+  auto stats = client->stats();
+  EXPECT_GE(stats.hedges_sent, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  // The replay the phantom kCancelled would have aborted actually ran.
+  EXPECT_EQ(stats.partial_repacks, 1u);
   wait_inflight_zero(*client);
 }
 
